@@ -1,0 +1,145 @@
+// Command experiments regenerates the tables and figures of the
+// paper's evaluation section (section 4).
+//
+// Examples:
+//
+//	experiments -list                 # show the experiment catalog
+//	experiments -anchors              # paper's in-text anchors vs measured
+//	experiments -table 4.1            # print the parameter settings
+//	experiments -fig 4.1              # regenerate one figure
+//	experiments -all                  # regenerate every figure
+//	experiments -fig 4.5-NOFORCE-buf200 -csv -plot
+//	experiments -all -quick           # shorter simulation windows
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gemsim/internal/core"
+	"gemsim/internal/node"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		list    = fs.Bool("list", false, "list available experiments")
+		table   = fs.String("table", "", "print a parameter table (4.1)")
+		fig     = fs.String("fig", "", "run one experiment by figure id")
+		anchors = fs.Bool("anchors", false, "reproduce the paper's in-text quantitative anchors")
+		all     = fs.Bool("all", false, "run every experiment")
+		quick   = fs.Bool("quick", false, "short simulation windows (fast, noisier)")
+		csvOut  = fs.Bool("csv", false, "additionally print CSV")
+		mdOut   = fs.Bool("markdown", false, "additionally print a markdown table")
+		plotOut = fs.Bool("plot", false, "additionally print an ASCII plot")
+		seed    = fs.Int64("seed", 1, "random seed")
+		verbose = fs.Bool("v", false, "print per-run progress")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *table == "4.1" {
+		printTable41()
+		return nil
+	}
+	if *table != "" {
+		return fmt.Errorf("unknown table %q (only 4.1 is a parameter table)", *table)
+	}
+	if *anchors {
+		return runAnchors(*seed)
+	}
+
+	exps, err := core.Experiments(*seed)
+	if err != nil {
+		return err
+	}
+	if *list {
+		for i := range exps {
+			e := &exps[i]
+			fmt.Printf("%-20s %s (%d series x %d node counts; %s)\n",
+				e.ID, e.Title, len(e.Series), len(e.Nodes), e.Metric)
+		}
+		return nil
+	}
+
+	opts := core.DefaultExperimentOptions()
+	opts.Seed = *seed
+	if *quick {
+		opts.Warmup = time.Second
+		opts.Measure = 5 * time.Second
+	}
+	if *verbose {
+		opts.Progress = func(expID, series string, nodes int, rep *core.Report) {
+			fmt.Fprintf(os.Stderr, "  [%s] %s n=%d: %v\n", expID, series, nodes, rep)
+		}
+	}
+
+	var selected []core.Experiment
+	switch {
+	case *all:
+		selected = exps
+	case *fig != "":
+		for i := range exps {
+			if exps[i].ID == *fig {
+				selected = append(selected, exps[i])
+			}
+		}
+		if len(selected) == 0 {
+			return fmt.Errorf("unknown experiment %q (use -list)", *fig)
+		}
+	default:
+		fs.Usage()
+		return fmt.Errorf("nothing to do: pass -list, -table, -fig or -all")
+	}
+
+	for i := range selected {
+		start := time.Now()
+		tbl, err := selected[i].Run(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl.Render())
+		if *csvOut {
+			fmt.Println(tbl.CSV())
+		}
+		if *mdOut {
+			fmt.Println(tbl.Markdown())
+		}
+		if *plotOut {
+			fmt.Println(tbl.Plot(12))
+		}
+		fmt.Printf("(completed in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func printTable41() {
+	p := node.DefaultParams(10)
+	fmt.Println("Table 4.1: Parameter settings for debit-credit workload")
+	fmt.Printf("  number of nodes N      1 - 10\n")
+	fmt.Printf("  arrival rate           100 TPS per node\n")
+	fmt.Printf("  DB size (per 100 TPS)  BRANCH 100 (bf 1), TELLER 1000 (bf 10, clustered),\n")
+	fmt.Printf("                         ACCOUNT 10,000,000 (bf 10), HISTORY (bf 20)\n")
+	fmt.Printf("  path length            %.0f instructions per transaction\n", p.BOTInstr+4*p.RefInstr+p.EOTInstr)
+	fmt.Printf("  lock mode              page locks for BRANCH, TELLER, ACCOUNT; no locks for HISTORY\n")
+	fmt.Printf("  CPU capacity           %d processors of %.0f MIPS per node\n", p.CPUsPerNode, p.MIPSPerCPU)
+	fmt.Printf("  DB buffer size         200 (1000) pages per node\n")
+	fmt.Printf("  GEM                    %d server; %v per page; %v per entry\n",
+		p.GEM.Servers, p.GEM.PageAccess, p.GEM.EntryAccess)
+	fmt.Printf("  communication          %.0f MB/s; %.0f instr per short, %.0f per long send/receive\n",
+		p.Net.BandwidthBytesPerSec/1e6, p.Net.ShortInstr, p.Net.LongInstr)
+	fmt.Printf("  I/O overhead           %.0f instructions per page (GEM: %.0f for initialization)\n",
+		p.IOInstr, p.GEMIOInstr)
+	fmt.Printf("  avg disk access time   15 ms DB disks; 5 ms log disks\n")
+	fmt.Printf("  other I/O delays       1 ms controller; 0.4 ms transfer per page\n")
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestListAndTable(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-table", "4.1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-table", "9.9"}); err == nil {
+		t.Fatal("expected error for unknown table")
+	}
+}
+
+func TestUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "bogus"}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestNothingToDo(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("expected usage error")
+	}
+}

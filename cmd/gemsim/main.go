@@ -1,0 +1,198 @@
+// Command gemsim runs a single database sharing configuration and
+// prints its measurements.
+//
+// Examples:
+//
+//	gemsim -nodes 4 -coupling gem -routing affinity -buffer 200
+//	gemsim -nodes 8 -coupling pcl -force -routing random -measure 20s
+//	gemsim -nodes 4 -bt-medium gem          # BRANCH/TELLER in GEM
+//	gemsim -nodes 4 -trace workload.trc     # trace-driven run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"gemsim/internal/core"
+	"gemsim/internal/model"
+	"gemsim/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gemsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gemsim", flag.ContinueOnError)
+	var (
+		cfgPath  = fs.String("config", "", "JSON configuration file (other flags are ignored)")
+		nodes    = fs.Int("nodes", 1, "number of processing nodes")
+		rate     = fs.Float64("rate", 0, "arrival rate per node in TPS (default 100, 50 for traces)")
+		coupling = fs.String("coupling", "gem", "coupling mode: gem (close), pcl (loose) or le (lock engine)")
+		force    = fs.Bool("force", false, "use the FORCE update strategy (default NOFORCE)")
+		routing  = fs.String("routing", "affinity", "workload allocation: random, affinity or loadaware")
+		buffer   = fs.Int("buffer", 0, "database buffer pages per node (default 200, 1000 for traces)")
+		btMedium = fs.String("bt-medium", "", "BRANCH/TELLER medium: disk, vcache, nvcache, gem, gemwb or gemcache")
+		logGEM   = fs.Bool("log-gem", false, "allocate log files to GEM")
+		logMerge = fs.Bool("log-merge", false, "run the global log merge process (needs -log-gem)")
+		gemMsg   = fs.Bool("gem-messaging", false, "exchange all messages across GEM")
+		term     = fs.Int("terminals", 0, "closed-loop mode: terminals per node (0 = open model)")
+		think    = fs.Duration("think", time.Second, "closed-loop mean think time")
+		tracePth = fs.String("trace", "", "trace file for trace-driven simulation")
+		warmup   = fs.Duration("warmup", 4*time.Second, "warm-up period of simulated time")
+		measure  = fs.Duration("measure", 16*time.Second, "measurement period of simulated time")
+		seed     = fs.Int64("seed", 1, "random seed")
+		check    = fs.Bool("check", false, "enable the coherency invariant oracle")
+		verbose  = fs.Bool("v", false, "print detailed metrics")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *cfgPath != "" {
+		cfg, err := core.LoadConfigFile(*cfgPath)
+		if err != nil {
+			return err
+		}
+		rep, err := core.Run(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
+		if *verbose {
+			printDetails(rep)
+		}
+		return nil
+	}
+
+	cfg := core.DefaultDebitCreditConfig(*nodes)
+	if *tracePth != "" {
+		trace, err := workload.ReadTraceFile(*tracePth)
+		if err != nil {
+			return err
+		}
+		cfg = core.DefaultTraceConfig(*nodes, trace)
+	}
+	if *rate > 0 {
+		cfg.ArrivalRatePerNode = *rate
+	}
+	if *buffer > 0 {
+		cfg.BufferPages = *buffer
+	}
+	switch strings.ToLower(*coupling) {
+	case "gem":
+		cfg.Coupling = core.CouplingGEM
+	case "pcl":
+		cfg.Coupling = core.CouplingPCL
+	case "le", "lockengine":
+		cfg.Coupling = core.CouplingLockEngine
+	default:
+		return fmt.Errorf("unknown coupling %q (want gem, pcl or le)", *coupling)
+	}
+	switch strings.ToLower(*routing) {
+	case "random":
+		cfg.Routing = core.RoutingRandom
+	case "affinity":
+		cfg.Routing = core.RoutingAffinity
+	case "loadaware":
+		cfg.Routing = core.RoutingLoadAware
+	default:
+		return fmt.Errorf("unknown routing %q (want random, affinity or loadaware)", *routing)
+	}
+	if *btMedium != "" {
+		m, err := parseMedium(*btMedium)
+		if err != nil {
+			return err
+		}
+		cfg.FileMedium = map[string]model.Medium{"BRANCH/TELLER": m}
+	}
+	cfg.Force = *force
+	cfg.LogInGEM = *logGEM
+	cfg.GlobalLogMerge = *logMerge
+	cfg.GEMMessaging = *gemMsg
+	if *term > 0 {
+		cfg.ClosedLoop = &core.ClosedLoopConfig{TerminalsPerNode: *term, ThinkTime: *think}
+	}
+	cfg.Warmup = *warmup
+	cfg.Measure = *measure
+	cfg.Seed = *seed
+	cfg.CheckInvariants = *check
+
+	rep, err := core.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	if *verbose {
+		printDetails(rep)
+	}
+	return nil
+}
+
+func parseMedium(s string) (model.Medium, error) {
+	switch strings.ToLower(s) {
+	case "disk":
+		return model.MediumDisk, nil
+	case "vcache":
+		return model.MediumDiskCacheVolatile, nil
+	case "nvcache":
+		return model.MediumDiskCacheNV, nil
+	case "gem":
+		return model.MediumGEM, nil
+	case "gemwb":
+		return model.MediumGEMWriteBuffer, nil
+	case "gemcache":
+		return model.MediumGEMCache, nil
+	default:
+		return 0, fmt.Errorf("unknown medium %q (want disk, vcache, nvcache, gem, gemwb or gemcache)", s)
+	}
+}
+
+func printDetails(rep *core.Report) {
+	m := &rep.Metrics
+	fmt.Printf("simulated time          %v\n", m.SimTime)
+	fmt.Printf("commits / aborts        %d / %d (deadlocks %d)\n", m.Commits, m.Aborts, m.Deadlocks)
+	fmt.Printf("throughput              %.1f TPS\n", m.Throughput)
+	fmt.Printf("response time           mean %v  p95 %v  max %v\n", m.MeanResponseTime, m.P95ResponseTime, m.MaxResponseTime)
+	fmt.Printf("normalized RT           %v (mean refs/txn %.1f)\n", m.NormalizedResponseTime, m.MeanRefsPerTxn)
+	fmt.Printf("input queue wait        %v\n", m.MeanInputQueueWait)
+	fmt.Printf("CPU utilization         mean %.1f%%  max %.1f%%  (%.2f ms CPU per txn)\n",
+		m.MeanCPUUtilization*100, m.MaxCPUUtilization*100, m.CPUSecondsPerTxn*1000)
+	fmt.Printf("throughput @80%% CPU     %.1f TPS per node\n", rep.ThroughputPerNodeAt(0.8))
+	fmt.Printf("GEM                     util %.2f%%  entries %d  pages %d  wait %v\n",
+		m.GEMUtilization*100, m.GEMEntryAcc, m.GEMPageAcc, m.GEMMeanWait)
+	fmt.Printf("messages                short %d  long %d  (%.2f per txn)\n", m.ShortMessages, m.LongMessages, m.MessagesPerTxn)
+	fmt.Printf("locks                   requests %d  local share %.1f%%  waits %d  mean wait %v\n",
+		m.LockRequests, m.LocalLockShare*100, m.LockWaits, m.MeanLockWait)
+	fmt.Printf("coherency               invalidations/txn %.3f  page requests/txn %.3f (delay %v)\n",
+		m.InvalidationsPerTxn, m.PageRequestsPerTxn, m.MeanPageReqDelay)
+	fmt.Printf("storage                 reads %d  writes %d  force writes %d  log writes %d\n",
+		m.StorageReads, m.StorageWrites, m.ForceWrites, m.LogWrites)
+	names := make([]string, 0, len(m.BufferHitRatio))
+	for name := range m.BufferHitRatio {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("buffer hit ratio        %-14s %.1f%%\n", name, m.BufferHitRatio[name]*100)
+	}
+	names = names[:0]
+	for name := range m.DiskUtilization {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		line := fmt.Sprintf("disk utilization        %-14s %.1f%%", name, m.DiskUtilization[name]*100)
+		if hr, ok := m.CacheHitRatio[name]; ok {
+			line += fmt.Sprintf("  (cache hit %.1f%%)", hr*100)
+		}
+		fmt.Println(line)
+	}
+}

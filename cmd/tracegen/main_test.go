@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenerateAndInspect(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "t.trc")
+	args := []string{"-out", out, "-txns", "500", "-pages", "4000", "-seed", "3"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-inspect", out}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateTextFormat(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "t.txt")
+	if err := run([]string{"-out", out, "-txns", "300", "-pages", "3000", "-text"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-inspect", out, "-text"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoArgsIsError(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("expected usage error")
+	}
+}
+
+func TestInspectMissingFile(t *testing.T) {
+	if err := run([]string{"-inspect", "/nonexistent.trc"}); err == nil {
+		t.Fatal("expected error")
+	}
+}

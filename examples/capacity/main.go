@@ -1,0 +1,50 @@
+// Capacity planning: derive the achievable transaction rate per node
+// at 80% CPU utilization for each coupling/routing/update-strategy
+// combination (the paper's Fig. 4.6 metric), and show where the
+// communication overhead of loose coupling eats into capacity.
+//
+//	go run ./examples/capacity
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gemsim/internal/core"
+)
+
+func main() {
+	const nodes = 8
+	fmt.Printf("achievable throughput per node at 80%% CPU utilization (N=%d, buffer 1000)\n\n", nodes)
+	fmt.Printf("%-24s %-12s %-12s %s\n", "configuration", "TPS/node", "CPU ms/txn", "msgs/txn")
+
+	for _, coupling := range []core.Coupling{core.CouplingGEM, core.CouplingPCL} {
+		for _, rt := range []core.Routing{core.RoutingRandom, core.RoutingAffinity} {
+			for _, force := range []bool{false, true} {
+				cfg := core.DefaultDebitCreditConfig(nodes)
+				cfg.Coupling = coupling
+				cfg.Routing = rt
+				cfg.Force = force
+				cfg.BufferPages = 1000
+				cfg.Warmup = 2 * time.Second
+				cfg.Measure = 8 * time.Second
+				rep, err := core.Run(cfg)
+				if err != nil {
+					log.Fatal(err)
+				}
+				label := fmt.Sprintf("%v/%v/%s", coupling, rt, update(force))
+				fmt.Printf("%-24s %-12.1f %-12.2f %.2f\n",
+					label, rep.ThroughputPerNodeAt(0.8),
+					rep.Metrics.CPUSecondsPerTxn*1000, rep.Metrics.MessagesPerTxn)
+			}
+		}
+	}
+}
+
+func update(force bool) string {
+	if force {
+		return "FORCE"
+	}
+	return "NOFORCE"
+}

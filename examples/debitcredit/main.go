@@ -1,0 +1,63 @@
+// Debit-credit coupling comparison: sweep the node count and compare
+// close coupling (GEM locking) against loose coupling (primary copy
+// locking) for random and affinity-based routing — the essence of the
+// paper's Fig. 4.5.
+//
+//	go run ./examples/debitcredit
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gemsim/internal/core"
+	"gemsim/internal/report"
+)
+
+func main() {
+	nodes := []int{1, 2, 4, 8}
+	series := []struct {
+		label    string
+		coupling core.Coupling
+		routing  core.Routing
+	}{
+		{"GEM/random", core.CouplingGEM, core.RoutingRandom},
+		{"GEM/affinity", core.CouplingGEM, core.RoutingAffinity},
+		{"PCL/random", core.CouplingPCL, core.RoutingRandom},
+		{"PCL/affinity", core.CouplingPCL, core.RoutingAffinity},
+	}
+
+	rows := make([]string, len(nodes))
+	for i, n := range nodes {
+		rows[i] = fmt.Sprintf("%d", n)
+	}
+	cols := make([]string, len(series))
+	for j, s := range series {
+		cols[j] = s.label
+	}
+	tbl := report.NewTable(
+		"Close vs loose coupling, debit-credit, NOFORCE, buffer 200",
+		"nodes", "mean response time [ms]", rows, cols)
+
+	for j, s := range series {
+		for i, n := range nodes {
+			cfg := core.DefaultDebitCreditConfig(n)
+			cfg.Coupling = s.coupling
+			cfg.Routing = s.routing
+			cfg.Warmup = 2 * time.Second
+			cfg.Measure = 8 * time.Second
+			rep, err := core.Run(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tbl.Set(i, j, float64(rep.Metrics.MeanResponseTime)/float64(time.Millisecond))
+			fmt.Printf("  %-13s n=%-2d  RT=%-8v  msgs/txn=%.2f  local locks=%.0f%%\n",
+				s.label, n, rep.Metrics.MeanResponseTime.Round(100*time.Microsecond),
+				rep.Metrics.MessagesPerTxn, rep.Metrics.LocalLockShare*100)
+		}
+	}
+	fmt.Println()
+	fmt.Println(tbl.Render())
+	fmt.Println(tbl.Plot(10))
+}

@@ -1,0 +1,36 @@
+// Quickstart: run one closely coupled debit-credit configuration and
+// print the headline metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gemsim/internal/core"
+)
+
+func main() {
+	// Four nodes at 100 TPS each, GEM locking, NOFORCE, affinity
+	// routing, Table 4.1 parameters throughout.
+	cfg := core.DefaultDebitCreditConfig(4)
+	cfg.Warmup = 2 * time.Second
+	cfg.Measure = 10 * time.Second
+
+	rep, err := core.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := &rep.Metrics
+	fmt.Println("closely coupled database sharing, debit-credit workload")
+	fmt.Printf("  nodes               %d (%.0f TPS each)\n", cfg.Nodes, cfg.ArrivalRatePerNode)
+	fmt.Printf("  committed           %d transactions (%.1f TPS)\n", m.Commits, m.Throughput)
+	fmt.Printf("  response time       %v mean, %v p95\n", m.MeanResponseTime, m.P95ResponseTime)
+	fmt.Printf("  CPU utilization     %.1f%%\n", m.MeanCPUUtilization*100)
+	fmt.Printf("  GEM utilization     %.2f%% (%d lock table entry accesses)\n",
+		m.GEMUtilization*100, m.GEMEntryAcc)
+	fmt.Printf("  B/T buffer hits     %.1f%%\n", m.BufferHitRatio["BRANCH/TELLER"]*100)
+}

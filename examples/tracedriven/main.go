@@ -1,0 +1,60 @@
+// Trace-driven simulation: generate a synthetic database trace
+// (calibrated to the paper's real-life workload), compute an
+// affinity-based routing table with the workload allocation
+// heuristics, and compare it with random routing under both coupling
+// modes — the paper's section 4.6 in miniature.
+//
+//	go run ./examples/tracedriven
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gemsim/internal/core"
+	"gemsim/internal/routing"
+	"gemsim/internal/workload"
+)
+
+func main() {
+	// A reduced trace keeps this example quick; drop the overrides to
+	// reproduce the full calibrated workload.
+	params := workload.DefaultTraceGenParams(1)
+	params.Transactions = 6000
+	params.TotalPages = 24000
+	params.AdHocTxns = 4
+	params.LargestRefs = 4000
+	trace, err := workload.GenerateTrace(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := trace.Stats()
+	fmt.Printf("trace: %d txns, %d types, %d files, %.1f refs/txn, %.1f%% writes\n",
+		s.Transactions, s.Types, s.Files, s.MeanRefs,
+		100*float64(s.Writes)/float64(s.References))
+
+	// Show what the allocation heuristics decided.
+	const nodes = 4
+	aff := routing.ComputeTraceAffinity(trace, nodes)
+	fmt.Printf("routing table (type -> node): %v\n\n", aff.TypeToNode())
+
+	for _, coupling := range []core.Coupling{core.CouplingGEM, core.CouplingPCL} {
+		for _, rt := range []core.Routing{core.RoutingRandom, core.RoutingAffinity, core.RoutingLoadAware} {
+			cfg := core.DefaultTraceConfig(nodes, trace)
+			cfg.Coupling = coupling
+			cfg.Routing = rt
+			cfg.Warmup = 3 * time.Second
+			cfg.Measure = 12 * time.Second
+			rep, err := core.Run(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			m := &rep.Metrics
+			fmt.Printf("%-4v %-9v normalized RT %-10v local locks %5.1f%%  msgs/txn %6.2f  cpu %4.1f%% (max %4.1f%%)\n",
+				coupling, rt, m.NormalizedResponseTime.Round(100*time.Microsecond),
+				m.LocalLockShare*100, m.MessagesPerTxn,
+				m.MeanCPUUtilization*100, m.MaxCPUUtilization*100)
+		}
+	}
+}

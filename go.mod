@@ -1,0 +1,3 @@
+module gemsim
+
+go 1.22

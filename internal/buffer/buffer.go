@@ -1,0 +1,191 @@
+// Package buffer implements the per-node main memory database buffer:
+// an LRU pool of page frames with fix counts, dirty tracking and page
+// sequence numbers. Page sequence numbers are incremented on every
+// modification and are the basis of buffer invalidation detection: a
+// cached copy whose sequence number is below the committed global one
+// is obsolete [Ra86, Ra91b].
+//
+// The pool is a pure data structure; all I/O and coherency decisions
+// are made by the node layer.
+package buffer
+
+import (
+	"container/list"
+
+	"gemsim/internal/model"
+	"gemsim/internal/stats"
+)
+
+// Frame is one buffered page.
+type Frame struct {
+	Page  model.PageID
+	SeqNo uint64
+	Dirty bool
+
+	fixCount int
+	elem     *list.Element
+}
+
+// Fixed reports whether the frame is pinned against replacement.
+func (f *Frame) Fixed() bool { return f.fixCount > 0 }
+
+// Fix pins the frame against replacement.
+func (f *Frame) Fix() { f.fixCount++ }
+
+// Unfix releases one pin.
+func (f *Frame) Unfix() {
+	if f.fixCount == 0 {
+		panic("buffer: unfix of unfixed frame " + f.Page.String())
+	}
+	f.fixCount--
+}
+
+// Victim describes an evicted page that may need writing back.
+type Victim struct {
+	Page  model.PageID
+	SeqNo uint64
+	Dirty bool
+}
+
+// Pool is one node's LRU database buffer.
+type Pool struct {
+	capacity int
+	lru      *list.List // front = MRU
+	index    map[model.PageID]*Frame
+
+	hitsByFile map[model.FileID]*stats.Ratio
+	overflow   int64
+}
+
+// NewPool creates a buffer of the given capacity in pages.
+func NewPool(capacity int) *Pool {
+	if capacity <= 0 {
+		panic("buffer: capacity must be positive")
+	}
+	return &Pool{
+		capacity:   capacity,
+		lru:        list.New(),
+		index:      make(map[model.PageID]*Frame, capacity),
+		hitsByFile: make(map[model.FileID]*stats.Ratio),
+	}
+}
+
+// Capacity returns the configured capacity.
+func (b *Pool) Capacity() int { return b.capacity }
+
+// Len returns the number of buffered pages.
+func (b *Pool) Len() int { return b.lru.Len() }
+
+// Get returns the frame for page and promotes it to MRU, or nil.
+func (b *Pool) Get(page model.PageID) *Frame {
+	f, ok := b.index[page]
+	if !ok {
+		return nil
+	}
+	b.lru.MoveToFront(f.elem)
+	return f
+}
+
+// Peek returns the frame without touching LRU state, or nil.
+func (b *Pool) Peek(page model.PageID) *Frame { return b.index[page] }
+
+// Observe records a logical buffer hit or miss for the page's file
+// (used for the per-partition hit ratios reported in the paper).
+func (b *Pool) Observe(file model.FileID, hit bool) {
+	r := b.hitsByFile[file]
+	if r == nil {
+		r = &stats.Ratio{}
+		b.hitsByFile[file] = r
+	}
+	r.Observe(hit)
+}
+
+// HitRatio returns the observed hit ratio for a file.
+func (b *Pool) HitRatio(file model.FileID) float64 {
+	if r := b.hitsByFile[file]; r != nil {
+		return r.Value()
+	}
+	return 0
+}
+
+// HitCounts returns (hits, total) observations for a file.
+func (b *Pool) HitCounts(file model.FileID) (int64, int64) {
+	if r := b.hitsByFile[file]; r != nil {
+		return r.Hits(), r.Total()
+	}
+	return 0, 0
+}
+
+// Insert places a page at the MRU position with the given sequence
+// number and dirty state, evicting the least recently used unfixed
+// frame when full. The returned victim, if any, must be written back by
+// the caller when dirty. Inserting an already buffered page refreshes
+// its state instead.
+//
+// When every frame is fixed the pool grows past capacity rather than
+// failing (the overflow count is reported); with realistic MPL settings
+// this does not occur.
+func (b *Pool) Insert(page model.PageID, seqno uint64, dirty bool) (*Frame, *Victim) {
+	if f, ok := b.index[page]; ok {
+		if seqno > f.SeqNo {
+			f.SeqNo = seqno
+		}
+		f.Dirty = f.Dirty || dirty
+		b.lru.MoveToFront(f.elem)
+		return f, nil
+	}
+	var victim *Victim
+	if b.lru.Len() >= b.capacity {
+		for el := b.lru.Back(); el != nil; el = el.Prev() {
+			vf, ok := el.Value.(*Frame)
+			if !ok || vf.Fixed() {
+				continue
+			}
+			victim = &Victim{Page: vf.Page, SeqNo: vf.SeqNo, Dirty: vf.Dirty}
+			b.lru.Remove(el)
+			delete(b.index, vf.Page)
+			break
+		}
+		if victim == nil {
+			b.overflow++
+		}
+	}
+	f := &Frame{Page: page, SeqNo: seqno, Dirty: dirty}
+	f.elem = b.lru.PushFront(f)
+	b.index[page] = f
+	return f, victim
+}
+
+// Drop removes a page (buffer invalidation discard); fixed frames must
+// not be dropped.
+func (b *Pool) Drop(page model.PageID) {
+	f, ok := b.index[page]
+	if !ok {
+		return
+	}
+	if f.Fixed() {
+		panic("buffer: dropping fixed frame " + page.String())
+	}
+	b.lru.Remove(f.elem)
+	delete(b.index, page)
+}
+
+// Overflows returns how often an insert found no evictable frame.
+func (b *Pool) Overflows() int64 { return b.overflow }
+
+// ResetStats clears the per-file hit statistics.
+func (b *Pool) ResetStats() {
+	for _, r := range b.hitsByFile {
+		r.Reset()
+	}
+	b.overflow = 0
+}
+
+// Pages calls fn for every buffered page (diagnostics and tests).
+func (b *Pool) Pages(fn func(*Frame)) {
+	for el := b.lru.Front(); el != nil; el = el.Next() {
+		if f, ok := el.Value.(*Frame); ok {
+			fn(f)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package buffer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gemsim/internal/model"
+)
+
+func pg(n int32) model.PageID { return model.PageID{File: 1, Page: n} }
+
+func TestInsertAndGet(t *testing.T) {
+	b := NewPool(4)
+	f, victim := b.Insert(pg(1), 5, false)
+	if victim != nil {
+		t.Fatal("unexpected victim")
+	}
+	if f.SeqNo != 5 || f.Dirty {
+		t.Fatalf("frame %+v", f)
+	}
+	if got := b.Get(pg(1)); got != f {
+		t.Fatal("get returned different frame")
+	}
+	if b.Get(pg(2)) != nil {
+		t.Fatal("absent page returned")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	b := NewPool(2)
+	b.Insert(pg(1), 1, false)
+	b.Insert(pg(2), 1, true)
+	b.Get(pg(1)) // promote 1
+	_, victim := b.Insert(pg(3), 1, false)
+	if victim == nil || victim.Page != pg(2) || !victim.Dirty || victim.SeqNo != 1 {
+		t.Fatalf("victim %+v, want dirty page 2", victim)
+	}
+	if b.Peek(pg(2)) != nil {
+		t.Fatal("evicted page still present")
+	}
+}
+
+func TestFixedFramesSkipped(t *testing.T) {
+	b := NewPool(2)
+	f1, _ := b.Insert(pg(1), 1, false)
+	b.Insert(pg(2), 1, false)
+	f1.Fix()
+	_, victim := b.Insert(pg(3), 1, false)
+	if victim == nil || victim.Page != pg(2) {
+		t.Fatalf("victim %+v, want page 2 (page 1 is fixed)", victim)
+	}
+	f1.Unfix()
+}
+
+func TestAllFixedOverflows(t *testing.T) {
+	b := NewPool(2)
+	f1, _ := b.Insert(pg(1), 1, false)
+	f2, _ := b.Insert(pg(2), 1, false)
+	f1.Fix()
+	f2.Fix()
+	_, victim := b.Insert(pg(3), 1, false)
+	if victim != nil {
+		t.Fatal("no evictable frame, yet a victim was returned")
+	}
+	if b.Len() != 3 {
+		t.Fatalf("len %d, want 3 (overflow)", b.Len())
+	}
+	if b.Overflows() != 1 {
+		t.Fatalf("overflows %d", b.Overflows())
+	}
+	f1.Unfix()
+	f2.Unfix()
+}
+
+func TestReinsertRefreshes(t *testing.T) {
+	b := NewPool(2)
+	b.Insert(pg(1), 3, false)
+	f, victim := b.Insert(pg(1), 5, true)
+	if victim != nil {
+		t.Fatal("re-insert must not evict")
+	}
+	if f.SeqNo != 5 || !f.Dirty {
+		t.Fatalf("frame %+v", f)
+	}
+	// Lower seqno must not regress the frame.
+	f2, _ := b.Insert(pg(1), 4, false)
+	if f2.SeqNo != 5 || !f2.Dirty {
+		t.Fatalf("frame regressed: %+v", f2)
+	}
+}
+
+func TestDrop(t *testing.T) {
+	b := NewPool(2)
+	b.Insert(pg(1), 1, false)
+	b.Drop(pg(1))
+	if b.Peek(pg(1)) != nil {
+		t.Fatal("dropped page still present")
+	}
+	b.Drop(pg(9)) // absent: no-op
+}
+
+func TestDropFixedPanics(t *testing.T) {
+	b := NewPool(2)
+	f, _ := b.Insert(pg(1), 1, false)
+	f.Fix()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic dropping fixed frame")
+		}
+	}()
+	b.Drop(pg(1))
+}
+
+func TestUnfixUnfixedPanics(t *testing.T) {
+	b := NewPool(2)
+	f, _ := b.Insert(pg(1), 1, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.Unfix()
+}
+
+func TestHitStats(t *testing.T) {
+	b := NewPool(2)
+	b.Observe(1, true)
+	b.Observe(1, true)
+	b.Observe(1, false)
+	if got := b.HitRatio(1); got < 0.66 || got > 0.67 {
+		t.Fatalf("hit ratio %v", got)
+	}
+	hits, total := b.HitCounts(1)
+	if hits != 2 || total != 3 {
+		t.Fatalf("counts %d/%d", hits, total)
+	}
+	if b.HitRatio(2) != 0 {
+		t.Fatal("unknown file must report 0")
+	}
+	b.ResetStats()
+	if _, total := b.HitCounts(1); total != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestPagesIteration(t *testing.T) {
+	b := NewPool(3)
+	b.Insert(pg(1), 1, false)
+	b.Insert(pg(2), 1, false)
+	count := 0
+	b.Pages(func(f *Frame) { count++ })
+	if count != 2 {
+		t.Fatalf("iterated %d frames", count)
+	}
+}
+
+// TestPoolCapacityProperty drives random operations and verifies the
+// pool never exceeds capacity while no frames are fixed.
+func TestPoolCapacityProperty(t *testing.T) {
+	err := quick.Check(func(ops []uint16, capRaw uint8) bool {
+		capacity := int(capRaw%8) + 1
+		b := NewPool(capacity)
+		for _, op := range ops {
+			p := pg(int32(op % 32))
+			switch op % 4 {
+			case 0, 1:
+				b.Insert(p, uint64(op), op%5 == 0)
+			case 2:
+				b.Get(p)
+			case 3:
+				b.Drop(p)
+			}
+			if b.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVictimConservationProperty: every page inserted is either still
+// in the pool, was returned as a victim, or was dropped.
+func TestVictimConservationProperty(t *testing.T) {
+	err := quick.Check(func(pages []uint8) bool {
+		b := NewPool(4)
+		inserted := make(map[model.PageID]bool)
+		evicted := make(map[model.PageID]bool)
+		for _, raw := range pages {
+			p := pg(int32(raw % 32))
+			_, victim := b.Insert(p, 1, false)
+			inserted[p] = true
+			if victim != nil {
+				evicted[victim.Page] = true
+				delete(inserted, victim.Page)
+			}
+			delete(evicted, p) // may be re-inserted later
+		}
+		for p := range inserted {
+			if b.Peek(p) == nil {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,197 @@
+// Package core is the public façade of the simulator: a declarative
+// Config describing one database sharing configuration (coupling mode,
+// update strategy, workload, routing, storage allocation), a Run
+// function executing it with warm-up handling, and a Report with the
+// measured metrics. The experiments of the paper's evaluation section
+// are available as presets in experiments.go.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"gemsim/internal/model"
+	"gemsim/internal/node"
+	"gemsim/internal/workload"
+)
+
+// Re-exported coupling modes.
+const (
+	CouplingGEM = node.CouplingGEM
+	CouplingPCL = node.CouplingPCL
+	// CouplingLockEngine is the [Yu87] related-work baseline: a
+	// centralized lock engine with 100-500 µs service time, broadcast
+	// invalidation and FORCE update propagation.
+	CouplingLockEngine = node.CouplingLockEngine
+)
+
+// Coupling selects close (GEM) or loose (PCL) coupling.
+type Coupling = node.Coupling
+
+// Routing selects the workload allocation strategy.
+type Routing int
+
+const (
+	// RoutingRandom spreads transactions evenly over all nodes.
+	RoutingRandom Routing = iota + 1
+	// RoutingAffinity uses branch partitioning (debit-credit) or a
+	// computed routing table (traces) to maximize node-specific
+	// locality.
+	RoutingAffinity
+	// RoutingLoadAware assigns each transaction to the node with the
+	// fewest active transactions, using system-wide status
+	// information kept in GEM (section 2's load control usage form).
+	RoutingLoadAware
+)
+
+// String names the routing strategy.
+func (r Routing) String() string {
+	switch r {
+	case RoutingRandom:
+		return "random"
+	case RoutingAffinity:
+		return "affinity"
+	case RoutingLoadAware:
+		return "loadaware"
+	default:
+		return "routing?"
+	}
+}
+
+// WorkloadConfig selects and parameterizes the workload. Exactly one of
+// DebitCredit or Trace must be set.
+type WorkloadConfig struct {
+	// DebitCredit generates the TPC-A/B style workload; if nil and
+	// Trace is nil, Table 4.1 defaults scaled to the configured
+	// throughput are used.
+	DebitCredit *workload.DebitCreditParams
+	// Trace replays a (recorded or synthetic) database trace.
+	Trace *workload.Trace
+}
+
+// ClosedLoopConfig parameterizes the closed (terminal) workload model.
+type ClosedLoopConfig struct {
+	// TerminalsPerNode is the number of terminals bound to each node.
+	TerminalsPerNode int
+	// ThinkTime is the mean think time between a response and the
+	// next request.
+	ThinkTime time.Duration
+}
+
+// Config describes one simulated configuration.
+type Config struct {
+	// Nodes is the number of processing nodes (1-10 in the paper).
+	Nodes int
+	// ArrivalRatePerNode is the transaction arrival rate per node in
+	// TPS (100 for debit-credit, 50 for the trace experiments).
+	ArrivalRatePerNode float64
+	// Coupling selects GEM locking or primary copy locking.
+	Coupling Coupling
+	// Force selects the FORCE update strategy; otherwise NOFORCE.
+	Force bool
+	// Routing selects random or affinity-based transaction routing.
+	Routing Routing
+	// BufferPages is the database buffer size per node (200 or 1000).
+	BufferPages int
+
+	// Workload selects debit-credit (default) or a trace.
+	Workload WorkloadConfig
+
+	// FileMedium overrides the storage medium per file name (e.g.
+	// allocate "BRANCH/TELLER" to GEM or to a cached disk group).
+	FileMedium map[string]model.Medium
+	// DiskCachePages sizes shared disk caches per file name; by
+	// default a cache holds the whole file.
+	DiskCachePages map[string]int
+	// LogInGEM allocates the log files to GEM.
+	LogInGEM bool
+	// GEMMessaging exchanges all messages across GEM instead of the
+	// interconnection network (section 2's "general application").
+	GEMMessaging bool
+	// GlobalLogMerge adds the background global log merge process
+	// (requires LogInGEM).
+	GlobalLogMerge bool
+
+	// ClosedLoop, if non-nil, replaces the open Poisson source with a
+	// closed terminal model: Terminals per node, each thinking for an
+	// exponentially distributed time between transactions.
+	// ArrivalRatePerNode is ignored in this mode.
+	ClosedLoop *ClosedLoopConfig
+
+	// Warmup and Measure bound the simulation: statistics cover
+	// [Warmup, Warmup+Measure).
+	Warmup  time.Duration
+	Measure time.Duration
+
+	// Seed drives all stochastic components (default 1).
+	Seed int64
+	// CheckInvariants enables the coherency oracle.
+	CheckInvariants bool
+
+	// Tune, if set, adjusts the low-level node parameters after the
+	// defaults are applied (ablations, sensitivity studies).
+	Tune func(*node.Params)
+}
+
+// DefaultDebitCreditConfig returns the Table 4.1 configuration for the
+// given number of nodes: 100 TPS per node, buffer 200 pages, GEM
+// coupling, NOFORCE, affinity routing, all files on disk.
+func DefaultDebitCreditConfig(nodes int) Config {
+	return Config{
+		Nodes:              nodes,
+		ArrivalRatePerNode: 100,
+		Coupling:           CouplingGEM,
+		Force:              false,
+		Routing:            RoutingAffinity,
+		BufferPages:        200,
+		Warmup:             5 * time.Second,
+		Measure:            20 * time.Second,
+		Seed:               1,
+	}
+}
+
+// DefaultTraceConfig returns the section 4.6 configuration: 50 TPS per
+// node, buffer 1000 pages, NOFORCE.
+func DefaultTraceConfig(nodes int, trace *workload.Trace) Config {
+	return Config{
+		Nodes:              nodes,
+		ArrivalRatePerNode: 50,
+		Coupling:           CouplingGEM,
+		Force:              false,
+		Routing:            RoutingAffinity,
+		BufferPages:        1000,
+		Workload:           WorkloadConfig{Trace: trace},
+		Warmup:             5 * time.Second,
+		Measure:            20 * time.Second,
+		Seed:               1,
+	}
+}
+
+// validate checks the configuration.
+func (c *Config) validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("core: Nodes must be positive, got %d", c.Nodes)
+	case c.ArrivalRatePerNode <= 0:
+		return fmt.Errorf("core: ArrivalRatePerNode must be positive, got %v", c.ArrivalRatePerNode)
+	case c.Coupling != CouplingGEM && c.Coupling != CouplingPCL && c.Coupling != CouplingLockEngine:
+		return fmt.Errorf("core: invalid coupling %v", c.Coupling)
+	case c.Coupling == CouplingLockEngine && !c.Force:
+		return fmt.Errorf("core: the lock engine baseline uses FORCE update propagation")
+	case c.Routing != RoutingRandom && c.Routing != RoutingAffinity && c.Routing != RoutingLoadAware:
+		return fmt.Errorf("core: invalid routing %v", c.Routing)
+	case c.BufferPages <= 0:
+		return fmt.Errorf("core: BufferPages must be positive, got %d", c.BufferPages)
+	case c.Measure <= 0:
+		return fmt.Errorf("core: Measure must be positive, got %v", c.Measure)
+	case c.Warmup < 0:
+		return fmt.Errorf("core: Warmup must be non-negative, got %v", c.Warmup)
+	case c.Workload.DebitCredit != nil && c.Workload.Trace != nil:
+		return fmt.Errorf("core: set at most one of Workload.DebitCredit and Workload.Trace")
+	case c.ClosedLoop != nil && c.ClosedLoop.TerminalsPerNode <= 0:
+		return fmt.Errorf("core: ClosedLoop.TerminalsPerNode must be positive")
+	case c.GlobalLogMerge && !c.LogInGEM:
+		return fmt.Errorf("core: GlobalLogMerge requires LogInGEM")
+	}
+	return nil
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gemsim/internal/model"
+	"gemsim/internal/workload"
+)
+
+// ConfigFile is the JSON representation of a Config, for driving the
+// simulator from declarative experiment files. All durations are
+// strings in Go syntax ("16s", "250ms"); enums are lower-case names.
+type ConfigFile struct {
+	Nodes              int     `json:"nodes"`
+	ArrivalRatePerNode float64 `json:"arrivalRatePerNode,omitempty"`
+	Coupling           string  `json:"coupling"` // "gem", "pcl", "lockengine"
+	Force              bool    `json:"force,omitempty"`
+	Routing            string  `json:"routing"` // "random", "affinity"
+	BufferPages        int     `json:"bufferPages,omitempty"`
+
+	// TraceFile switches to trace-driven simulation.
+	TraceFile string `json:"traceFile,omitempty"`
+
+	// FileMedium maps file names to media: "disk", "vcache",
+	// "nvcache", "gem", "gemwb".
+	FileMedium     map[string]string `json:"fileMedium,omitempty"`
+	DiskCachePages map[string]int    `json:"diskCachePages,omitempty"`
+	LogInGEM       bool              `json:"logInGEM,omitempty"`
+	GlobalLogMerge bool              `json:"globalLogMerge,omitempty"`
+	GEMMessaging   bool              `json:"gemMessaging,omitempty"`
+
+	ClosedLoopTerminals int    `json:"closedLoopTerminals,omitempty"`
+	ClosedLoopThinkTime string `json:"closedLoopThinkTime,omitempty"`
+
+	Warmup  string `json:"warmup,omitempty"`
+	Measure string `json:"measure,omitempty"`
+
+	Seed            int64 `json:"seed,omitempty"`
+	CheckInvariants bool  `json:"checkInvariants,omitempty"`
+}
+
+// ParseMedium converts a medium name to its model constant.
+func ParseMedium(s string) (model.Medium, error) {
+	switch strings.ToLower(s) {
+	case "disk":
+		return model.MediumDisk, nil
+	case "vcache":
+		return model.MediumDiskCacheVolatile, nil
+	case "nvcache":
+		return model.MediumDiskCacheNV, nil
+	case "gem":
+		return model.MediumGEM, nil
+	case "gemwb":
+		return model.MediumGEMWriteBuffer, nil
+	case "gemcache":
+		return model.MediumGEMCache, nil
+	default:
+		return 0, fmt.Errorf("core: unknown medium %q (want disk, vcache, nvcache, gem, gemwb or gemcache)", s)
+	}
+}
+
+// ParseCoupling converts a coupling name to its constant.
+func ParseCoupling(s string) (Coupling, error) {
+	switch strings.ToLower(s) {
+	case "gem":
+		return CouplingGEM, nil
+	case "pcl":
+		return CouplingPCL, nil
+	case "le", "lockengine":
+		return CouplingLockEngine, nil
+	default:
+		return 0, fmt.Errorf("core: unknown coupling %q (want gem, pcl or lockengine)", s)
+	}
+}
+
+// ParseRouting converts a routing name to its constant.
+func ParseRouting(s string) (Routing, error) {
+	switch strings.ToLower(s) {
+	case "random":
+		return RoutingRandom, nil
+	case "affinity":
+		return RoutingAffinity, nil
+	case "loadaware":
+		return RoutingLoadAware, nil
+	default:
+		return 0, fmt.Errorf("core: unknown routing %q (want random, affinity or loadaware)", s)
+	}
+}
+
+// ToConfig materializes the file into a runnable Config. Trace files
+// are loaded from disk.
+func (f *ConfigFile) ToConfig() (Config, error) {
+	cfg := DefaultDebitCreditConfig(maxInt(f.Nodes, 1))
+	if f.TraceFile != "" {
+		trace, err := workload.ReadTraceFile(f.TraceFile)
+		if err != nil {
+			return Config{}, err
+		}
+		cfg = DefaultTraceConfig(maxInt(f.Nodes, 1), trace)
+	}
+	if f.ArrivalRatePerNode > 0 {
+		cfg.ArrivalRatePerNode = f.ArrivalRatePerNode
+	}
+	if f.Coupling != "" {
+		c, err := ParseCoupling(f.Coupling)
+		if err != nil {
+			return Config{}, err
+		}
+		cfg.Coupling = c
+	}
+	if f.Routing != "" {
+		r, err := ParseRouting(f.Routing)
+		if err != nil {
+			return Config{}, err
+		}
+		cfg.Routing = r
+	}
+	cfg.Force = f.Force
+	if f.BufferPages > 0 {
+		cfg.BufferPages = f.BufferPages
+	}
+	if len(f.FileMedium) > 0 {
+		cfg.FileMedium = make(map[string]model.Medium, len(f.FileMedium))
+		for name, ms := range f.FileMedium {
+			m, err := ParseMedium(ms)
+			if err != nil {
+				return Config{}, err
+			}
+			cfg.FileMedium[name] = m
+		}
+	}
+	if len(f.DiskCachePages) > 0 {
+		cfg.DiskCachePages = f.DiskCachePages
+	}
+	cfg.LogInGEM = f.LogInGEM
+	cfg.GlobalLogMerge = f.GlobalLogMerge
+	cfg.GEMMessaging = f.GEMMessaging
+	if f.ClosedLoopTerminals > 0 {
+		think := time.Second
+		if f.ClosedLoopThinkTime != "" {
+			var err error
+			think, err = time.ParseDuration(f.ClosedLoopThinkTime)
+			if err != nil {
+				return Config{}, fmt.Errorf("core: closedLoopThinkTime: %w", err)
+			}
+		}
+		cfg.ClosedLoop = &ClosedLoopConfig{TerminalsPerNode: f.ClosedLoopTerminals, ThinkTime: think}
+	}
+	if f.Warmup != "" {
+		d, err := time.ParseDuration(f.Warmup)
+		if err != nil {
+			return Config{}, fmt.Errorf("core: warmup: %w", err)
+		}
+		cfg.Warmup = d
+	}
+	if f.Measure != "" {
+		d, err := time.ParseDuration(f.Measure)
+		if err != nil {
+			return Config{}, fmt.Errorf("core: measure: %w", err)
+		}
+		cfg.Measure = d
+	}
+	if f.Seed != 0 {
+		cfg.Seed = f.Seed
+	}
+	cfg.CheckInvariants = f.CheckInvariants
+	return cfg, nil
+}
+
+// LoadConfigFile reads a JSON configuration from path.
+func LoadConfigFile(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, err
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var f ConfigFile
+	if err := dec.Decode(&f); err != nil {
+		return Config{}, fmt.Errorf("core: parse %s: %w", path, err)
+	}
+	return f.ToConfig()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSmokeGEM runs a small closely coupled configuration end to end
+// with the coherency oracle enabled.
+func TestSmokeGEM(t *testing.T) {
+	cfg := DefaultDebitCreditConfig(2)
+	cfg.Warmup = time.Second
+	cfg.Measure = 3 * time.Second
+	cfg.Routing = RoutingRandom
+	cfg.CheckInvariants = true
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &rep.Metrics
+	t.Logf("%v", rep)
+	t.Logf("hit ratios: %v", m.BufferHitRatio)
+	t.Logf("disk util: %v", m.DiskUtilization)
+	t.Logf("gem util: %v entry=%d page=%d", m.GEMUtilization, m.GEMEntryAcc, m.GEMPageAcc)
+	if m.Commits == 0 {
+		t.Fatal("no transactions committed")
+	}
+	if m.Throughput < 150 || m.Throughput > 250 {
+		t.Errorf("throughput %v, want ~200", m.Throughput)
+	}
+	if m.MeanResponseTime <= 0 || m.MeanResponseTime > 500*time.Millisecond {
+		t.Errorf("mean RT %v out of plausible range", m.MeanResponseTime)
+	}
+}
+
+// TestSmokePCL runs a small loosely coupled configuration with FORCE.
+func TestSmokePCL(t *testing.T) {
+	cfg := DefaultDebitCreditConfig(2)
+	cfg.Warmup = time.Second
+	cfg.Measure = 3 * time.Second
+	cfg.Coupling = CouplingPCL
+	cfg.Force = true
+	cfg.Routing = RoutingRandom
+	cfg.CheckInvariants = true
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &rep.Metrics
+	t.Logf("%v", rep)
+	t.Logf("local lock share: %v msgs: %d/%d", m.LocalLockShare, m.ShortMessages, m.LongMessages)
+	if m.Commits == 0 {
+		t.Fatal("no transactions committed")
+	}
+	if m.ShortMessages == 0 {
+		t.Error("PCL with random routing must exchange messages")
+	}
+}

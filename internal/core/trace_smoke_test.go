@@ -1,0 +1,39 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"gemsim/internal/workload"
+)
+
+func TestTraceSmokeRun(t *testing.T) {
+	params := workload.DefaultTraceGenParams(7)
+	params.Transactions = 4000
+	params.TotalPages = 20000
+	params.AdHocTxns = 3
+	params.LargestRefs = 3000
+	trace, err := workload.GenerateTrace(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := trace.Stats()
+	t.Logf("trace: %+v", st)
+	for _, coupling := range []Coupling{CouplingGEM, CouplingPCL} {
+		for _, routing := range []Routing{RoutingRandom, RoutingAffinity} {
+			cfg := DefaultTraceConfig(2, trace)
+			cfg.Coupling = coupling
+			cfg.Routing = routing
+			cfg.Warmup = time.Second
+			cfg.Measure = 4 * time.Second
+			cfg.CheckInvariants = true
+			rep, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%v %v: %v", coupling, routing, err)
+			}
+			t.Logf("%v normRT=%v local=%.2f deadlocks=%d aborts=%d", rep,
+				rep.Metrics.NormalizedResponseTime, rep.Metrics.LocalLockShare,
+				rep.Metrics.Deadlocks, rep.Metrics.Aborts)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Package cpusrv models the CPU complex of a processing node: a set of
+// identical processors served FCFS, with service demands expressed in
+// instructions (Table 4.1 gives 4 processors of 10 MIPS per node).
+package cpusrv
+
+import (
+	"time"
+
+	"gemsim/internal/sim"
+)
+
+// CPU is the processor pool of one node.
+type CPU struct {
+	res  *sim.Resource
+	mips float64
+
+	instructions float64
+}
+
+// New creates a CPU pool with the given number of processors and MIPS
+// rating per processor.
+func New(env *sim.Env, name string, processors int, mips float64) *CPU {
+	if processors <= 0 || mips <= 0 {
+		panic("cpusrv: processors and MIPS must be positive")
+	}
+	return &CPU{res: sim.NewResource(env, name, processors), mips: mips}
+}
+
+// ServiceTime converts an instruction count to processing time on one
+// processor.
+func (c *CPU) ServiceTime(instructions float64) time.Duration {
+	return time.Duration(instructions / c.mips * float64(time.Microsecond))
+}
+
+// Exec runs the given number of instructions on one processor,
+// queueing FCFS if all processors are busy.
+func (c *CPU) Exec(p *sim.Proc, instructions float64) {
+	if instructions <= 0 {
+		return
+	}
+	c.instructions += instructions
+	c.res.Use(p, c.ServiceTime(instructions))
+}
+
+// Acquire claims one processor without releasing it; used for
+// synchronous GEM accesses during which the CPU stays busy.
+func (c *CPU) Acquire(p *sim.Proc) { c.res.Acquire(p) }
+
+// Release frees a processor claimed with Acquire.
+func (c *CPU) Release() { c.res.Release() }
+
+// ExecHolding charges instructions while a processor is already held
+// via Acquire.
+func (c *CPU) ExecHolding(p *sim.Proc, instructions float64) {
+	if instructions <= 0 {
+		return
+	}
+	c.instructions += instructions
+	p.Wait(c.ServiceTime(instructions))
+}
+
+// Utilization returns mean processor utilization since the last
+// ResetStats.
+func (c *CPU) Utilization() float64 { return c.res.Utilization() }
+
+// BusySeconds returns accumulated processor-busy seconds.
+func (c *CPU) BusySeconds() float64 { return c.res.BusySeconds() }
+
+// MeanWait returns the mean CPU queueing delay per request.
+func (c *CPU) MeanWait() time.Duration { return c.res.MeanWait() }
+
+// Instructions returns the total instructions charged since the last
+// ResetStats.
+func (c *CPU) Instructions() float64 { return c.instructions }
+
+// ResetStats discards accumulated statistics.
+func (c *CPU) ResetStats() {
+	c.res.ResetStats()
+	c.instructions = 0
+}

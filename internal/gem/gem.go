@@ -1,0 +1,108 @@
+// Package gem models the Global Extended Memory: a shared, non-volatile
+// semiconductor store with a page interface (tens of microseconds per
+// access) and an entry interface (a few microseconds per access,
+// Compare&Swap semantics) through which all nodes implement the global
+// lock table, exchange pages and keep whole database files resident.
+//
+// GEM accesses are synchronous: the accessing CPU stays busy for the
+// queueing plus access time. The caller therefore holds its CPU server
+// around the Access* calls; this package only models the GEM device
+// itself (a single FCFS server by default, as in the paper).
+package gem
+
+import (
+	"time"
+
+	"gemsim/internal/model"
+	"gemsim/internal/sim"
+)
+
+// Params configures the GEM device.
+type Params struct {
+	// Servers is the number of parallel GEM access ports (1 in the
+	// paper's configuration).
+	Servers int
+	// PageAccess is the mean access time for a page transfer
+	// (50 microseconds in Table 4.1).
+	PageAccess time.Duration
+	// EntryAccess is the mean access time for an entry read or
+	// Compare&Swap write (2 microseconds in Table 4.1).
+	EntryAccess time.Duration
+}
+
+// DefaultParams returns the Table 4.1 GEM settings.
+func DefaultParams() Params {
+	return Params{Servers: 1, PageAccess: 50 * time.Microsecond, EntryAccess: 2 * time.Microsecond}
+}
+
+// GEM is the shared memory device.
+type GEM struct {
+	params Params
+	server *sim.Resource
+
+	pageAccesses  int64
+	entryAccesses int64
+
+	resident map[model.FileID]bool
+}
+
+// New creates a GEM device in the given environment.
+func New(env *sim.Env, params Params) *GEM {
+	if params.Servers <= 0 {
+		params.Servers = 1
+	}
+	return &GEM{
+		params:   params,
+		server:   sim.NewResource(env, "gem", params.Servers),
+		resident: make(map[model.FileID]bool),
+	}
+}
+
+// AllocateFile marks a database file as GEM-resident.
+func (g *GEM) AllocateFile(id model.FileID) { g.resident[id] = true }
+
+// Resident reports whether the file is GEM-resident.
+func (g *GEM) Resident(id model.FileID) bool { return g.resident[id] }
+
+// AccessPage performs one synchronous page read or write. The calling
+// process is delayed by queueing plus the page access time.
+func (g *GEM) AccessPage(p *sim.Proc) {
+	g.pageAccesses++
+	g.server.Use(p, g.params.PageAccess)
+}
+
+// AccessEntry performs one synchronous entry read or Compare&Swap
+// write.
+func (g *GEM) AccessEntry(p *sim.Proc) {
+	g.entryAccesses++
+	g.server.Use(p, g.params.EntryAccess)
+}
+
+// AccessEntries performs n consecutive entry accesses (e.g., read the
+// lock entry, then write it back with Compare&Swap).
+func (g *GEM) AccessEntries(p *sim.Proc, n int) {
+	for i := 0; i < n; i++ {
+		g.AccessEntry(p)
+	}
+}
+
+// Utilization returns the device utilization since the last ResetStats.
+func (g *GEM) Utilization() float64 { return g.server.Utilization() }
+
+// MeanWait returns the mean queueing delay at the device.
+func (g *GEM) MeanWait() time.Duration { return g.server.MeanWait() }
+
+// PageAccesses returns the number of page accesses since the last
+// ResetStats.
+func (g *GEM) PageAccesses() int64 { return g.pageAccesses }
+
+// EntryAccesses returns the number of entry accesses since the last
+// ResetStats.
+func (g *GEM) EntryAccesses() int64 { return g.entryAccesses }
+
+// ResetStats discards accumulated statistics.
+func (g *GEM) ResetStats() {
+	g.server.ResetStats()
+	g.pageAccesses = 0
+	g.entryAccesses = 0
+}

@@ -1,0 +1,114 @@
+package gem
+
+import (
+	"testing"
+	"time"
+
+	"gemsim/internal/sim"
+)
+
+func TestAccessTimes(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Stop()
+	g := New(env, DefaultParams())
+	var pageAt, entryAt sim.Time
+	env.Spawn("u", func(p *sim.Proc) {
+		g.AccessPage(p)
+		pageAt = env.Now()
+		g.AccessEntry(p)
+		entryAt = env.Now()
+	})
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if pageAt != 50*time.Microsecond {
+		t.Fatalf("page access finished at %v, want 50µs", pageAt)
+	}
+	if entryAt != 52*time.Microsecond {
+		t.Fatalf("entry access finished at %v, want 52µs", entryAt)
+	}
+	if g.PageAccesses() != 1 || g.EntryAccesses() != 1 {
+		t.Fatalf("access counts %d/%d", g.PageAccesses(), g.EntryAccesses())
+	}
+}
+
+func TestSingleServerQueueing(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Stop()
+	g := New(env, DefaultParams())
+	var ends []sim.Time
+	for i := 0; i < 3; i++ {
+		env.Spawn("u", func(p *sim.Proc) {
+			g.AccessPage(p)
+			ends = append(ends, env.Now())
+		})
+	}
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	want := []sim.Time{50 * time.Microsecond, 100 * time.Microsecond, 150 * time.Microsecond}
+	for i, w := range want {
+		if ends[i] != w {
+			t.Fatalf("ends %v, want %v", ends, want)
+		}
+	}
+}
+
+func TestAccessEntriesCount(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Stop()
+	g := New(env, DefaultParams())
+	env.Spawn("u", func(p *sim.Proc) { g.AccessEntries(p, 4) })
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if g.EntryAccesses() != 4 {
+		t.Fatalf("entry accesses %d, want 4", g.EntryAccesses())
+	}
+	if env.Now() != 8*time.Microsecond {
+		t.Fatalf("clock %v, want 8µs", env.Now())
+	}
+}
+
+func TestResidentFiles(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Stop()
+	g := New(env, DefaultParams())
+	if g.Resident(1) {
+		t.Fatal("file 1 should not be resident")
+	}
+	g.AllocateFile(1)
+	if !g.Resident(1) {
+		t.Fatal("file 1 should be resident")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Stop()
+	g := New(env, DefaultParams())
+	env.Spawn("u", func(p *sim.Proc) {
+		g.AccessPage(p)
+		g.ResetStats()
+		p.Wait(time.Millisecond)
+	})
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if g.PageAccesses() != 0 {
+		t.Fatalf("page accesses after reset %d", g.PageAccesses())
+	}
+	if u := g.Utilization(); u != 0 {
+		t.Fatalf("utilization after reset %v", u)
+	}
+}
+
+func TestDefaultServerFallback(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Stop()
+	g := New(env, Params{PageAccess: time.Microsecond, EntryAccess: time.Microsecond})
+	env.Spawn("u", func(p *sim.Proc) { g.AccessPage(p) })
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+}

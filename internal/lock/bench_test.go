@@ -1,0 +1,54 @@
+package lock
+
+import (
+	"testing"
+
+	"gemsim/internal/model"
+)
+
+// BenchmarkRequestRelease measures the uncontended lock table fast
+// path.
+func BenchmarkRequestRelease(b *testing.B) {
+	tb := NewTable("bench")
+	o := Owner{Node: 0, Tx: 1}
+	p := model.PageID{File: 1, Page: 42}
+	for i := 0; i < b.N; i++ {
+		tb.Request(p, o, model.LockWrite, nil)
+		tb.Release(p, o)
+	}
+}
+
+// BenchmarkReleaseAll measures commit-time release of a realistic lock
+// set.
+func BenchmarkReleaseAll(b *testing.B) {
+	tb := NewTable("bench")
+	for i := 0; i < b.N; i++ {
+		o := Owner{Node: 0, Tx: TxID(i)}
+		for k := int32(0); k < 8; k++ {
+			tb.Request(model.PageID{File: 1, Page: k}, o, model.LockRead, nil)
+		}
+		tb.ReleaseAll(o)
+	}
+}
+
+// BenchmarkDeadlockDetection measures a waits-for search over a chain
+// of blocked transactions.
+func BenchmarkDeadlockDetection(b *testing.B) {
+	tb := NewTable("bench")
+	d := NewDetector(tb)
+	const chain = 32
+	for i := 0; i < chain; i++ {
+		o := Owner{Node: i % 4, Tx: TxID(i + 1)}
+		tb.Request(model.PageID{File: 1, Page: int32(i)}, o, model.LockWrite, nil)
+		if i > 0 {
+			tb.Request(model.PageID{File: 1, Page: int32(i - 1)}, o, model.LockWrite, nil)
+		}
+	}
+	last := Owner{Node: 0, Tx: TxID(chain)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cycle := d.FindCycle(last); cycle != nil {
+			b.Fatal("chain must not contain a cycle")
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package lock
+
+import (
+	"testing"
+
+	"gemsim/internal/model"
+)
+
+func TestNoCycleWhenWaitingOnFreeChain(t *testing.T) {
+	tb := NewTable("t")
+	d := NewDetector(tb)
+	tb.Request(pg(1), owner(0, 1), model.LockWrite, nil)
+	tb.Request(pg(1), owner(1, 2), model.LockWrite, nil) // waits on t1
+	if cycle := d.FindCycle(owner(1, 2)); cycle != nil {
+		t.Fatalf("false cycle %v", cycle)
+	}
+}
+
+func TestTwoTxnDeadlock(t *testing.T) {
+	tb := NewTable("t")
+	d := NewDetector(tb)
+	tb.Request(pg(1), owner(0, 1), model.LockWrite, nil)
+	tb.Request(pg(2), owner(1, 2), model.LockWrite, nil)
+	tb.Request(pg(2), owner(0, 1), model.LockWrite, nil) // t1 waits on t2
+	tb.Request(pg(1), owner(1, 2), model.LockWrite, nil) // t2 waits on t1 -> cycle
+	cycle := d.FindCycle(owner(1, 2))
+	if cycle == nil {
+		t.Fatal("deadlock not detected")
+	}
+	if v := Victim(cycle); v != owner(1, 2) {
+		t.Fatalf("victim %v, want youngest n1/t2", v)
+	}
+	if d.Cycles() != 1 {
+		t.Fatalf("cycle count %d", d.Cycles())
+	}
+}
+
+func TestThreeTxnDeadlockAcrossTables(t *testing.T) {
+	// PCL-style: locks spread over two GLA tables, global deadlock.
+	ta := NewTable("GLA0")
+	tc := NewTable("GLA1")
+	d := NewDetector(ta, tc)
+	ta.Request(pg(1), owner(0, 1), model.LockWrite, nil)
+	tc.Request(pg(2), owner(1, 2), model.LockWrite, nil)
+	ta.Request(pg(3), owner(2, 3), model.LockWrite, nil)
+	tc.Request(pg(2), owner(0, 1), model.LockWrite, nil) // t1 -> t2
+	ta.Request(pg(3), owner(1, 2), model.LockWrite, nil) // t2 -> t3
+	ta.Request(pg(1), owner(2, 3), model.LockWrite, nil) // t3 -> t1, cycle
+	cycle := d.FindCycle(owner(2, 3))
+	if cycle == nil {
+		t.Fatal("cross-table deadlock not detected")
+	}
+	if len(cycle) != 3 {
+		t.Fatalf("cycle %v, want 3 members", cycle)
+	}
+	if v := Victim(cycle); v != owner(2, 3) {
+		t.Fatalf("victim %v, want youngest", v)
+	}
+}
+
+func TestUpgradeDeadlock(t *testing.T) {
+	// Two readers both upgrading: the classic conversion deadlock.
+	tb := NewTable("t")
+	d := NewDetector(tb)
+	tb.Request(pg(1), owner(0, 1), model.LockRead, nil)
+	tb.Request(pg(1), owner(1, 2), model.LockRead, nil)
+	tb.Request(pg(1), owner(0, 1), model.LockWrite, nil) // upgrade waits
+	tb.Request(pg(1), owner(1, 2), model.LockWrite, nil) // upgrade waits -> cycle
+	cycle := d.FindCycle(owner(1, 2))
+	if cycle == nil {
+		t.Fatal("conversion deadlock not detected")
+	}
+}
+
+func TestCycleResolutionByAbort(t *testing.T) {
+	tb := NewTable("t")
+	d := NewDetector(tb)
+	tb.Request(pg(1), owner(0, 1), model.LockWrite, nil)
+	tb.Request(pg(2), owner(1, 2), model.LockWrite, nil)
+	tb.Request(pg(2), owner(0, 1), model.LockWrite, nil)
+	tb.Request(pg(1), owner(1, 2), model.LockWrite, nil)
+	cycle := d.FindCycle(owner(0, 1))
+	if cycle == nil {
+		t.Fatal("no cycle")
+	}
+	v := Victim(cycle)
+	tb.CancelWaiting(v)
+	granted := tb.ReleaseAll(v)
+	if len(granted) == 0 {
+		t.Fatal("aborting the victim must unblock the survivor")
+	}
+	if c := d.FindCycle(owner(0, 1)); c != nil {
+		t.Fatalf("cycle persists after abort: %v", c)
+	}
+}
+
+func TestAddTable(t *testing.T) {
+	d := NewDetector()
+	tb := NewTable("t")
+	d.AddTable(tb)
+	tb.Request(pg(1), owner(0, 1), model.LockWrite, nil)
+	if cycle := d.FindCycle(owner(0, 1)); cycle != nil {
+		t.Fatal("holder without waits cannot be in a cycle")
+	}
+}

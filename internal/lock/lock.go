@@ -1,0 +1,323 @@
+// Package lock implements the strict two-phase page lock tables used by
+// both concurrency control protocols of the study: the global lock
+// table (GLT) held in GEM for close coupling, and the per-GLA-node
+// tables of the primary copy protocol for loose coupling.
+//
+// The package is a pure data structure: granting, queueing, upgrades and
+// waits-for-graph deadlock detection are modelled here, while all
+// timing (GEM entry accesses, messages, CPU overhead) is charged by the
+// protocol layer that drives it.
+package lock
+
+import (
+	"fmt"
+
+	"gemsim/internal/model"
+)
+
+// TxID identifies a transaction instance system-wide. Larger ids are
+// younger transactions; deadlock resolution aborts the youngest member
+// of a cycle.
+type TxID int64
+
+// Owner identifies a lock owner: a transaction instance running at a
+// node.
+type Owner struct {
+	Node int
+	Tx   TxID
+}
+
+// String formats the owner as node/tx.
+func (o Owner) String() string { return fmt.Sprintf("n%d/t%d", o.Node, o.Tx) }
+
+// Request is one lock request in a table. While waiting it carries an
+// opaque continuation (Data) that the protocol layer uses to resume or
+// notify the requester once the request is granted or aborted.
+type Request struct {
+	Owner Owner
+	Page  model.PageID
+	Mode  model.LockMode
+	Data  any
+
+	granted bool
+	upgrade bool // waiting R->W conversion of an already granted R lock
+}
+
+// Granted reports whether the request has been granted.
+func (r *Request) Granted() bool { return r.granted }
+
+// entry is the lock state of one page.
+type entry struct {
+	granted []*Request
+	queue   []*Request
+}
+
+// Table is a strict-2PL page lock table with FIFO queueing and lock
+// upgrades.
+type Table struct {
+	name    string
+	entries map[model.PageID]*entry
+	// held tracks every granted request per owner for ReleaseAll.
+	held map[Owner][]*Request
+	// waiting maps each owner to its single outstanding waiting
+	// request (strict 2PL: a transaction waits for one lock at a
+	// time).
+	waiting map[Owner]*Request
+
+	requests  int64
+	conflicts int64
+}
+
+// NewTable creates an empty lock table.
+func NewTable(name string) *Table {
+	return &Table{
+		name:    name,
+		entries: make(map[model.PageID]*entry),
+		held:    make(map[Owner][]*Request),
+		waiting: make(map[Owner]*Request),
+	}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Requests returns the number of lock requests processed.
+func (t *Table) Requests() int64 { return t.requests }
+
+// Conflicts returns the number of requests that had to wait.
+func (t *Table) Conflicts() int64 { return t.conflicts }
+
+// holds returns the granted request of owner on page, or nil.
+func (e *entry) holds(o Owner) *Request {
+	for _, r := range e.granted {
+		if r.Owner == o {
+			return r
+		}
+	}
+	return nil
+}
+
+// compatibleWithGranted reports whether a request by o in mode m is
+// compatible with all granted locks other than o's own.
+func (e *entry) compatibleWithGranted(o Owner, m model.LockMode) bool {
+	for _, r := range e.granted {
+		if r.Owner == o {
+			continue
+		}
+		if !m.Compatible(r.Mode) {
+			return false
+		}
+	}
+	return true
+}
+
+// Request asks for a lock on page in the given mode. If the lock is
+// granted immediately it returns (req, true); otherwise the request is
+// queued FIFO and returned with granted == false. data is kept on the
+// request for the protocol layer's continuation.
+//
+// Re-requests by a holder are idempotent: holding W satisfies R and W;
+// holding R satisfies R; holding R and requesting W is an upgrade that
+// is granted immediately if o is the sole holder and queued with
+// priority otherwise.
+func (t *Table) Request(page model.PageID, o Owner, m model.LockMode, data any) (*Request, bool) {
+	t.requests++
+	e := t.entries[page]
+	if e == nil {
+		e = &entry{}
+		t.entries[page] = e
+	}
+	if own := e.holds(o); own != nil {
+		if own.Mode == model.LockWrite || m == model.LockRead {
+			return own, true // already sufficient
+		}
+		// Upgrade R -> W.
+		if len(e.granted) == 1 {
+			own.Mode = model.LockWrite
+			return own, true
+		}
+		t.conflicts++
+		up := &Request{Owner: o, Page: page, Mode: model.LockWrite, Data: data, upgrade: true}
+		// Upgrades go to the queue head: they precede new requests to
+		// bound starvation (two simultaneous upgraders deadlock and
+		// are resolved by the detector).
+		e.queue = append([]*Request{up}, e.queue...)
+		t.waiting[o] = up
+		return up, false
+	}
+	if len(e.queue) == 0 && e.compatibleWithGranted(o, m) {
+		r := &Request{Owner: o, Page: page, Mode: m, Data: data, granted: true}
+		e.granted = append(e.granted, r)
+		t.held[o] = append(t.held[o], r)
+		return r, true
+	}
+	t.conflicts++
+	r := &Request{Owner: o, Page: page, Mode: m, Data: data}
+	e.queue = append(e.queue, r)
+	t.waiting[o] = r
+	return r, false
+}
+
+// promote grants queued requests that have become compatible, in FIFO
+// order, stopping at the first request that must keep waiting. It
+// returns the newly granted requests.
+func (t *Table) promote(page model.PageID, e *entry) []*Request {
+	var grantedNow []*Request
+	for len(e.queue) > 0 {
+		head := e.queue[0]
+		if head.upgrade {
+			if len(e.granted) == 1 && e.granted[0].Owner == head.Owner {
+				e.granted[0].Mode = model.LockWrite
+				head.granted = true
+				e.queue = e.queue[1:]
+				delete(t.waiting, head.Owner)
+				grantedNow = append(grantedNow, head)
+				continue
+			}
+			break
+		}
+		if !e.compatibleWithGranted(head.Owner, head.Mode) {
+			break
+		}
+		head.granted = true
+		e.granted = append(e.granted, head)
+		t.held[head.Owner] = append(t.held[head.Owner], head)
+		e.queue = e.queue[1:]
+		delete(t.waiting, head.Owner)
+		grantedNow = append(grantedNow, head)
+		if head.Mode == model.LockWrite {
+			break
+		}
+	}
+	if len(e.queue) == 0 && len(e.granted) == 0 {
+		delete(t.entries, page)
+	}
+	return grantedNow
+}
+
+// Release drops o's lock on page and returns the requests that became
+// granted as a result.
+func (t *Table) Release(page model.PageID, o Owner) []*Request {
+	e := t.entries[page]
+	if e == nil {
+		return nil
+	}
+	for i, r := range e.granted {
+		if r.Owner == o {
+			e.granted = append(e.granted[:i], e.granted[i+1:]...)
+			t.removeHeld(o, r)
+			break
+		}
+	}
+	return t.promote(page, e)
+}
+
+// ReleaseAll drops every lock held by o (commit phase 2 or abort) and
+// returns all newly granted requests. A waiting request of o, if any,
+// is cancelled as well.
+func (t *Table) ReleaseAll(o Owner) []*Request {
+	t.CancelWaiting(o)
+	reqs := t.held[o]
+	delete(t.held, o)
+	var grantedNow []*Request
+	for _, r := range reqs {
+		e := t.entries[r.Page]
+		if e == nil {
+			continue
+		}
+		for i, g := range e.granted {
+			if g.Owner == o {
+				e.granted = append(e.granted[:i], e.granted[i+1:]...)
+				break
+			}
+		}
+		grantedNow = append(grantedNow, t.promote(r.Page, e)...)
+	}
+	return grantedNow
+}
+
+// CancelWaiting removes o's waiting request, if any, and returns
+// requests that became granted because the cancellation unblocked the
+// queue.
+func (t *Table) CancelWaiting(o Owner) []*Request {
+	w := t.waiting[o]
+	if w == nil {
+		return nil
+	}
+	delete(t.waiting, o)
+	e := t.entries[w.Page]
+	if e == nil {
+		return nil
+	}
+	for i, q := range e.queue {
+		if q == w {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			break
+		}
+	}
+	return t.promote(w.Page, e)
+}
+
+// removeHeld deletes one granted request from the per-owner index.
+func (t *Table) removeHeld(o Owner, r *Request) {
+	hs := t.held[o]
+	for i, h := range hs {
+		if h == r {
+			hs = append(hs[:i], hs[i+1:]...)
+			break
+		}
+	}
+	if len(hs) == 0 {
+		delete(t.held, o)
+	} else {
+		t.held[o] = hs
+	}
+}
+
+// Held returns the pages o currently holds locks on, with their modes.
+func (t *Table) Held(o Owner) []*Request {
+	hs := t.held[o]
+	out := make([]*Request, len(hs))
+	copy(out, hs)
+	return out
+}
+
+// HoldsLock reports whether o holds a lock on page in at least mode m.
+func (t *Table) HoldsLock(page model.PageID, o Owner, m model.LockMode) bool {
+	e := t.entries[page]
+	if e == nil {
+		return false
+	}
+	r := e.holds(o)
+	return r != nil && (r.Mode == model.LockWrite || m == model.LockRead)
+}
+
+// Waiting returns o's outstanding waiting request, or nil.
+func (t *Table) Waiting(o Owner) *Request { return t.waiting[o] }
+
+// blockers returns the owners a waiting request waits for: all
+// incompatible granted holders plus incompatible requests queued ahead.
+func (t *Table) blockers(w *Request) []Owner {
+	e := t.entries[w.Page]
+	if e == nil {
+		return nil
+	}
+	var out []Owner
+	for _, g := range e.granted {
+		if g.Owner == w.Owner {
+			continue
+		}
+		if !w.Mode.Compatible(g.Mode) {
+			out = append(out, g.Owner)
+		}
+	}
+	for _, q := range e.queue {
+		if q == w {
+			break
+		}
+		if q.Owner != w.Owner && (!w.Mode.Compatible(q.Mode) || !q.Mode.Compatible(w.Mode)) {
+			out = append(out, q.Owner)
+		}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func validDB() Database {
+	return Database{Files: []File{
+		{ID: 1, Name: "A", Pages: 10, BlockingFactor: 10, Locking: true, Medium: MediumDisk},
+		{ID: 2, Name: "B", BlockingFactor: 20, AppendOnly: true, Medium: MediumDisk},
+	}}
+}
+
+func TestDatabaseValidateOK(t *testing.T) {
+	db := validDB()
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDatabaseValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Database)
+	}{
+		{"duplicate id", func(d *Database) { d.Files[1].ID = 1 }},
+		{"duplicate name", func(d *Database) { d.Files[1].Name = "A" }},
+		{"empty name", func(d *Database) { d.Files[0].Name = "" }},
+		{"zero blocking factor", func(d *Database) { d.Files[0].BlockingFactor = 0 }},
+		{"negative pages", func(d *Database) { d.Files[0].Pages = -1 }},
+		{"no pages non-append", func(d *Database) { d.Files[0].Pages = 0 }},
+		{"bad medium", func(d *Database) { d.Files[0].Medium = 0 }},
+	}
+	for _, tc := range cases {
+		db := validDB()
+		tc.mutate(&db)
+		if err := db.Validate(); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestDatabaseLookups(t *testing.T) {
+	db := validDB()
+	if f := db.File(1); f == nil || f.Name != "A" {
+		t.Fatal("File(1) lookup failed")
+	}
+	if f := db.File(99); f != nil {
+		t.Fatal("File(99) should be nil")
+	}
+	if f := db.FileByName("B"); f == nil || f.ID != 2 {
+		t.Fatal("FileByName(B) lookup failed")
+	}
+	if f := db.FileByName("Z"); f != nil {
+		t.Fatal("FileByName(Z) should be nil")
+	}
+}
+
+func TestLockModeCompatibility(t *testing.T) {
+	if !LockRead.Compatible(LockRead) {
+		t.Fatal("R-R must be compatible")
+	}
+	if LockRead.Compatible(LockWrite) || LockWrite.Compatible(LockRead) || LockWrite.Compatible(LockWrite) {
+		t.Fatal("any combination involving W must conflict")
+	}
+}
+
+func TestLockModeCompatibilitySymmetryProperty(t *testing.T) {
+	modes := []LockMode{LockRead, LockWrite}
+	err := quick.Check(func(i, j uint8) bool {
+		a, b := modes[i%2], modes[j%2]
+		return a.Compatible(b) == b.Compatible(a)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxnIsUpdate(t *testing.T) {
+	ro := Txn{Refs: []Ref{{Page: PageID{File: 1, Page: 0}}}}
+	if ro.IsUpdate() {
+		t.Fatal("read-only txn misreported")
+	}
+	up := Txn{Refs: []Ref{{Page: PageID{File: 1, Page: 0}}, {Page: PageID{File: 1, Page: 1}, Write: true}}}
+	if !up.IsUpdate() {
+		t.Fatal("update txn misreported")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if s := (PageID{File: 3, Page: 7}).String(); s != "3:7" {
+		t.Fatalf("PageID string %q", s)
+	}
+	if LockRead.String() != "R" || LockWrite.String() != "W" {
+		t.Fatal("lock mode strings")
+	}
+	for _, m := range []Medium{MediumDisk, MediumDiskCacheVolatile, MediumDiskCacheNV, MediumGEM, Medium(99)} {
+		if m.String() == "" {
+			t.Fatal("medium string empty")
+		}
+	}
+}

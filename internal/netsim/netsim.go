@@ -1,0 +1,212 @@
+// Package netsim models the communication subsystem of the loosely /
+// closely coupled complex: asynchronous message passing over an
+// interconnection network with a simple bandwidth delay model, and CPU
+// overhead for the send and receive protocol processing on both nodes
+// (5000 instructions per send or receive of a short control message,
+// 8000 for a long message carrying a 4 KB page, per Table 4.1).
+package netsim
+
+import (
+	"time"
+
+	"gemsim/internal/cpusrv"
+	"gemsim/internal/sim"
+)
+
+// Class distinguishes short control messages from long page-carrying
+// messages.
+type Class int
+
+const (
+	// Short is a control message (lock request/grant/release, ~100 B).
+	Short Class = iota + 1
+	// Long is a page transfer message (~4 KB).
+	Long
+)
+
+// String returns "short" or "long".
+func (c Class) String() string {
+	if c == Short {
+		return "short"
+	}
+	return "long"
+}
+
+// Params configures the network.
+type Params struct {
+	// ShortInstr is the CPU overhead in instructions for one send or
+	// one receive of a short message.
+	ShortInstr float64
+	// LongInstr is the CPU overhead for one send or receive of a long
+	// message.
+	LongInstr float64
+	// ShortBytes and LongBytes are the message sizes used by the
+	// bandwidth delay model.
+	ShortBytes int
+	LongBytes  int
+	// BandwidthBytesPerSec is the network transmission bandwidth.
+	BandwidthBytesPerSec float64
+	// WireLatency is an additional fixed propagation delay.
+	WireLatency time.Duration
+}
+
+// DefaultParams returns the Table 4.1 communication settings.
+func DefaultParams() Params {
+	return Params{
+		ShortInstr:           5000,
+		LongInstr:            8000,
+		ShortBytes:           100,
+		LongBytes:            4096,
+		BandwidthBytesPerSec: 10 * 1000 * 1000,
+	}
+}
+
+// Handler processes a delivered message at the receiving node. It runs
+// in a dedicated process after the receive CPU overhead was charged.
+type Handler func(p *sim.Proc, from int, msg any)
+
+// SyncStore is a synchronously accessible shared store (GEM) through
+// which messages can be exchanged instead of the interconnection
+// network ("all messages are exchanged across the GEM", section 2 of
+// the paper). The CPU stays busy for the store access.
+type SyncStore interface {
+	AccessEntry(p *sim.Proc)
+	AccessPage(p *sim.Proc)
+}
+
+// StoreTransport configures storage-based message exchange.
+type StoreTransport struct {
+	// Store is the shared memory the messages travel through.
+	Store SyncStore
+	// ShortInstr and LongInstr are the CPU overheads per send or
+	// receive operation; storage-based communication avoids the
+	// network protocol stack, so they are far below the 5000/8000
+	// instructions of message passing.
+	ShortInstr float64
+	LongInstr  float64
+}
+
+type endpoint struct {
+	cpu     *cpusrv.CPU
+	handler Handler
+}
+
+// Network connects the nodes.
+type Network struct {
+	env       *sim.Env
+	params    Params
+	endpoints []endpoint
+	transport *StoreTransport
+
+	shortSent int64
+	longSent  int64
+}
+
+// New creates a network for the given number of nodes. Each node must
+// Register before messages are sent to it.
+func New(env *sim.Env, params Params, nodes int) *Network {
+	return &Network{env: env, params: params, endpoints: make([]endpoint, nodes)}
+}
+
+// Register attaches a node's CPU and message handler.
+func (n *Network) Register(node int, cpu *cpusrv.CPU, h Handler) {
+	n.endpoints[node] = endpoint{cpu: cpu, handler: h}
+}
+
+// UseStore switches the network to storage-based message exchange
+// through the given shared store.
+func (n *Network) UseStore(t *StoreTransport) { n.transport = t }
+
+// transit returns the transmission delay for a message class.
+func (n *Network) transit(c Class) time.Duration {
+	bytes := n.params.ShortBytes
+	if c == Long {
+		bytes = n.params.LongBytes
+	}
+	if n.params.BandwidthBytesPerSec <= 0 {
+		return n.params.WireLatency
+	}
+	d := time.Duration(float64(bytes) / n.params.BandwidthBytesPerSec * float64(time.Second))
+	return d + n.params.WireLatency
+}
+
+// sendInstr returns the per-send (and per-receive) CPU overhead.
+func (n *Network) sendInstr(c Class) float64 {
+	if c == Long {
+		return n.params.LongInstr
+	}
+	return n.params.ShortInstr
+}
+
+// Send transmits msg from node `from` to node `to`. The calling process
+// is charged the send CPU overhead inline; delivery is asynchronous:
+// after the transmission delay, a fresh process at the receiver is
+// charged the receive overhead and then runs the receiver's handler.
+func (n *Network) Send(p *sim.Proc, from, to int, c Class, msg any) {
+	if c == Long {
+		n.longSent++
+	} else {
+		n.shortSent++
+	}
+	if n.transport != nil {
+		n.sendViaStore(p, from, to, c, msg)
+		return
+	}
+	n.endpoints[from].cpu.Exec(p, n.sendInstr(c))
+	ep := n.endpoints[to]
+	n.env.After(n.transit(c), func() {
+		n.env.Spawn("recv", func(q *sim.Proc) {
+			ep.cpu.Exec(q, n.sendInstr(c))
+			ep.handler(q, from, msg)
+		})
+	})
+}
+
+// sendViaStore exchanges the message across the shared store: the
+// sender deposits it (entry access for short messages, page access for
+// long ones) with the CPU held, and the receiver reads it out the same
+// way. There is no wire delay; the store's queueing is the only
+// serialization.
+func (n *Network) sendViaStore(p *sim.Proc, from, to int, c Class, msg any) {
+	t := n.transport
+	instr := t.ShortInstr
+	if c == Long {
+		instr = t.LongInstr
+	}
+	sender := n.endpoints[from].cpu
+	sender.Acquire(p)
+	sender.ExecHolding(p, instr)
+	n.storeAccess(p, c)
+	sender.Release()
+	ep := n.endpoints[to]
+	n.env.After(0, func() {
+		n.env.Spawn("recv", func(q *sim.Proc) {
+			ep.cpu.Acquire(q)
+			ep.cpu.ExecHolding(q, instr)
+			n.storeAccess(q, c)
+			ep.cpu.Release()
+			ep.handler(q, from, msg)
+		})
+	})
+}
+
+// storeAccess performs the store operation matching the message class.
+func (n *Network) storeAccess(p *sim.Proc, c Class) {
+	if c == Long {
+		n.transport.Store.AccessPage(p)
+		return
+	}
+	n.transport.Store.AccessEntry(p)
+}
+
+// ShortSent returns the number of short messages sent since ResetStats.
+func (n *Network) ShortSent() int64 { return n.shortSent }
+
+// LongSent returns the number of long messages sent since ResetStats.
+func (n *Network) LongSent() int64 { return n.longSent }
+
+// ResetStats discards message counters.
+func (n *Network) ResetStats() {
+	n.shortSent = 0
+	n.longSent = 0
+}

@@ -1,0 +1,244 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"gemsim/internal/cpusrv"
+	"gemsim/internal/sim"
+)
+
+// harness wires two single-CPU nodes with recording handlers.
+func harness(t *testing.T, params Params) (*sim.Env, *Network, []*cpusrv.CPU, *[]string) {
+	t.Helper()
+	env := sim.NewEnv()
+	n := New(env, params, 2)
+	cpus := []*cpusrv.CPU{
+		cpusrv.New(env, "cpu0", 1, 10),
+		cpusrv.New(env, "cpu1", 1, 10),
+	}
+	var delivered []string
+	for i := 0; i < 2; i++ {
+		i := i
+		n.Register(i, cpus[i], func(p *sim.Proc, from int, msg any) {
+			s, _ := msg.(string)
+			delivered = append(delivered, s)
+			_ = from
+			_ = i
+		})
+	}
+	return env, n, cpus, &delivered
+}
+
+func TestShortMessageTiming(t *testing.T) {
+	env, n, _, delivered := harness(t, DefaultParams())
+	defer env.Stop()
+	var done sim.Time
+	env.Spawn("sender", func(p *sim.Proc) {
+		n.Send(p, 0, 1, Short, "hello")
+	})
+	env.After(10*time.Second, func() {}) // keep calendar alive
+	if err := env.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(*delivered) != 1 || (*delivered)[0] != "hello" {
+		t.Fatalf("delivered %v", *delivered)
+	}
+	// Timing: send CPU 5000 instr @10 MIPS = 500 µs; transit 100 B /
+	// 10 MB/s = 10 µs; recv CPU 500 µs; handler runs at 1010 µs + recv.
+	done = env.Now()
+	_ = done
+	if n.ShortSent() != 1 || n.LongSent() != 0 {
+		t.Fatalf("counts %d/%d", n.ShortSent(), n.LongSent())
+	}
+}
+
+func TestMessageDeliveryDelay(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Stop()
+	n := New(env, DefaultParams(), 2)
+	cpu0 := cpusrv.New(env, "cpu0", 1, 10)
+	cpu1 := cpusrv.New(env, "cpu1", 1, 10)
+	var handlerAt sim.Time
+	n.Register(0, cpu0, func(p *sim.Proc, from int, msg any) {})
+	n.Register(1, cpu1, func(p *sim.Proc, from int, msg any) { handlerAt = env.Now() })
+	env.Spawn("sender", func(p *sim.Proc) { n.Send(p, 0, 1, Short, 1) })
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	// 500 µs send + 10 µs transit + 500 µs receive = 1010 µs.
+	want := 1010 * time.Microsecond
+	if handlerAt != want {
+		t.Fatalf("handler at %v, want %v", handlerAt, want)
+	}
+}
+
+func TestLongMessageDelay(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Stop()
+	n := New(env, DefaultParams(), 2)
+	cpu0 := cpusrv.New(env, "cpu0", 1, 10)
+	cpu1 := cpusrv.New(env, "cpu1", 1, 10)
+	var handlerAt sim.Time
+	n.Register(0, cpu0, func(p *sim.Proc, from int, msg any) {})
+	n.Register(1, cpu1, func(p *sim.Proc, from int, msg any) { handlerAt = env.Now() })
+	env.Spawn("sender", func(p *sim.Proc) { n.Send(p, 0, 1, Long, 1) })
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	// 800 µs send + 409.6 µs transit + 800 µs receive = 2009.6 µs.
+	want := 800*time.Microsecond + time.Duration(4096.0/10e6*1e9) + 800*time.Microsecond
+	if diff := handlerAt - want; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Fatalf("handler at %v, want ~%v", handlerAt, want)
+	}
+	if n.LongSent() != 1 {
+		t.Fatalf("long count %d", n.LongSent())
+	}
+}
+
+func TestSenderChargedInline(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Stop()
+	n := New(env, DefaultParams(), 2)
+	cpu0 := cpusrv.New(env, "cpu0", 1, 10)
+	cpu1 := cpusrv.New(env, "cpu1", 1, 10)
+	n.Register(0, cpu0, func(p *sim.Proc, from int, msg any) {})
+	n.Register(1, cpu1, func(p *sim.Proc, from int, msg any) {})
+	var sendDone sim.Time
+	env.Spawn("sender", func(p *sim.Proc) {
+		n.Send(p, 0, 1, Short, 1)
+		sendDone = env.Now()
+	})
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if sendDone != 500*time.Microsecond {
+		t.Fatalf("send returned at %v, want 500µs (send overhead only)", sendDone)
+	}
+}
+
+func TestWireLatencyAdds(t *testing.T) {
+	params := DefaultParams()
+	params.WireLatency = 3 * time.Millisecond
+	env := sim.NewEnv()
+	defer env.Stop()
+	n := New(env, params, 2)
+	cpu0 := cpusrv.New(env, "cpu0", 1, 10)
+	cpu1 := cpusrv.New(env, "cpu1", 1, 10)
+	var handlerAt sim.Time
+	n.Register(0, cpu0, func(p *sim.Proc, from int, msg any) {})
+	n.Register(1, cpu1, func(p *sim.Proc, from int, msg any) { handlerAt = env.Now() })
+	env.Spawn("sender", func(p *sim.Proc) { n.Send(p, 0, 1, Short, 1) })
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if handlerAt != 4010*time.Microsecond {
+		t.Fatalf("handler at %v, want 4010µs with wire latency", handlerAt)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	env, n, _, _ := harness(t, DefaultParams())
+	defer env.Stop()
+	env.Spawn("sender", func(p *sim.Proc) {
+		n.Send(p, 0, 1, Short, "x")
+		n.Send(p, 0, 1, Long, "y")
+	})
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	n.ResetStats()
+	if n.ShortSent() != 0 || n.LongSent() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Short.String() != "short" || Long.String() != "long" {
+		t.Fatal("class strings")
+	}
+}
+
+// fakeStore counts synchronous store accesses and advances time like a
+// GEM device would.
+type fakeStore struct {
+	env     *sim.Env
+	entries int
+	pages   int
+}
+
+func (f *fakeStore) AccessEntry(p *sim.Proc) { f.entries++; p.Wait(2 * time.Microsecond) }
+func (f *fakeStore) AccessPage(p *sim.Proc)  { f.pages++; p.Wait(50 * time.Microsecond) }
+
+func TestStoreTransportShort(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Stop()
+	n := New(env, DefaultParams(), 2)
+	store := &fakeStore{env: env}
+	n.UseStore(&StoreTransport{Store: store, ShortInstr: 1000, LongInstr: 1500})
+	cpu0 := cpusrv.New(env, "cpu0", 1, 10)
+	cpu1 := cpusrv.New(env, "cpu1", 1, 10)
+	var handlerAt sim.Time
+	n.Register(0, cpu0, func(p *sim.Proc, from int, msg any) {})
+	n.Register(1, cpu1, func(p *sim.Proc, from int, msg any) { handlerAt = env.Now() })
+	env.Spawn("sender", func(p *sim.Proc) { n.Send(p, 0, 1, Short, 1) })
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	// Sender: 100 µs CPU + 2 µs entry; receiver the same; no wire
+	// delay.
+	want := 2 * (100 + 2) * time.Microsecond
+	if handlerAt != want {
+		t.Fatalf("handler at %v, want %v", handlerAt, want)
+	}
+	if store.entries != 2 {
+		t.Fatalf("entry accesses %d, want 2", store.entries)
+	}
+	if n.ShortSent() != 1 {
+		t.Fatalf("short count %d", n.ShortSent())
+	}
+}
+
+func TestStoreTransportLongUsesPageAccess(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Stop()
+	n := New(env, DefaultParams(), 2)
+	store := &fakeStore{env: env}
+	n.UseStore(&StoreTransport{Store: store, ShortInstr: 1000, LongInstr: 1500})
+	cpu0 := cpusrv.New(env, "cpu0", 1, 10)
+	cpu1 := cpusrv.New(env, "cpu1", 1, 10)
+	n.Register(0, cpu0, func(p *sim.Proc, from int, msg any) {})
+	n.Register(1, cpu1, func(p *sim.Proc, from int, msg any) {})
+	env.Spawn("sender", func(p *sim.Proc) { n.Send(p, 0, 1, Long, 1) })
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if store.pages != 2 {
+		t.Fatalf("page accesses %d, want 2", store.pages)
+	}
+}
+
+func TestStoreTransportFasterThanNetwork(t *testing.T) {
+	run := func(useStore bool) sim.Time {
+		env := sim.NewEnv()
+		defer env.Stop()
+		n := New(env, DefaultParams(), 2)
+		if useStore {
+			n.UseStore(&StoreTransport{Store: &fakeStore{env: env}, ShortInstr: 1000, LongInstr: 1500})
+		}
+		cpu0 := cpusrv.New(env, "cpu0", 1, 10)
+		cpu1 := cpusrv.New(env, "cpu1", 1, 10)
+		var at sim.Time
+		n.Register(0, cpu0, func(p *sim.Proc, from int, msg any) {})
+		n.Register(1, cpu1, func(p *sim.Proc, from int, msg any) { at = env.Now() })
+		env.Spawn("sender", func(p *sim.Proc) { n.Send(p, 0, 1, Short, 1) })
+		if err := env.RunUntilIdle(); err != nil {
+			t.Fatal(err)
+		}
+		return at
+	}
+	net, store := run(false), run(true)
+	if store >= net {
+		t.Fatalf("store transport (%v) must beat the network (%v)", store, net)
+	}
+}

@@ -1,0 +1,69 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"gemsim/internal/model"
+)
+
+func gcDB() model.Database {
+	return model.Database{Files: []model.File{
+		{ID: 1, Name: "DATA", Pages: 64, BlockingFactor: 10, Locking: true, Medium: model.MediumGEMCache},
+	}}
+}
+
+func TestGEMCacheServesRepeatedReads(t *testing.T) {
+	gen := &scriptGen{db: gcDB(), txns: []model.Txn{
+		{Type: 0, Refs: []model.Ref{{Page: pgID(1)}, {Page: pgID(2)}, {Page: pgID(3)}}},
+	}}
+	params := testParams(1, CouplingGEM, false)
+	params.BufferPages = 2 // main memory too small: the GEM cache absorbs the re-reads
+	sys, m := runScript(t, params, gen, 50, 2*time.Second)
+	if m.GEMCacheHitRatio < 0.9 {
+		t.Fatalf("GEM cache hit ratio %.2f, want > 0.9 for a re-read working set", m.GEMCacheHitRatio)
+	}
+	// Only the cold misses may touch the disk.
+	if sys.Group(1).Reads() > 10 {
+		t.Fatalf("disk reads %d, want only the cold misses", sys.Group(1).Reads())
+	}
+	if m.MeanResponseTime > 20*time.Millisecond {
+		t.Fatalf("RT %v; GEM-cache hits must stay near CPU speed", m.MeanResponseTime)
+	}
+}
+
+func TestGEMCacheAbsorbsWrites(t *testing.T) {
+	mk := func(medium model.Medium) Metrics {
+		db := gcDB()
+		db.Files[0].Medium = medium
+		gen := &scriptGen{db: db, txns: []model.Txn{
+			{Type: 0, Refs: []model.Ref{{Page: pgID(1), Write: true}}},
+			{Type: 0, Refs: []model.Ref{{Page: pgID(2), Write: true}}},
+		}}
+		_, m := runScript(t, testParams(1, CouplingGEM, true), gen, 40, 2*time.Second)
+		return m
+	}
+	plain := mk(model.MediumDisk)
+	cached := mk(model.MediumGEMCache)
+	if cached.MeanResponseTime >= plain.MeanResponseTime {
+		t.Fatalf("GEM cache (%v) must beat plain disk (%v) under FORCE",
+			cached.MeanResponseTime, plain.MeanResponseTime)
+	}
+}
+
+func TestGEMCacheDestagesDirtyVictims(t *testing.T) {
+	// A cache of 4 pages cycled by writes to 12 pages must destage.
+	db := gcDB()
+	gen := &scriptGen{db: db, txns: []model.Txn{
+		{Type: 0, Refs: []model.Ref{{Page: pgID(1), Write: true}, {Page: pgID(2), Write: true}, {Page: pgID(3), Write: true}}},
+		{Type: 0, Refs: []model.Ref{{Page: pgID(4), Write: true}, {Page: pgID(5), Write: true}, {Page: pgID(6), Write: true}}},
+		{Type: 0, Refs: []model.Ref{{Page: pgID(7), Write: true}, {Page: pgID(8), Write: true}, {Page: pgID(9), Write: true}}},
+		{Type: 0, Refs: []model.Ref{{Page: pgID(10), Write: true}, {Page: pgID(11), Write: true}, {Page: pgID(12), Write: true}}},
+	}}
+	params := testParams(1, CouplingGEM, true)
+	params.DiskCachePages = map[model.FileID]int{1: 4}
+	sys, _ := runScript(t, params, gen, 40, 2*time.Second)
+	if sys.Group(1).Writes() == 0 {
+		t.Fatal("dirty GEM cache victims must be destaged to disk")
+	}
+}

@@ -1,0 +1,129 @@
+package node
+
+import (
+	"gemsim/internal/lock"
+	"gemsim/internal/model"
+	"gemsim/internal/netsim"
+	"gemsim/internal/sim"
+)
+
+// debugLockWaits, when non-nil, observes every completed lock wait
+// (page, duration); used by diagnostic tests.
+var debugLockWaits func(page model.PageID, wait sim.Time)
+
+// DebugHookLockWaits installs (or clears) the lock wait observer.
+func DebugHookLockWaits(fn func(page model.PageID, wait sim.Time)) { debugLockWaits = fn }
+
+// gemCC implements concurrency and coherency control with a global lock
+// table (GLT) in Global Extended Memory: every lock request and release
+// is processed against GLT entries with synchronous GEM accesses (one
+// read plus one Compare&Swap write per operation). Extended lock
+// information — page sequence numbers and the current page owner — is
+// kept in the same entries, so buffer invalidations are detected
+// without extra communication [Ra91a].
+type gemCC struct {
+	n *Node
+}
+
+// glt returns the single global lock table.
+func (c *gemCC) glt() *lock.Table { return c.n.sys.tables[0] }
+
+// gltAccess charges the synchronous GEM entry accesses of one GLT
+// operation: the CPU stays busy while the entry is read and written
+// back with Compare&Swap.
+func (c *gemCC) gltAccess(p *sim.Proc, entries int) {
+	n := c.n
+	n.cpu.Acquire(p)
+	if n.sys.params.LockInstr > 0 {
+		n.cpu.ExecHolding(p, n.sys.params.LockInstr)
+	}
+	n.sys.gemDev.AccessEntries(p, entries)
+	n.cpu.Release()
+}
+
+// lock processes one lock request against the GLT.
+func (c *gemCC) lock(t *txn, page model.PageID, mode model.LockMode) (ccOutcome, error) {
+	n := c.n
+	n.localLocks++ // GLT locking is routing-independent; no messages
+	c.gltAccess(t.proc, 2)
+
+	wait := &remoteWait{proc: t.proc}
+	_, granted := c.glt().Request(page, t.owner, mode, wait)
+	if !granted {
+		n.lockWaits++
+		start := n.sys.env.Now()
+		t.waiting = wait
+		err := n.sys.blockForLock(t)
+		t.waiting = nil
+		if err != nil {
+			return ccOutcome{}, err
+		}
+		n.lockWaitTime.AddDuration(n.sys.env.Now() - start)
+		if debugLockWaits != nil {
+			debugLockWaits(page, n.sys.env.Now()-start)
+		}
+		// Re-read the entry after the wakeup notification.
+		c.gltAccess(t.proc, 2)
+	}
+	t.locked[page] = &heldLock{mode: mode, kind: kindLocal}
+
+	meta := n.sys.gltMetaOf(page)
+	out := ccOutcome{seq: meta.seq, owner: -1, local: true}
+	if !n.sys.params.Force {
+		out.owner = meta.owner
+	}
+	return out, nil
+}
+
+// releaseAll performs commit phase 2 (or abort): every held GLT entry
+// is updated with synchronous GEM accesses; for committed modifications
+// the new page sequence number and — under NOFORCE — the new page owner
+// are recorded. Transactions waiting on released locks are woken, by a
+// short message when they run on another node.
+func (c *gemCC) releaseAll(t *txn, commit bool) {
+	n := c.n
+	held := c.glt().Held(t.owner)
+	if len(held) > 0 {
+		c.gltAccess(t.proc, 2*len(held))
+	}
+	if commit {
+		for _, page := range sortedModifiedPages(t) {
+			mod := t.modified[page]
+			file := n.sys.db.File(page.File)
+			if !file.Locking {
+				continue
+			}
+			meta := n.sys.gltMetaOf(page)
+			meta.seq = mod.frame.SeqNo
+			if n.sys.params.Force {
+				meta.owner = -1
+			} else {
+				meta.owner = n.id
+			}
+			n.sys.oracle.commit(page, mod.frame.SeqNo)
+		}
+	}
+	granted := c.glt().ReleaseAll(t.owner)
+	n.sys.wakeGEMGranted(granted, execCtx{node: n.id, proc: t.proc})
+	for page := range t.locked {
+		delete(t.locked, page)
+	}
+}
+
+// wakeGEMGranted notifies the owners of newly granted GLT requests: a
+// direct resume for waiters on the same node (and in InstantWakeup
+// ablation mode), a short message otherwise.
+func (s *System) wakeGEMGranted(granted []*lock.Request, ctx execCtx) {
+	for _, req := range granted {
+		wd, ok := req.Data.(*remoteWait)
+		if !ok {
+			continue
+		}
+		waiterNode := req.Owner.Node
+		if s.params.InstantWakeup || waiterNode == ctx.node {
+			wd.proc.Unpark()
+			continue
+		}
+		s.net.Send(ctx.proc, ctx.node, waiterNode, netsim.Short, wakeupMsg{Wait: wd})
+	}
+}

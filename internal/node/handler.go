@@ -1,0 +1,73 @@
+package node
+
+import (
+	"fmt"
+
+	"gemsim/internal/netsim"
+	"gemsim/internal/sim"
+)
+
+// handleMessage dispatches an arriving message. It runs in a dedicated
+// process at this node after the receive CPU overhead was charged by
+// the communication subsystem.
+func (n *Node) handleMessage(p *sim.Proc, from int, msg any) {
+	switch m := msg.(type) {
+	case lockRequestMsg:
+		n.handleLockRequest(p, m)
+	case lockGrantMsg:
+		m.Wait.seq = m.Seq
+		m.Wait.carried = m.Carried
+		m.Wait.ownerHasCopy = m.OwnerHasCopy
+		m.Wait.grantRA = m.GrantRA
+		m.Wait.deadlock = m.Deadlock
+		m.Wait.proc.Unpark()
+	case lockReleaseMsg:
+		n.handleLockRelease(p, m)
+	case pageRequestMsg:
+		n.handlePageRequest(p, m)
+	case pageReplyMsg:
+		m.Wait.found = m.Found
+		m.Wait.seq = m.Seq
+		m.Wait.proc.Unpark()
+	case wakeupMsg:
+		m.Wait.proc.Unpark()
+	case revokeRAMsg:
+		delete(n.raHeld, m.Page)
+	case invalidateMsg:
+		n.handleInvalidate(p, from, m)
+	case invalidateAckMsg:
+		m.Wait.acks++
+		if m.Wait.acks >= m.Wait.needed {
+			m.Wait.proc.Unpark()
+		}
+	default:
+		panic(fmt.Sprintf("node %d: unknown message %T from %d", n.id, msg, from))
+	}
+}
+
+// handlePageRequest serves a page request from another node: if this
+// node still buffers the page (possibly under replacement write-back),
+// the page is returned in a long message — or, with GEM page transfer
+// enabled, deposited in GEM and acknowledged with a short message.
+func (n *Node) handlePageRequest(p *sim.Proc, m pageRequestMsg) {
+	reply := pageReplyMsg{Wait: m.Wait}
+	if fr := n.pool.Get(m.Page); fr != nil {
+		reply.Found, reply.Seq = true, fr.SeqNo
+	} else if seq, ok := n.inflight[m.Page]; ok {
+		reply.Found, reply.Seq = true, seq
+	}
+	class := netsim.Short
+	if reply.Found {
+		if n.sys.params.GEMPageTransfer {
+			// Deposit the page in GEM; the requester reads it from
+			// there (synchronous page accesses on both sides).
+			n.cpu.Acquire(p)
+			n.cpu.ExecHolding(p, n.sys.params.GEMIOInstr)
+			n.sys.gemDev.AccessPage(p)
+			n.cpu.Release()
+		} else {
+			class = netsim.Long
+		}
+	}
+	n.sys.net.Send(p, n.id, m.Requester, class, reply)
+}

@@ -1,0 +1,99 @@
+package node
+
+import (
+	"gemsim/internal/lock"
+	"gemsim/internal/model"
+	"gemsim/internal/sim"
+)
+
+// Message types exchanged between nodes. All messages are delivered
+// through the netsim package, which charges send/receive CPU overhead
+// and the transmission delay.
+
+// lockRequestMsg asks the GLA node for a lock (PCL).
+type lockRequestMsg struct {
+	Owner     lock.Owner
+	Page      model.PageID
+	Mode      model.LockMode
+	CachedSeq uint64 // requester's buffered version, 0 if none
+	HasCopy   bool
+	Wait      *remoteWait
+}
+
+// lockGrantMsg is the GLA's reply. For NOFORCE the current page version
+// travels with the grant when the requester's copy is obsolete (then
+// the reply is a long message).
+type lockGrantMsg struct {
+	Wait    *remoteWait
+	Seq     uint64
+	Carried bool // page attached (reply was a long message)
+	// OwnerHasCopy tells the requester that the GLA node buffers the
+	// current version: if the requester's own copy disappears before
+	// the page is accessed, it must be fetched from the GLA rather
+	// than from permanent storage.
+	OwnerHasCopy bool
+	GrantRA      bool // read authorization granted to the requester
+	Deadlock     bool // request aborted as deadlock victim
+}
+
+// lockReleaseMsg releases a transaction's locks at one GLA node (commit
+// phase 2 or abort). Modified pages of the GLA's partition travel with
+// the release (NOFORCE), making the message long.
+type lockReleaseMsg struct {
+	Owner lock.Owner
+	Pages []releasedPage
+}
+
+// releasedPage is one lock released at the GLA.
+type releasedPage struct {
+	Page    model.PageID
+	NewSeq  uint64 // 0 if not modified
+	Carried bool   // modified page travels with the message (NOFORCE)
+}
+
+// pageRequestMsg asks the owner node for the current version of a page
+// (GEM locking, NOFORCE).
+type pageRequestMsg struct {
+	Page      model.PageID
+	Requester int
+	Transfer  bool // write intent: ownership moves to the requester
+	Wait      *remoteWait
+}
+
+// pageReplyMsg returns the page (long message) or reports that the
+// owner no longer holds it.
+type pageReplyMsg struct {
+	Wait  *remoteWait
+	Found bool
+	Seq   uint64
+}
+
+// wakeupMsg notifies a waiting node that its GLT lock request was
+// granted (GEM locking).
+type wakeupMsg struct {
+	Wait *remoteWait
+}
+
+// revokeRAMsg withdraws a read authorization (PCL read optimization).
+type revokeRAMsg struct {
+	Page model.PageID
+}
+
+// remoteWait is the continuation of a process waiting for a reply
+// message or a lock grant.
+type remoteWait struct {
+	proc *sim.Proc
+	// ra marks the continuation of a locally processed read lock
+	// under read authorization (no grant message on wake).
+	ra bool
+	// reply fields, set before Unpark.
+	seq          uint64
+	carried      bool
+	ownerHasCopy bool
+	grantRA      bool
+	found        bool
+	deadlock     bool
+	// broadcast acknowledgement counting (lock engine coherency).
+	acks   int
+	needed int
+}

@@ -1,0 +1,692 @@
+package node
+
+import (
+	"sort"
+	"strconv"
+	"time"
+
+	"gemsim/internal/buffer"
+	"gemsim/internal/cpusrv"
+	"gemsim/internal/lock"
+	"gemsim/internal/model"
+	"gemsim/internal/netsim"
+	"gemsim/internal/rng"
+	"gemsim/internal/sim"
+	"gemsim/internal/stats"
+	"gemsim/internal/storage"
+)
+
+// Node is one processing node: transaction manager, buffer manager,
+// concurrency control component, communication endpoint and CPU
+// servers (Fig. 3.1 of the paper).
+type Node struct {
+	sys *System
+	id  int
+
+	cpu      *cpusrv.CPU
+	pool     *buffer.Pool
+	mpl      *sim.Semaphore
+	logGroup *storage.Group
+	cc       ccProtocol
+	src      *rng.Source
+
+	// HISTORY insert state: every node appends to its own current
+	// page (blocking factor inserts per page).
+	historyPage int32
+	historyFill int
+	historySeq  int32
+
+	// inflight tracks pages whose replacement write-back is under
+	// way; the copy is still available in memory.
+	inflight map[model.PageID]uint64
+	// pendingReads coalesces concurrent misses on one page.
+	pendingReads map[model.PageID][]*sim.Proc
+
+	// raHeld is this node's view of its read authorizations (PCL).
+	raHeld map[model.PageID]bool
+
+	// active counts admitted-or-queued transactions (load control).
+	active int
+
+	// Statistics (reset at the end of warm-up).
+	commits       int64
+	aborts        int64
+	respRefs      int64
+	resp          stats.Series
+	respPerRef    stats.Series
+	respByType    map[int]*stats.Series
+	respHist      *stats.Histogram
+	inputWait     stats.Series
+	invalidations int64
+	pageReqs      int64
+	pageReqMiss   int64
+	pageReqDelay  stats.Series
+	localLocks    int64
+	remoteLocks   int64
+	lockWaits     int64
+	lockWaitTime  stats.Series
+	forceWrites   int64
+	logWrites     int64
+	storageReads  int64
+	storageWrites int64
+}
+
+// ccOutcome is what a granted lock tells the buffer manager: the
+// committed global sequence number of the page, where the current
+// version can be obtained, and whether the grant already carried the
+// page.
+type ccOutcome struct {
+	seq     uint64
+	owner   int // node buffering the current version, -1 = permanent storage
+	carried bool
+	local   bool
+}
+
+// ccProtocol is the concurrency/coherency control component interface
+// implemented by GEM locking and primary copy locking.
+type ccProtocol interface {
+	lock(t *txn, page model.PageID, mode model.LockMode) (ccOutcome, error)
+	releaseAll(t *txn, commit bool)
+}
+
+// lockKind records how a transaction acquired a lock, which determines
+// the release path.
+type lockKind int
+
+const (
+	kindLocal    lockKind = iota + 1 // GLT or local-GLA lock
+	kindRemote                       // message-based lock at a remote GLA
+	kindShadowRA                     // locally processed read lock under read authorization
+)
+
+// heldLock is a transaction's record of one acquired page lock.
+type heldLock struct {
+	mode model.LockMode
+	kind lockKind
+}
+
+// modRecord remembers a modified frame together with its pre-image
+// metadata so that aborts can undo the modification exactly.
+type modRecord struct {
+	frame    *buffer.Frame
+	preSeq   uint64
+	preDirty bool
+}
+
+// txn is a transaction instance under execution.
+type txn struct {
+	id     lock.TxID
+	owner  lock.Owner
+	node   *Node
+	spec   model.Txn
+	proc   *sim.Proc
+	arrive sim.Time
+
+	locked   map[model.PageID]*heldLock
+	modified map[model.PageID]*modRecord
+
+	waiting  *remoteWait
+	deadlock bool
+}
+
+// pageLess orders page ids for deterministic iteration.
+func pageLess(a, b model.PageID) bool {
+	if a.File != b.File {
+		return a.File < b.File
+	}
+	return a.Page < b.Page
+}
+
+// sortedLockedPages returns the transaction's locked pages in a stable
+// order (map iteration order would make runs nondeterministic).
+func sortedLockedPages(t *txn) []model.PageID {
+	pages := make([]model.PageID, 0, len(t.locked))
+	for p := range t.locked {
+		pages = append(pages, p)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pageLess(pages[i], pages[j]) })
+	return pages
+}
+
+// sortedModifiedPages returns the transaction's modified pages in a
+// stable order.
+func sortedModifiedPages(t *txn) []model.PageID {
+	pages := make([]model.PageID, 0, len(t.modified))
+	for p := range t.modified {
+		pages = append(pages, p)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pageLess(pages[i], pages[j]) })
+	return pages
+}
+
+// sortedKeys returns the integer keys of a map in ascending order.
+func sortedKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// newNode builds one processing node.
+func newNode(s *System, id int) *Node {
+	n := &Node{
+		sys:          s,
+		id:           id,
+		pool:         buffer.NewPool(s.params.BufferPages),
+		respHist:     stats.NewDurationHistogram(),
+		inflight:     make(map[model.PageID]uint64),
+		pendingReads: make(map[model.PageID][]*sim.Proc),
+		raHeld:       make(map[model.PageID]bool),
+		respByType:   make(map[int]*stats.Series),
+		src:          s.split.Stream("node" + itoa(id)),
+		historyPage:  historyBase(id),
+	}
+	n.cpu = cpusrv.New(s.env, "cpu"+itoa(id), s.params.CPUsPerNode, s.params.MIPSPerCPU)
+	n.mpl = sim.NewSemaphore(s.env, "mpl"+itoa(id), s.params.MPL)
+	n.logGroup = storage.NewGroup(s.env, "log"+itoa(id), storage.DefaultLogParams())
+	switch s.params.Coupling {
+	case CouplingGEM:
+		n.cc = &gemCC{n: n}
+	case CouplingPCL:
+		n.cc = &pclCC{n: n}
+	case CouplingLockEngine:
+		n.cc = &leCC{n: n}
+	}
+	return n
+}
+
+// historyBase spaces per-node HISTORY page numbers far apart.
+func historyBase(id int) int32 { return int32(id) * 100_000_000 }
+
+func itoa(i int) string { return strconv.Itoa(i) }
+
+// submit spawns a process executing one transaction at this node.
+func (n *Node) submit(spec model.Txn) {
+	arrive := n.sys.env.Now()
+	n.sys.env.Spawn("txn", func(p *sim.Proc) {
+		n.runTxnCounted(p, spec, arrive)
+	})
+}
+
+// runTxnCounted wraps runTxn with the activation accounting used by
+// load-aware routing.
+func (n *Node) runTxnCounted(p *sim.Proc, spec model.Txn, arrive sim.Time) {
+	n.active++
+	n.runTxn(p, spec, arrive)
+	n.active--
+}
+
+// runTxn is the transaction manager's main loop: admission, execution,
+// restart on deadlock, statistics.
+func (n *Node) runTxn(p *sim.Proc, spec model.Txn, arrive sim.Time) {
+	n.mpl.Acquire(p)
+	n.inputWait.AddDuration(n.sys.env.Now() - arrive)
+	for {
+		t := &txn{
+			id:       n.sys.nextTxID(),
+			node:     n,
+			spec:     spec,
+			proc:     p,
+			arrive:   arrive,
+			locked:   make(map[model.PageID]*heldLock, len(spec.Refs)),
+			modified: make(map[model.PageID]*modRecord, 4),
+		}
+		t.owner = lock.Owner{Node: n.id, Tx: t.id}
+		n.sys.active[t.owner] = t
+		err := n.attempt(t)
+		delete(n.sys.active, t.owner)
+		if err == nil {
+			break
+		}
+		// Deadlock victim: undo, back off, restart as a younger
+		// transaction.
+		n.abortTxn(t)
+		p.Wait(time.Duration(n.src.Exp(n.sys.params.RestartDelayMean.Seconds()) * float64(time.Second)))
+	}
+	n.mpl.Release()
+	rt := n.sys.env.Now() - arrive
+	n.commits++
+	n.respRefs += int64(len(spec.Refs))
+	n.resp.AddDuration(rt)
+	if len(spec.Refs) > 0 {
+		n.respPerRef.Add(rt.Seconds() / float64(len(spec.Refs)))
+	}
+	n.sys.rtBatches.Add(rt.Seconds())
+	byType := n.respByType[spec.Type]
+	if byType == nil {
+		byType = &stats.Series{}
+		n.respByType[spec.Type] = byType
+	}
+	byType.AddDuration(rt)
+	n.respHist.AddDuration(rt)
+}
+
+// attempt executes the transaction once; it returns errDeadlock when
+// the transaction must be rolled back and restarted.
+func (n *Node) attempt(t *txn) error {
+	params := &n.sys.params
+	// Begin of transaction.
+	n.cpu.Exec(t.proc, n.src.Exp(params.BOTInstr))
+
+	for _, ref := range t.spec.Refs {
+		ref = n.resolveRef(ref)
+		file := n.sys.db.File(ref.Page.File)
+		// CPU demand of the record access.
+		n.cpu.Exec(t.proc, n.src.Exp(params.RefInstr))
+
+		mode := model.LockRead
+		if ref.Write {
+			mode = model.LockWrite
+		}
+		out := ccOutcome{owner: -1}
+		firstTouch := true
+		if file.Locking {
+			held := t.locked[ref.Page]
+			firstTouch = held == nil
+			if held == nil || (held.mode == model.LockRead && mode == model.LockWrite) {
+				var err error
+				out, err = n.cc.lock(t, ref.Page, mode)
+				if err != nil {
+					return err
+				}
+			} else {
+				// Lock already sufficient: the page cannot have been
+				// invalidated since it was locked.
+				if fr := n.pool.Peek(ref.Page); fr != nil {
+					out.seq = fr.SeqNo
+				}
+			}
+		}
+		preModified := t.modified[ref.Page] != nil
+		frame := n.getPage(t, file, ref.Page, ref.Write, out, firstTouch)
+		if ref.Write {
+			n.markModified(t, frame)
+		}
+		// The record access is complete. A page keeps exactly one
+		// sustained fix from its first modification until commit; all
+		// other fixes are released here.
+		if !ref.Write || preModified {
+			frame.Unfix()
+		}
+	}
+
+	// End of transaction.
+	n.cpu.Exec(t.proc, n.src.Exp(params.EOTInstr))
+	n.commit(t)
+	return nil
+}
+
+// resolveRef substitutes this node's current HISTORY insert page for
+// append-only references.
+func (n *Node) resolveRef(ref model.Ref) model.Ref {
+	if ref.Page.Page != model.AppendPage {
+		return ref
+	}
+	f := n.sys.db.File(ref.Page.File)
+	if n.historyFill == 0 {
+		n.historySeq++
+		n.historyPage = historyBase(n.id) + n.historySeq
+	}
+	n.historyFill++
+	if n.historyFill == f.BlockingFactor {
+		n.historyFill = 0
+	}
+	ref.Page.Page = n.historyPage
+	return ref
+}
+
+// markModified pins the frame until commit, bumps its page sequence
+// number and remembers the pre-image for undo.
+func (n *Node) markModified(t *txn, frame *buffer.Frame) {
+	if t.modified[frame.Page] != nil {
+		return
+	}
+	t.modified[frame.Page] = &modRecord{frame: frame, preSeq: frame.SeqNo, preDirty: frame.Dirty}
+	frame.SeqNo++
+	frame.Dirty = true
+}
+
+// commit performs two-phase commit processing: phase 1 writes the log
+// data and, under FORCE, force-writes all modified pages (write-ahead:
+// the log record precedes the data writes); phase 2 releases the
+// transaction's locks and propagates the new page versions.
+func (n *Node) commit(t *txn) {
+	params := &n.sys.params
+	if len(t.modified) > 0 {
+		n.writeLog(t.proc)
+		if params.Force {
+			for _, page := range sortedModifiedPages(t) {
+				mod := t.modified[page]
+				file := n.sys.db.File(page.File)
+				n.writeStorage(t.proc, file, page, mod.frame.SeqNo)
+				n.forceWrites++
+				mod.frame.Dirty = false
+			}
+		}
+	}
+	n.cc.releaseAll(t, true)
+	for _, mod := range t.modified {
+		mod.frame.Unfix()
+	}
+}
+
+// abortTxn rolls the transaction back: locks released without version
+// propagation, modified frames restored to their pre-images.
+func (n *Node) abortTxn(t *txn) {
+	n.aborts++
+	n.cc.releaseAll(t, false)
+	for _, mod := range t.modified {
+		mod.frame.SeqNo = mod.preSeq
+		mod.frame.Dirty = mod.preDirty
+		mod.frame.Unfix()
+	}
+}
+
+// getPage brings the page into the buffer (coherency controlled) and
+// returns its frame, fixed. The caller unfixes it after the record
+// access unless the page was modified.
+func (n *Node) getPage(t *txn, file *model.File, page model.PageID, write bool, out ccOutcome, firstTouch bool) *buffer.Frame {
+	for {
+		if fr := n.pool.Get(page); fr != nil {
+			if fr.SeqNo >= out.seq {
+				if firstTouch {
+					n.pool.Observe(file.ID, true)
+				}
+				fr.Fix()
+				n.sys.oracle.checkAccess(page, fr.SeqNo, file.Locking)
+				return fr
+			}
+			// Buffer invalidation: the cached copy is obsolete.
+			n.invalidations++
+			n.pool.Drop(page)
+			continue
+		}
+		// A copy being written back is still available in memory.
+		if seq, ok := n.inflight[page]; ok && seq >= out.seq {
+			if firstTouch {
+				n.pool.Observe(file.ID, true)
+			}
+			fr := n.install(page, seq, false)
+			fr.Fix()
+			return fr
+		}
+		// Coalesce with a concurrent fetch of the same page.
+		if waiters, pending := n.pendingReads[page]; pending {
+			n.pendingReads[page] = append(waiters, t.proc)
+			t.proc.Park()
+			continue
+		}
+		if firstTouch {
+			n.pool.Observe(file.ID, false)
+		}
+		fr := n.fetchMiss(t, file, page, write, out)
+		fr.Fix()
+		return fr
+	}
+}
+
+// fetchMiss obtains a missing page: fresh HISTORY pages are allocated,
+// carried pages (PCL) are installed directly, otherwise the page comes
+// from the owning node (GEM locking, NOFORCE) or from storage.
+func (n *Node) fetchMiss(t *txn, file *model.File, page model.PageID, write bool, out ccOutcome) *buffer.Frame {
+	if file.AppendOnly && out.seq == 0 && n.sys.oracle.neverWritten(page) {
+		// First insert into a fresh page: no I/O, allocate in place.
+		return n.install(page, 1, true)
+	}
+	n.pendingReads[page] = nil
+	seq := out.seq
+	got := out.carried
+	if !got && !n.sys.params.Force && out.owner >= 0 && out.owner != n.id {
+		if s, ok := n.requestPage(t, page, out.owner, write); ok {
+			seq, got = s, true
+		}
+	}
+	if !got {
+		n.readStorage(t.proc, file, page, out.seq)
+	}
+	fr := n.install(page, seq, false)
+	// Wake coalesced waiters.
+	for _, w := range n.pendingReads[page] {
+		w.Unpark()
+	}
+	delete(n.pendingReads, page)
+	return fr
+}
+
+// install puts a page into the pool, scheduling a background write for
+// a dirty replacement victim.
+func (n *Node) install(page model.PageID, seq uint64, dirty bool) *buffer.Frame {
+	fr, victim := n.pool.Insert(page, seq, dirty)
+	if victim != nil && victim.Dirty {
+		n.writeBack(*victim)
+	}
+	return fr
+}
+
+// writeBack asynchronously writes a replaced dirty page to its storage
+// medium. Under GEM locking (NOFORCE) the global lock table is updated
+// afterwards so that future misses read from storage instead of asking
+// this node.
+func (n *Node) writeBack(v buffer.Victim) {
+	n.inflight[v.Page] = v.SeqNo
+	file := n.sys.db.File(v.Page.File)
+	n.sys.env.Spawn("writeback", func(p *sim.Proc) {
+		if n.sys.params.Coupling == CouplingGEM && !n.sys.params.Force && file.Locking {
+			// Check ownership with the GLT (one entry read): if a
+			// newer version exists elsewhere the stale copy must not
+			// reach the disk.
+			n.cpu.Acquire(p)
+			n.sys.gemDev.AccessEntries(p, 1)
+			n.cpu.Release()
+			meta := n.sys.gltMetaOf(v.Page)
+			if meta.owner != n.id || meta.seq != v.SeqNo {
+				if cur, ok := n.inflight[v.Page]; ok && cur == v.SeqNo {
+					delete(n.inflight, v.Page)
+				}
+				return
+			}
+			n.writeStorage(p, file, v.Page, v.SeqNo)
+			// Adapt the entry with one Compare&Swap write so future
+			// misses read from the permanent database.
+			n.cpu.Acquire(p)
+			n.sys.gemDev.AccessEntries(p, 1)
+			n.cpu.Release()
+			if meta.owner == n.id && meta.seq == v.SeqNo {
+				meta.owner = -1
+			}
+		} else {
+			n.writeStorage(p, file, v.Page, v.SeqNo)
+		}
+		if cur, ok := n.inflight[v.Page]; ok && cur == v.SeqNo {
+			delete(n.inflight, v.Page)
+		}
+	})
+}
+
+// gemPageIO performs one synchronous GEM page access (the CPU stays
+// busy throughout) including the reduced initialization overhead.
+func (n *Node) gemPageIO(p *sim.Proc) {
+	n.cpu.Acquire(p)
+	n.cpu.ExecHolding(p, n.sys.params.GEMIOInstr)
+	n.sys.gemDev.AccessPage(p)
+	n.cpu.Release()
+}
+
+// readStorage performs one page read from the file's storage medium,
+// charging the I/O CPU overhead.
+func (n *Node) readStorage(p *sim.Proc, file *model.File, page model.PageID, expectSeq uint64) {
+	n.storageReads++
+	switch file.Medium {
+	case model.MediumGEM:
+		n.gemPageIO(p)
+	case model.MediumGEMWriteBuffer:
+		// A recently written page may still sit in the GEM write
+		// buffer; read it from there at GEM speed.
+		if _, ok := n.sys.writeBuffer[page]; ok {
+			n.sys.wbReadHits++
+			n.gemPageIO(p)
+		} else {
+			n.cpu.Exec(p, n.sys.params.IOInstr)
+			n.sys.groups[file.ID].Read(p, page)
+		}
+	case model.MediumGEMCache:
+		// Intermediate caching level in GEM: hits cost one page
+		// access; misses read from disk and install the page into the
+		// GEM cache (one additional page write).
+		cache := n.sys.gemCaches[file.ID]
+		n.sys.gemCacheReqs++
+		if cache.Touch(page) {
+			n.sys.gemCacheHits++
+			n.gemPageIO(p)
+		} else {
+			n.cpu.Exec(p, n.sys.params.IOInstr)
+			n.sys.groups[file.ID].Read(p, page)
+			n.gemPageIO(p) // install into the GEM cache
+			n.gemCacheInsert(file, page, false)
+		}
+	default:
+		n.cpu.Exec(p, n.sys.params.IOInstr)
+		n.sys.groups[file.ID].Read(p, page)
+	}
+	n.sys.oracle.checkStorageRead(page, expectSeq, file.Locking)
+}
+
+// writeStorage performs one page write to the file's storage medium.
+func (n *Node) writeStorage(p *sim.Proc, file *model.File, page model.PageID, seq uint64) {
+	n.storageWrites++
+	switch file.Medium {
+	case model.MediumGEM:
+		n.gemPageIO(p)
+	case model.MediumGEMCache:
+		// The non-volatile GEM cache absorbs the write; the disk copy
+		// is updated when the dirty entry is replaced.
+		n.gemPageIO(p)
+		n.gemCacheInsert(file, page, true)
+	case model.MediumGEMWriteBuffer:
+		// Write into the non-volatile GEM write buffer; the disk copy
+		// is updated asynchronously and the buffer entry is released
+		// once the disk write completed.
+		n.gemPageIO(p)
+		n.sys.wbWrites++
+		sys := n.sys
+		if cur, ok := sys.writeBuffer[page]; !ok || seq > cur {
+			sys.writeBuffer[page] = seq
+			sys.env.Spawn("wb-destage", func(q *sim.Proc) {
+				n.cpu.Exec(q, sys.params.IOInstr)
+				sys.groups[file.ID].Write(q, page)
+				if cur, ok := sys.writeBuffer[page]; ok && cur == seq {
+					delete(sys.writeBuffer, page)
+				}
+			})
+		}
+	default:
+		n.cpu.Exec(p, n.sys.params.IOInstr)
+		n.sys.groups[file.ID].Write(p, page)
+	}
+	n.sys.oracle.storageWrite(page, seq)
+}
+
+// gemCacheInsert places a page into the file's GEM cache, destaging a
+// replaced dirty entry to disk in the background.
+func (n *Node) gemCacheInsert(file *model.File, page model.PageID, dirty bool) {
+	cache := n.sys.gemCaches[file.ID]
+	victim, victimDirty, evicted := cache.Insert(page, dirty)
+	if evicted && victimDirty {
+		sys := n.sys
+		sys.env.Spawn("gemcache-destage", func(q *sim.Proc) {
+			// Read the page out of GEM and write it to disk.
+			n.gemPageIO(q)
+			n.cpu.Exec(q, sys.params.IOInstr)
+			sys.groups[file.ID].Write(q, victim)
+		})
+	}
+}
+
+// writeLog writes the transaction's log data (one page) at commit.
+func (n *Node) writeLog(p *sim.Proc) {
+	n.logWrites++
+	if n.sys.params.LogInGEM {
+		n.cpu.Acquire(p)
+		n.cpu.ExecHolding(p, n.sys.params.GEMIOInstr)
+		n.sys.gemDev.AccessPage(p)
+		n.cpu.Release()
+		if n.sys.params.GlobalLogMerge {
+			n.sys.unmergedLogPages++
+		}
+		return
+	}
+	n.cpu.Exec(p, n.sys.params.IOInstr)
+	n.logGroup.Write(p, model.PageID{File: -1, Page: int32(n.id)})
+}
+
+// requestPage asks the owning node for the current page version (GEM
+// locking, NOFORCE). It returns the received sequence number, or ok ==
+// false if the owner no longer buffers the page (then the permanent
+// database is current).
+func (n *Node) requestPage(t *txn, page model.PageID, owner int, write bool) (uint64, bool) {
+	n.pageReqs++
+	start := n.sys.env.Now()
+	wait := &remoteWait{proc: t.proc}
+	t.waiting = wait
+	n.sys.net.Send(t.proc, n.id, owner, netsim.Short, pageRequestMsg{
+		Page: page, Requester: n.id, Transfer: write, Wait: wait,
+	})
+	t.proc.Park()
+	t.waiting = nil
+	if n.sys.params.GEMPageTransfer && wait.found {
+		// Exchange across GEM: the owner deposited the page in GEM
+		// (modelled at the owner); read it back synchronously.
+		n.cpu.Acquire(t.proc)
+		n.cpu.ExecHolding(t.proc, n.sys.params.GEMIOInstr)
+		n.sys.gemDev.AccessPage(t.proc)
+		n.cpu.Release()
+	}
+	if !wait.found {
+		n.pageReqMiss++
+		return 0, false
+	}
+	n.pageReqDelay.AddDuration(n.sys.env.Now() - start)
+	return wait.seq, true
+}
+
+// resetStats clears this node's measurement counters.
+func (n *Node) resetStats() {
+	n.cpu.ResetStats()
+	n.pool.ResetStats()
+	n.logGroup.ResetStats()
+	n.commits, n.aborts = 0, 0
+	n.respRefs = 0
+	n.resp.Reset()
+	n.respPerRef.Reset()
+	for _, s := range n.respByType {
+		s.Reset()
+	}
+	n.respHist.Reset()
+	n.inputWait.Reset()
+	n.invalidations = 0
+	n.pageReqs, n.pageReqMiss = 0, 0
+	n.pageReqDelay.Reset()
+	n.localLocks, n.remoteLocks = 0, 0
+	n.lockWaits = 0
+	n.lockWaitTime.Reset()
+	n.forceWrites, n.logWrites = 0, 0
+	n.storageReads, n.storageWrites = 0, 0
+}
+
+// respHistInto merges this node's response time histogram into h.
+func (n *Node) respHistInto(h *stats.Histogram) { h.Merge(n.respHist) }
+
+// Pool exposes the buffer pool (tests and diagnostics).
+func (n *Node) Pool() *buffer.Pool { return n.pool }
+
+// CPU exposes the CPU complex (tests and diagnostics).
+func (n *Node) CPU() *cpusrv.CPU { return n.cpu }
+
+// compile-time interface checks
+var (
+	_ ccProtocol = (*gemCC)(nil)
+	_ ccProtocol = (*pclCC)(nil)
+	_ ccProtocol = (*leCC)(nil)
+)

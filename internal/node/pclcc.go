@@ -1,0 +1,365 @@
+package node
+
+import (
+	"gemsim/internal/lock"
+	"gemsim/internal/model"
+	"gemsim/internal/netsim"
+	"gemsim/internal/sim"
+)
+
+// pclCC implements primary copy locking [Ra86]: the database is
+// logically partitioned and every node holds the global lock authority
+// (GLA) for one partition. Lock requests against the local partition
+// are processed without communication; other requests are sent to the
+// authorized node. Coherency control is integrated:
+//
+//   - buffer invalidations are detected via page sequence numbers kept
+//     at the GLA;
+//   - under NOFORCE the GLA node acts as the page owner of its
+//     partition: pages modified elsewhere are returned with the lock
+//     release message (no extra message), and the current version can
+//     be supplied together with the lock grant message;
+//   - a read optimization lets nodes process read locks locally under a
+//     read authorization (RA) granted by the GLA and revoked on remote
+//     write interest.
+type pclCC struct {
+	n *Node
+}
+
+func (c *pclCC) table(gla int) *lock.Table { return c.n.sys.tables[gla] }
+
+// lock processes one page lock request under PCL.
+func (c *pclCC) lock(t *txn, page model.PageID, mode model.LockMode) (ccOutcome, error) {
+	n := c.n
+	sys := n.sys
+	gla := sys.gla.GLA(page)
+
+	if gla == n.id {
+		return c.lockLocal(t, page, mode, gla)
+	}
+
+	// Read optimization: a read lock on a page for which this node
+	// holds a read authorization and a buffered copy is processed
+	// locally, without messages. The lock is still registered at the
+	// GLA table (at zero cost) so that conflicting writers queue and
+	// deadlock detection stays sound.
+	if mode == model.LockRead && n.raHeld[page] {
+		if fr := n.pool.Peek(page); fr != nil {
+			return c.lockShadowRA(t, page, gla, fr.SeqNo)
+		}
+		if seq, ok := n.inflight[page]; ok {
+			return c.lockShadowRA(t, page, gla, seq)
+		}
+	}
+
+	return c.lockRemote(t, page, mode, gla)
+}
+
+// lockLocal handles a request against this node's own partition.
+func (c *pclCC) lockLocal(t *txn, page model.PageID, mode model.LockMode, gla int) (ccOutcome, error) {
+	n := c.n
+	sys := n.sys
+	n.localLocks++
+	if sys.params.LockInstr > 0 {
+		n.cpu.Exec(t.proc, sys.params.LockInstr)
+	}
+	wait := &remoteWait{proc: t.proc}
+	_, granted := c.table(gla).Request(page, t.owner, mode, wait)
+	if !granted {
+		n.lockWaits++
+		start := sys.env.Now()
+		t.waiting = wait
+		err := sys.blockForLock(t)
+		t.waiting = nil
+		if err != nil {
+			return ccOutcome{}, err
+		}
+		n.lockWaitTime.AddDuration(sys.env.Now() - start)
+	}
+	if mode == model.LockWrite {
+		sys.revokeRAs(page, n.id, execCtx{node: n.id, proc: t.proc})
+	}
+	t.locked[page] = &heldLock{mode: mode, kind: kindLocal}
+	meta := sys.pclMetaOf(gla, page)
+	return ccOutcome{seq: meta.seq, owner: -1, local: true}, nil
+}
+
+// lockShadowRA handles a locally processed read lock under a read
+// authorization. copySeq is the sequence number of the buffered copy,
+// which the RA guarantees to be current.
+func (c *pclCC) lockShadowRA(t *txn, page model.PageID, gla int, copySeq uint64) (ccOutcome, error) {
+	n := c.n
+	sys := n.sys
+	n.localLocks++
+	if sys.params.LockInstr > 0 {
+		n.cpu.Exec(t.proc, sys.params.LockInstr)
+	}
+	wait := &remoteWait{proc: t.proc, ra: true}
+	_, granted := c.table(gla).Request(page, t.owner, model.LockRead, wait)
+	if !granted {
+		// The RA is being revoked by a writer; wait like a regular
+		// conflict.
+		n.lockWaits++
+		start := sys.env.Now()
+		t.waiting = wait
+		err := sys.blockForLock(t)
+		t.waiting = nil
+		if err != nil {
+			return ccOutcome{}, err
+		}
+		n.lockWaitTime.AddDuration(sys.env.Now() - start)
+		// After the writer committed the copy may be obsolete; report
+		// the authoritative sequence number and direct refetches to
+		// the GLA node, which owns the current version under NOFORCE.
+		meta := sys.pclMetaOf(gla, page)
+		t.locked[page] = &heldLock{mode: model.LockRead, kind: kindShadowRA}
+		out := ccOutcome{seq: meta.seq, owner: -1, local: true}
+		if !sys.params.Force {
+			out.owner = gla
+		}
+		return out, nil
+	}
+	t.locked[page] = &heldLock{mode: model.LockRead, kind: kindShadowRA}
+	return ccOutcome{seq: copySeq, owner: -1, local: true}, nil
+}
+
+// lockRemote sends the request to the GLA node and waits for the grant.
+func (c *pclCC) lockRemote(t *txn, page model.PageID, mode model.LockMode, gla int) (ccOutcome, error) {
+	n := c.n
+	sys := n.sys
+	n.remoteLocks++
+	wait := &remoteWait{proc: t.proc}
+	msg := lockRequestMsg{Owner: t.owner, Page: page, Mode: mode, Wait: wait}
+	if fr := n.pool.Peek(page); fr != nil {
+		msg.HasCopy = true
+		msg.CachedSeq = fr.SeqNo
+	} else if seq, ok := n.inflight[page]; ok {
+		msg.HasCopy = true
+		msg.CachedSeq = seq
+	}
+	start := sys.env.Now()
+	t.waiting = wait
+	sys.net.Send(t.proc, n.id, gla, netsim.Short, msg)
+	t.proc.Park()
+	t.waiting = nil
+	if wait.deadlock {
+		return ccOutcome{}, errDeadlock
+	}
+	n.lockWaitTime.AddDuration(sys.env.Now() - start)
+	if wait.grantRA {
+		n.raHeld[page] = true
+	}
+	t.locked[page] = &heldLock{mode: mode, kind: kindRemote}
+	out := ccOutcome{seq: wait.seq, owner: -1, carried: wait.carried, local: false}
+	if wait.ownerHasCopy && !sys.params.Force {
+		// Should the local copy disappear before the access (it can be
+		// replaced while the grant is in flight), fetch from the GLA
+		// node, which buffers the current version.
+		out.owner = gla
+	}
+	return out, nil
+}
+
+// handleLockRequest processes an arriving remote lock request at the
+// GLA node (runs in a message handler process at this node).
+func (n *Node) handleLockRequest(p *sim.Proc, m lockRequestMsg) {
+	sys := n.sys
+	_, granted := sys.tables[n.id].Request(m.Page, m.Owner, m.Mode, m)
+	if granted {
+		n.pclReply(p, m)
+		return
+	}
+	// The remote requester waits in the queue; check for deadlocks it
+	// may have closed.
+	if cycle := sys.detector.FindCycle(m.Owner); cycle != nil {
+		victim := lock.Victim(cycle)
+		sys.abortVictim(victim)
+	}
+}
+
+// pclReply processes a grant for a remote requester at the GLA node:
+// attach coherency information, grant a read authorization, revoke
+// authorizations on write interest, and — under NOFORCE — supply the
+// current page version with the grant when the requester's copy is
+// obsolete (long reply).
+func (n *Node) pclReply(p *sim.Proc, m lockRequestMsg) {
+	sys := n.sys
+	meta := sys.pclMetaOf(n.id, m.Page)
+	grant := lockGrantMsg{Wait: m.Wait, Seq: meta.seq}
+	class := netsim.Short
+	if !sys.params.Force {
+		// The GLA holds the current version of its partition's
+		// modified pages; ship it with the grant when useful.
+		stale := !m.HasCopy || m.CachedSeq < meta.seq
+		if n.hasCurrent(m.Page, meta.seq) {
+			grant.OwnerHasCopy = true
+			if stale {
+				n.pool.Get(m.Page) // LRU touch for the supplied page
+				grant.Carried = true
+				class = netsim.Long
+			}
+		}
+		tracePage(m.Page, "pclReply to n%d seq=%d carried=%v hasCopy=%v cached=%d", m.Owner.Node, meta.seq, grant.Carried, m.HasCopy, m.CachedSeq)
+	}
+	switch m.Mode {
+	case model.LockRead:
+		grant.GrantRA = true
+		set := sys.ra[m.Page]
+		if set == nil {
+			set = make(map[int]bool, 2)
+			sys.ra[m.Page] = set
+		}
+		set[m.Owner.Node] = true
+	case model.LockWrite:
+		sys.revokeRAs(m.Page, m.Owner.Node, execCtx{node: n.id, proc: p})
+	}
+	sys.net.Send(p, n.id, m.Owner.Node, class, grant)
+}
+
+// hasCurrent reports whether this node buffers the current version of
+// the page (including copies under replacement write-back).
+func (n *Node) hasCurrent(page model.PageID, seq uint64) bool {
+	if fr := n.pool.Peek(page); fr != nil && fr.SeqNo >= seq {
+		return true
+	}
+	if s, ok := n.inflight[page]; ok && s >= seq {
+		return true
+	}
+	return false
+}
+
+// revokeRAs withdraws all read authorizations on page except the one of
+// keep, sending a short revocation message per holder node
+// (fire-and-forget; in-progress local read locks are covered by their
+// shadow registrations).
+func (s *System) revokeRAs(page model.PageID, keep int, ctx execCtx) {
+	set := s.ra[page]
+	if len(set) == 0 {
+		return
+	}
+	for _, node := range sortedKeys(set) {
+		if node == keep {
+			continue
+		}
+		delete(set, node)
+		s.net.Send(ctx.proc, ctx.node, node, netsim.Short, revokeRAMsg{Page: page})
+	}
+	if len(set) == 0 {
+		delete(s.ra, page)
+	}
+}
+
+// wakePCLGranted dispatches newly granted requests of the GLA table at
+// atNode: local waiters (including shadow RA readers) resume directly;
+// remote requesters get a grant reply message.
+func (s *System) wakePCLGranted(granted []*lock.Request, atNode int, ctx execCtx) {
+	g := s.nodes[atNode]
+	for _, req := range granted {
+		switch d := req.Data.(type) {
+		case *remoteWait:
+			d.proc.Unpark()
+		case lockRequestMsg:
+			g.pclReply(ctx.proc, d)
+		}
+	}
+}
+
+// releaseAll performs commit phase 2 (or abort) under PCL: locks of the
+// local partition are released directly; locks at remote GLAs are
+// released with one message per GLA node, carrying the new versions of
+// modified pages (NOFORCE) so that no extra messages are needed for
+// update propagation. The transaction does not wait for the release
+// messages to be processed.
+func (c *pclCC) releaseAll(t *txn, commit bool) {
+	n := c.n
+	sys := n.sys
+
+	if !commit {
+		// Abort: release everything this owner holds or waits for in
+		// any table, including locks granted while the deadlock victim
+		// notice was in flight (they never made it into t.locked).
+		for g, tbl := range sys.tables {
+			granted := tbl.ReleaseAll(t.owner)
+			if g == n.id {
+				sys.wakeGranted(granted, g, execCtx{node: n.id, proc: t.proc})
+			} else {
+				sys.wakeGrantedAsync(granted, g, g)
+			}
+		}
+		for page := range t.locked {
+			delete(t.locked, page)
+		}
+		return
+	}
+
+	perGLA := make(map[int][]releasedPage)
+	for _, page := range sortedLockedPages(t) {
+		hl := t.locked[page]
+		gla := sys.gla.GLA(page)
+		mod := t.modified[page]
+		switch hl.kind {
+		case kindLocal:
+			if mod != nil {
+				meta := sys.pclMetaOf(gla, page)
+				meta.seq = mod.frame.SeqNo
+				sys.oracle.commit(page, mod.frame.SeqNo)
+			}
+			granted := sys.tables[gla].Release(page, t.owner)
+			sys.wakeGranted(granted, gla, execCtx{node: n.id, proc: t.proc})
+		case kindShadowRA:
+			granted := sys.tables[gla].Release(page, t.owner)
+			if gla == n.id {
+				sys.wakeGranted(granted, gla, execCtx{node: n.id, proc: t.proc})
+			} else {
+				sys.wakeGrantedAsync(granted, gla, gla)
+			}
+		case kindRemote:
+			rp := releasedPage{Page: page}
+			if mod != nil {
+				rp.NewSeq = mod.frame.SeqNo
+				if !sys.params.Force {
+					rp.Carried = true
+					// Ownership moves to the GLA node; the local copy
+					// stays readable but is no longer this node's to
+					// write back.
+					mod.frame.Dirty = false
+				}
+			}
+			perGLA[gla] = append(perGLA[gla], rp)
+		}
+		delete(t.locked, page)
+	}
+	for _, gla := range sortedKeys(perGLA) {
+		pages := perGLA[gla]
+		class := netsim.Short
+		for _, rp := range pages {
+			if rp.Carried {
+				class = netsim.Long
+				break
+			}
+		}
+		sys.net.Send(t.proc, n.id, gla, class, lockReleaseMsg{Owner: t.owner, Pages: pages})
+	}
+}
+
+// handleLockRelease processes a release message at the GLA node:
+// record the new page versions, install carried pages (the GLA becomes
+// their owner), release the locks and grant waiting requests.
+func (n *Node) handleLockRelease(p *sim.Proc, m lockReleaseMsg) {
+	sys := n.sys
+	for _, rp := range m.Pages {
+		tracePage(rp.Page, "release from %v newSeq=%d carried=%v", m.Owner, rp.NewSeq, rp.Carried)
+		if rp.NewSeq > 0 {
+			meta := sys.pclMetaOf(n.id, rp.Page)
+			if rp.NewSeq > meta.seq {
+				meta.seq = rp.NewSeq
+				sys.oracle.commit(rp.Page, rp.NewSeq)
+			}
+		}
+		if rp.Carried {
+			n.install(rp.Page, rp.NewSeq, true)
+		}
+		granted := sys.tables[n.id].Release(rp.Page, m.Owner)
+		sys.wakeGranted(granted, n.id, execCtx{node: n.id, proc: p})
+	}
+}

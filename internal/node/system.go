@@ -1,0 +1,677 @@
+package node
+
+import (
+	"fmt"
+	"time"
+
+	"gemsim/internal/gem"
+	"gemsim/internal/lock"
+	"gemsim/internal/model"
+	"gemsim/internal/netsim"
+	"gemsim/internal/rng"
+	"gemsim/internal/routing"
+	"gemsim/internal/sim"
+	"gemsim/internal/stats"
+	"gemsim/internal/storage"
+	"gemsim/internal/workload"
+)
+
+// System is one complete database sharing configuration: N processing
+// nodes over shared disks (and, for close coupling, a shared GEM), plus
+// the workload source.
+type System struct {
+	env    *sim.Env
+	params Params
+	db     *model.Database
+	gen    workload.Generator
+	router routing.Router
+	gla    routing.GLAMap
+
+	gemDev *gem.GEM
+	net    *netsim.Network
+	groups map[model.FileID]*storage.Group
+	nodes  []*Node
+	// engine is the centralized lock engine (CouplingLockEngine only).
+	engine *sim.Resource
+
+	// Concurrency control state. GEM locking uses tables[0] as the
+	// global lock table; PCL uses one table per GLA node.
+	tables   []*lock.Table
+	detector *lock.Detector
+	// gltMeta holds the coherency information of the global lock
+	// table: committed page sequence number and current page owner.
+	gltMeta map[model.PageID]*pageMeta
+	// pclMeta holds, per GLA node, the committed sequence numbers of
+	// its partition.
+	pclMeta []map[model.PageID]*pageMeta
+	// ra tracks read authorizations per page (PCL read optimization).
+	ra map[model.PageID]map[int]bool
+	// writeBuffer holds pages written to the GEM write buffer whose
+	// asynchronous disk update is still pending (MediumGEMWriteBuffer).
+	writeBuffer map[model.PageID]uint64
+	wbWrites    int64
+	wbReadHits  int64
+	// gemCaches are the non-volatile LRU page caches in GEM fronting
+	// the disk groups of MediumGEMCache files.
+	gemCaches    map[model.FileID]*storage.Cache
+	gemCacheHits int64
+	gemCacheReqs int64
+
+	oracle *oracle
+	split  *rng.Splitter
+	txSeq  lock.TxID
+	active map[lock.Owner]*txn
+
+	// rtBatches feeds the batch-means confidence interval on the mean
+	// response time (all model code runs one-process-at-a-time, so the
+	// shared collector needs no locking).
+	rtBatches *stats.BatchMeans
+
+	// sourceProc is the open-model arrival process (used by the
+	// load-aware router to charge GEM status reads).
+	sourceProc *sim.Proc
+
+	// Global log merge state (GlobalLogMerge): local log pages written
+	// to GEM but not yet merged into the global log, and the total
+	// merged.
+	unmergedLogPages int64
+	mergedLogPages   int64
+
+	statsStart sim.Time
+}
+
+// pageMeta is the per-page coherency control information.
+type pageMeta struct {
+	seq   uint64
+	owner int // node holding the current version (NOFORCE), -1 if on permanent storage
+}
+
+// errDeadlock aborts a transaction chosen as deadlock victim.
+var errDeadlock = fmt.Errorf("node: transaction aborted as deadlock victim")
+
+// NewSystem assembles a system for the given parameters, workload and
+// allocation strategies. gla may be nil for GEM coupling.
+func NewSystem(env *sim.Env, params Params, gen workload.Generator, router routing.Router, gla routing.GLAMap) (*System, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	db := gen.Database()
+	if err := db.Validate(); err != nil {
+		return nil, err
+	}
+	if params.Coupling == CouplingPCL && gla == nil {
+		return nil, errParam("PCL coupling needs a GLA map")
+	}
+	s := &System{
+		env:         env,
+		params:      params,
+		db:          db,
+		gen:         gen,
+		router:      router,
+		gla:         gla,
+		gemDev:      gem.New(env, params.GEM),
+		net:         netsim.New(env, params.Net, params.Nodes),
+		groups:      make(map[model.FileID]*storage.Group, len(db.Files)),
+		gltMeta:     make(map[model.PageID]*pageMeta),
+		ra:          make(map[model.PageID]map[int]bool),
+		writeBuffer: make(map[model.PageID]uint64),
+		gemCaches:   make(map[model.FileID]*storage.Cache),
+		split:       rng.NewSplitter(params.Seed),
+		active:      make(map[lock.Owner]*txn),
+		rtBatches:   stats.NewBatchMeans(100),
+	}
+	s.oracle = newOracle(params.CheckInvariants)
+
+	// Storage allocation: one disk group per disk-backed file; GEM
+	// resident files are registered with the GEM device.
+	for i := range db.Files {
+		f := &db.Files[i]
+		if f.Medium == model.MediumGEM {
+			s.gemDev.AllocateFile(f.ID)
+			continue
+		}
+		disks := params.DefaultDisksPerFile
+		if d, ok := params.DisksPerFile[f.ID]; ok {
+			disks = d
+		}
+		sp := storage.DefaultDBParams(disks)
+		switch f.Medium {
+		case model.MediumGEMCache:
+			size := params.DiskCachePages[f.ID]
+			if size <= 0 {
+				size = int(f.Pages)
+				if size <= 0 {
+					size = 1024
+				}
+			}
+			s.gemCaches[f.ID] = storage.NewCache(size, false)
+		case model.MediumDiskCacheVolatile, model.MediumDiskCacheNV:
+			size := params.DiskCachePages[f.ID]
+			if size <= 0 {
+				size = int(f.Pages)
+				if size <= 0 {
+					size = 1024
+				}
+			}
+			sp.Cache = &storage.CacheParams{
+				SizePages: size,
+				Volatile:  f.Medium == model.MediumDiskCacheVolatile,
+			}
+		}
+		s.groups[f.ID] = storage.NewGroup(env, f.Name, sp)
+	}
+
+	// Lock tables: one global table for GEM locking and the lock
+	// engine, one per node for PCL.
+	if params.Coupling != CouplingPCL {
+		s.tables = []*lock.Table{lock.NewTable("GLT")}
+		if params.Coupling == CouplingLockEngine {
+			s.engine = sim.NewResource(env, "lockengine", 1)
+		}
+	} else {
+		s.tables = make([]*lock.Table, params.Nodes)
+		s.pclMeta = make([]map[model.PageID]*pageMeta, params.Nodes)
+		for i := range s.tables {
+			s.tables[i] = lock.NewTable(fmt.Sprintf("GLA%d", i))
+			s.pclMeta[i] = make(map[model.PageID]*pageMeta)
+		}
+	}
+	s.detector = lock.NewDetector(s.tables...)
+
+	s.nodes = make([]*Node, params.Nodes)
+	for i := range s.nodes {
+		s.nodes[i] = newNode(s, i)
+	}
+	for i, n := range s.nodes {
+		s.net.Register(i, n.cpu, n.handleMessage)
+	}
+	if params.GEMMessaging {
+		s.net.UseStore(&netsim.StoreTransport{
+			Store:      s.gemDev,
+			ShortInstr: params.GEMMsgShortInstr,
+			LongInstr:  params.GEMMsgLongInstr,
+		})
+	}
+	if lr, ok := router.(*LoadAwareRouter); ok {
+		lr.attach(s)
+	}
+	return s, nil
+}
+
+// Env returns the simulation environment.
+func (s *System) Env() *sim.Env { return s.env }
+
+// Params returns the system parameters.
+func (s *System) Params() Params { return s.params }
+
+// Node returns node i (tests and diagnostics).
+func (s *System) Node(i int) *Node { return s.nodes[i] }
+
+// GEMDevice returns the GEM device.
+func (s *System) GEMDevice() *gem.GEM { return s.gemDev }
+
+// Group returns the disk group of a file, or nil for GEM-resident
+// files.
+func (s *System) Group(id model.FileID) *storage.Group { return s.groups[id] }
+
+// Start launches the open-system workload source with the given
+// arrival rate per node (Poisson arrivals over all nodes).
+func (s *System) Start(ratePerNode float64) {
+	if ratePerNode <= 0 {
+		panic("node: arrival rate must be positive")
+	}
+	totalRate := ratePerNode * float64(s.params.Nodes)
+	arrivals := s.split.Stream("arrivals")
+	gen := s.split.Stream("workload")
+	s.env.Spawn("source", func(p *sim.Proc) {
+		s.sourceProc = p
+		for {
+			p.Wait(time.Duration(arrivals.Exp(1/totalRate) * float64(time.Second)))
+			spec := s.gen.Next(gen)
+			target := s.router.Route(&spec)
+			s.nodes[target].submit(spec)
+		}
+	})
+	s.startLogMerge()
+}
+
+// startLogMerge spawns the global log merge process at node 0: it
+// periodically reads the newly written local log pages from GEM and
+// appends them, merged by commit order, to the global log in GEM.
+func (s *System) startLogMerge() {
+	if !s.params.GlobalLogMerge {
+		return
+	}
+	merger := s.nodes[0]
+	s.env.Spawn("logmerge", func(p *sim.Proc) {
+		for {
+			p.Wait(s.params.LogMergeInterval)
+			pending := s.unmergedLogPages
+			if pending == 0 {
+				continue
+			}
+			s.unmergedLogPages = 0
+			for i := int64(0); i < pending; i++ {
+				// Read one local log page, merge, write one global
+				// log page.
+				merger.gemPageIO(p)
+				merger.cpu.Exec(p, s.params.LogMergeInstr)
+				merger.gemPageIO(p)
+				s.mergedLogPages++
+			}
+		}
+	})
+}
+
+// MergedLogPages returns the number of log pages merged into the
+// global log.
+func (s *System) MergedLogPages() int64 { return s.mergedLogPages }
+
+// StartClosed launches a closed-loop workload source: terminals
+// terminals per node, each submitting a transaction, waiting for its
+// completion and then thinking for an exponentially distributed time
+// (the TPC-A style closed model; the paper's evaluation uses the open
+// model started with Start).
+func (s *System) StartClosed(terminals int, thinkTime time.Duration) {
+	if terminals <= 0 {
+		panic("node: need at least one terminal per node")
+	}
+	gen := s.split.Stream("workload")
+	for nd := 0; nd < s.params.Nodes; nd++ {
+		for term := 0; term < terminals; term++ {
+			think := s.split.Stream(fmt.Sprintf("think-%d-%d", nd, term))
+			s.env.Spawn("terminal", func(p *sim.Proc) {
+				for {
+					if thinkTime > 0 {
+						p.Wait(time.Duration(think.Exp(thinkTime.Seconds()) * float64(time.Second)))
+					}
+					spec := s.gen.Next(gen)
+					target := s.router.Route(&spec)
+					s.nodes[target].runTxnCounted(p, spec, s.env.Now())
+				}
+			})
+		}
+	}
+}
+
+// nextTxID allocates a transaction identifier; larger ids are younger.
+func (s *System) nextTxID() lock.TxID {
+	s.txSeq++
+	return s.txSeq
+}
+
+// meta returns (creating on demand) the GLT coherency entry of a page.
+func (s *System) gltMetaOf(page model.PageID) *pageMeta {
+	m := s.gltMeta[page]
+	if m == nil {
+		m = &pageMeta{owner: -1}
+		s.gltMeta[page] = m
+	}
+	return m
+}
+
+// pclMetaOf returns (creating on demand) the GLA-side coherency entry.
+func (s *System) pclMetaOf(gla int, page model.PageID) *pageMeta {
+	m := s.pclMeta[gla][page]
+	if m == nil {
+		m = &pageMeta{owner: -1}
+		s.pclMeta[gla][page] = m
+	}
+	return m
+}
+
+// execCtx identifies the node and process in whose context protocol
+// actions (message sends, CPU charges) happen.
+type execCtx struct {
+	node int
+	proc *sim.Proc
+}
+
+// blockForLock parks t until its pending lock request is granted,
+// running deadlock detection first. It returns errDeadlock if t was
+// chosen as (or became) a deadlock victim.
+func (s *System) blockForLock(t *txn) error {
+	ctx := execCtx{node: t.node.id, proc: t.proc}
+	if cycle := s.detector.FindCycle(t.owner); cycle != nil {
+		victim := lock.Victim(cycle)
+		if victim == t.owner {
+			s.cancelWaiting(t.owner, ctx)
+			return errDeadlock
+		}
+		s.abortVictim(victim)
+	}
+	t.proc.Park()
+	if t.deadlock {
+		return errDeadlock
+	}
+	return nil
+}
+
+// cancelWaiting removes the owner's queued lock requests from every
+// table and wakes requests that became grantable.
+func (s *System) cancelWaiting(o lock.Owner, ctx execCtx) {
+	for i, tbl := range s.tables {
+		if tbl.Waiting(o) == nil {
+			continue
+		}
+		granted := tbl.CancelWaiting(o)
+		if len(granted) == 0 {
+			continue
+		}
+		if s.params.Coupling != CouplingPCL || i == ctx.node {
+			s.wakeGranted(granted, i, ctx)
+		} else {
+			s.wakeGrantedAsync(granted, i, i)
+		}
+	}
+}
+
+// abortVictim marks another waiting transaction as deadlock victim,
+// cancels its queued request and wakes it so that it unwinds. The
+// caller runs in its own process, so grants unblocked by the
+// cancellation are processed in helper processes at the victim's node
+// (never through the victim's suspended process).
+func (s *System) abortVictim(o lock.Owner) {
+	vt := s.active[o]
+	if vt == nil {
+		return
+	}
+	vt.deadlock = true
+	for i, tbl := range s.tables {
+		if tbl.Waiting(o) == nil {
+			continue
+		}
+		granted := tbl.CancelWaiting(o)
+		atNode := vt.node.id
+		if s.params.Coupling == CouplingPCL {
+			atNode = i // grants of a GLA table are processed at the GLA node
+		}
+		s.wakeGrantedAsync(granted, i, atNode)
+	}
+	if vt.waiting != nil {
+		vt.waiting.deadlock = true
+	}
+	vt.proc.Unpark()
+}
+
+// wakeGranted resumes or notifies the owners of newly granted lock
+// requests of table tableIdx, in the given execution context.
+func (s *System) wakeGranted(granted []*lock.Request, tableIdx int, ctx execCtx) {
+	if len(granted) == 0 {
+		return
+	}
+	if s.params.Coupling != CouplingPCL {
+		s.wakeGEMGranted(granted, ctx)
+		return
+	}
+	s.wakePCLGranted(granted, tableIdx, ctx)
+}
+
+// wakeGrantedAsync processes grants of table tableIdx in a helper
+// process at node atNode. It is used whenever the triggering action did
+// not run in a process of the node that must do the work (deadlock
+// victim aborts, silent read-authorization releases).
+func (s *System) wakeGrantedAsync(granted []*lock.Request, tableIdx, atNode int) {
+	if len(granted) == 0 {
+		return
+	}
+	s.env.Spawn("grant", func(q *sim.Proc) {
+		s.wakeGranted(granted, tableIdx, execCtx{node: atNode, proc: q})
+	})
+}
+
+// ResetStats starts the measurement interval: all device, node and
+// message statistics are discarded (end of warm-up).
+func (s *System) ResetStats() {
+	s.statsStart = s.env.Now()
+	s.gemDev.ResetStats()
+	s.net.ResetStats()
+	for _, g := range s.groups {
+		g.ResetStats()
+	}
+	for _, n := range s.nodes {
+		n.resetStats()
+	}
+	if s.engine != nil {
+		s.engine.ResetStats()
+	}
+	s.wbWrites, s.wbReadHits = 0, 0
+	s.gemCacheHits, s.gemCacheReqs = 0, 0
+	s.rtBatches = stats.NewBatchMeans(100)
+}
+
+// Metrics is the measurement snapshot of one simulation run.
+type Metrics struct {
+	SimTime time.Duration
+	// CPUsPerNode echoes the configuration (used to derive capacity
+	// figures from CPUSecondsPerTxn).
+	CPUsPerNode int
+
+	Commits    int64
+	Aborts     int64
+	Deadlocks  int64
+	Throughput float64 // committed transactions per second
+
+	MeanResponseTime time.Duration
+	// ResponseTimeHW95 is the 95% batch-means confidence half-width
+	// around MeanResponseTime (batches of 100 transactions).
+	ResponseTimeHW95 time.Duration
+	P95ResponseTime  time.Duration
+	MaxResponseTime  time.Duration
+	// NormalizedResponseTime is the response time of an artificial
+	// transaction performing the workload's mean number of database
+	// accesses (the paper's metric for the trace workload).
+	NormalizedResponseTime time.Duration
+	MeanRefsPerTxn         float64
+	MeanInputQueueWait     time.Duration
+
+	CPUUtilization     []float64
+	MeanCPUUtilization float64
+	MaxCPUUtilization  float64
+	// CPUSecondsPerTxn is the mean CPU consumption per committed
+	// transaction (all overheads included); it determines the
+	// achievable throughput at a target utilization (Fig. 4.6).
+	CPUSecondsPerTxn float64
+
+	GEMUtilization float64
+	GEMPageAcc     int64
+	GEMEntryAcc    int64
+	GEMMeanWait    time.Duration
+
+	// Lock engine statistics (CouplingLockEngine only).
+	LockEngineUtilization float64
+	MeanLockEngineWait    time.Duration
+
+	// GEM write buffer statistics (MediumGEMWriteBuffer files).
+	WriteBufferWrites   int64
+	WriteBufferReadHits int64
+	// GEM cache statistics (MediumGEMCache files).
+	GEMCacheHitRatio float64
+
+	ShortMessages  int64
+	LongMessages   int64
+	MessagesPerTxn float64
+
+	LockRequests   int64
+	LocalLockShare float64
+	LockWaits      int64
+	MeanLockWait   time.Duration
+
+	Invalidations       int64
+	InvalidationsPerTxn float64
+	PageRequests        int64
+	// PageRequestMisses counts page requests whose owner no longer
+	// buffered the page (the requester fell back to storage).
+	PageRequestMisses  int64
+	PageRequestsPerTxn float64
+	MeanPageReqDelay   time.Duration
+
+	BufferHitRatio map[string]float64
+
+	// ResponseTimeByType breaks the mean response time down by
+	// transaction type (informative for trace workloads with widely
+	// varying transaction classes).
+	ResponseTimeByType map[int]time.Duration
+
+	StorageReads    int64
+	StorageWrites   int64
+	ForceWrites     int64
+	LogWrites       int64
+	DiskUtilization map[string]float64
+	DiskReadLatency map[string]time.Duration
+	CacheHitRatio   map[string]float64
+
+	BufferOverflows int64
+}
+
+// Snapshot collects the metrics accumulated since the last ResetStats.
+func (s *System) Snapshot() Metrics {
+	m := Metrics{
+		SimTime:         s.env.Now() - s.statsStart,
+		CPUsPerNode:     s.params.CPUsPerNode,
+		CPUUtilization:  make([]float64, len(s.nodes)),
+		BufferHitRatio:  make(map[string]float64),
+		DiskUtilization: make(map[string]float64),
+		DiskReadLatency: make(map[string]time.Duration),
+		CacheHitRatio:   make(map[string]float64),
+	}
+	elapsed := m.SimTime.Seconds()
+
+	var rt stats.Series
+	var inputWait stats.Series
+	var lockWait stats.Series
+	var pageDelay stats.Series
+	var busy float64
+	hist := stats.NewDurationHistogram()
+	for i, n := range s.nodes {
+		m.Commits += n.commits
+		m.Aborts += n.aborts
+		m.Invalidations += n.invalidations
+		m.PageRequests += n.pageReqs
+		m.PageRequestMisses += n.pageReqMiss
+		m.LocalLockShare += float64(n.localLocks)
+		m.LockRequests += n.localLocks + n.remoteLocks
+		m.LockWaits += n.lockWaits
+		m.StorageReads += n.storageReads
+		m.StorageWrites += n.storageWrites
+		m.ForceWrites += n.forceWrites
+		m.LogWrites += n.logWrites
+		m.BufferOverflows += n.pool.Overflows()
+		m.CPUUtilization[i] = n.cpu.Utilization()
+		busy += n.cpu.BusySeconds()
+		mergeSeries(&rt, &n.resp)
+		mergeSeries(&inputWait, &n.inputWait)
+		mergeSeries(&lockWait, &n.lockWaitTime)
+		mergeSeries(&pageDelay, &n.pageReqDelay)
+		m.MeanRefsPerTxn += float64(n.respRefs)
+		n.respHistInto(hist)
+	}
+	m.Deadlocks = s.detector.Cycles()
+	if elapsed > 0 {
+		m.Throughput = float64(m.Commits) / elapsed
+	}
+	m.MeanResponseTime = rt.MeanDuration()
+	m.ResponseTimeHW95 = time.Duration(s.rtBatches.HalfWidth95() * float64(time.Second))
+	m.MaxResponseTime = time.Duration(rt.Max() * float64(time.Second))
+	m.P95ResponseTime = hist.QuantileDuration(0.95)
+	m.MeanInputQueueWait = inputWait.MeanDuration()
+	if m.Commits > 0 {
+		m.MeanRefsPerTxn /= float64(m.Commits)
+		m.CPUSecondsPerTxn = busy / float64(m.Commits)
+		m.MessagesPerTxn = float64(s.net.ShortSent()+s.net.LongSent()) / float64(m.Commits)
+		m.InvalidationsPerTxn = float64(m.Invalidations) / float64(m.Commits)
+		m.PageRequestsPerTxn = float64(m.PageRequests) / float64(m.Commits)
+	}
+	// Normalized response time: the response time of an artificial
+	// transaction performing the mean number of database accesses
+	// (per-transaction response time per access, scaled to the mean
+	// transaction size) — the paper's metric for trace workloads with
+	// widely varying transaction sizes.
+	var perRef stats.Series
+	for _, n := range s.nodes {
+		mergeSeries(&perRef, &n.respPerRef)
+	}
+	m.NormalizedResponseTime = time.Duration(perRef.Mean() * m.MeanRefsPerTxn * float64(time.Second))
+	for i := range m.CPUUtilization {
+		m.MeanCPUUtilization += m.CPUUtilization[i]
+		if m.CPUUtilization[i] > m.MaxCPUUtilization {
+			m.MaxCPUUtilization = m.CPUUtilization[i]
+		}
+	}
+	m.MeanCPUUtilization /= float64(len(s.nodes))
+	if m.LockRequests > 0 {
+		m.LocalLockShare /= float64(m.LockRequests)
+	}
+	m.MeanLockWait = lockWait.MeanDuration()
+	m.MeanPageReqDelay = pageDelay.MeanDuration()
+
+	if s.engine != nil {
+		m.LockEngineUtilization = s.engine.Utilization()
+		m.MeanLockEngineWait = s.engine.MeanWait()
+	}
+	m.GEMUtilization = s.gemDev.Utilization()
+	m.GEMPageAcc = s.gemDev.PageAccesses()
+	m.GEMEntryAcc = s.gemDev.EntryAccesses()
+	m.GEMMeanWait = s.gemDev.MeanWait()
+	m.ShortMessages = s.net.ShortSent()
+	m.LongMessages = s.net.LongSent()
+	m.WriteBufferWrites = s.wbWrites
+	m.WriteBufferReadHits = s.wbReadHits
+	if s.gemCacheReqs > 0 {
+		m.GEMCacheHitRatio = float64(s.gemCacheHits) / float64(s.gemCacheReqs)
+	}
+
+	// Per-type response times aggregated over nodes.
+	byType := make(map[int]*stats.Series)
+	for _, n := range s.nodes {
+		for typ, series := range n.respByType {
+			agg := byType[typ]
+			if agg == nil {
+				agg = &stats.Series{}
+				byType[typ] = agg
+			}
+			mergeSeries(agg, series)
+		}
+	}
+	m.ResponseTimeByType = make(map[int]time.Duration, len(byType))
+	for typ, series := range byType {
+		if series.Count() > 0 {
+			m.ResponseTimeByType[typ] = series.MeanDuration()
+		}
+	}
+
+	// Per-file buffer hit ratios aggregated over nodes.
+	for i := range s.db.Files {
+		f := &s.db.Files[i]
+		var hits, total int64
+		for _, n := range s.nodes {
+			h, t := n.pool.HitCounts(f.ID)
+			hits += h
+			total += t
+		}
+		if total > 0 {
+			m.BufferHitRatio[f.Name] = float64(hits) / float64(total)
+		}
+	}
+	for id, g := range s.groups {
+		f := s.db.File(id)
+		m.DiskUtilization[f.Name] = g.DiskUtilization()
+		m.DiskReadLatency[f.Name] = g.MeanReadLatency()
+		if g.Cache() != nil {
+			m.CacheHitRatio[f.Name] = g.ReadHitRatio()
+		}
+	}
+	for _, n := range s.nodes {
+		m.DiskUtilization[fmt.Sprintf("LOG%d", n.id)] = n.logGroup.DiskUtilization()
+	}
+	return m
+}
+
+// mergeSeries folds src into dst by moments (sufficient for means and
+// counts; extremes merge exactly).
+func mergeSeries(dst, src *stats.Series) {
+	if src.Count() == 0 {
+		return
+	}
+	dst.Merge(src)
+}

@@ -1,0 +1,89 @@
+package recovery
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestGEMLogBeatsDiskLog(t *testing.T) {
+	w := ForCheckpointInterval(100, time.Minute, 1, 2, 200, false)
+	disk := DiskLogParams().Estimate(w)
+	gem := GEMLogParams().Estimate(w)
+	if gem.Total() >= disk.Total() {
+		t.Fatalf("GEM log recovery (%v) must beat disk log recovery (%v)", gem.Total(), disk.Total())
+	}
+	// The redo component is device-independent here; the difference is
+	// the log scan.
+	if gem.Redo != disk.Redo {
+		t.Fatalf("redo must not depend on the log device: %v vs %v", gem.Redo, disk.Redo)
+	}
+	if gem.LogScan >= disk.LogScan {
+		t.Fatalf("GEM log scan (%v) must beat disk log scan (%v)", gem.LogScan, disk.LogScan)
+	}
+}
+
+func TestForceNeedsNoRedo(t *testing.T) {
+	force := ForCheckpointInterval(100, time.Minute, 1, 2, 200, true)
+	if force.DirtyPages != 0 {
+		t.Fatalf("FORCE has no dirty pages to redo, got %d", force.DirtyPages)
+	}
+	noforce := ForCheckpointInterval(100, time.Minute, 1, 2, 200, false)
+	if noforce.DirtyPages == 0 {
+		t.Fatal("NOFORCE must have redo work")
+	}
+}
+
+func TestDirtyPagesBoundedByBuffer(t *testing.T) {
+	w := ForCheckpointInterval(1000, 10*time.Minute, 1, 3, 200, false)
+	if w.DirtyPages > 200 {
+		t.Fatalf("dirty pages %d exceed the buffer bound", w.DirtyPages)
+	}
+}
+
+func TestLongerCheckpointIntervalMoreLog(t *testing.T) {
+	short := ForCheckpointInterval(100, 30*time.Second, 1, 2, 1000, false)
+	long := ForCheckpointInterval(100, 5*time.Minute, 1, 2, 1000, false)
+	if long.LogPagesSinceCheckpoint <= short.LogPagesSinceCheckpoint {
+		t.Fatal("longer checkpoint intervals must accumulate more log")
+	}
+}
+
+func TestEstimateDecomposition(t *testing.T) {
+	p := Params{
+		LogReadTime:      time.Millisecond,
+		PageReadTime:     2 * time.Millisecond,
+		PageWriteTime:    3 * time.Millisecond,
+		RedoApplyPerPage: time.Millisecond,
+		LockRecoveryTime: 7 * time.Millisecond,
+		UndoPerTxn:       5 * time.Millisecond,
+	}
+	e := p.Estimate(Workload{LogPagesSinceCheckpoint: 10, DirtyPages: 4, LoserTxns: 2})
+	if e.LogScan != 10*time.Millisecond {
+		t.Fatalf("log scan %v", e.LogScan)
+	}
+	if e.Redo != 24*time.Millisecond {
+		t.Fatalf("redo %v", e.Redo)
+	}
+	if e.Undo != 10*time.Millisecond {
+		t.Fatalf("undo %v", e.Undo)
+	}
+	if e.Total() != 51*time.Millisecond {
+		t.Fatalf("total %v", e.Total())
+	}
+	if e.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestEstimateMonotoneProperty(t *testing.T) {
+	p := DiskLogParams()
+	err := quick.Check(func(logPages, dirty uint16) bool {
+		a := p.Estimate(Workload{LogPagesSinceCheckpoint: int64(logPages), DirtyPages: int64(dirty)})
+		b := p.Estimate(Workload{LogPagesSinceCheckpoint: int64(logPages) + 1, DirtyPages: int64(dirty) + 1})
+		return b.Total() > a.Total()
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,223 @@
+// Package report renders experiment results as aligned text tables,
+// CSV, and simple ASCII series plots for the benchmark harness.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a labelled matrix of measured values (rows = x-axis points,
+// columns = series).
+type Table struct {
+	Title    string
+	XLabel   string
+	YLabel   string
+	RowNames []string
+	ColNames []string
+	Values   [][]float64 // [row][col]; NaN marks missing points
+}
+
+// NewTable allocates a table with the given labels.
+func NewTable(title, xlabel, ylabel string, rows, cols []string) *Table {
+	values := make([][]float64, len(rows))
+	for i := range values {
+		values[i] = make([]float64, len(cols))
+		for j := range values[i] {
+			values[i][j] = math.NaN()
+		}
+	}
+	return &Table{
+		Title:    title,
+		XLabel:   xlabel,
+		YLabel:   ylabel,
+		RowNames: append([]string(nil), rows...),
+		ColNames: append([]string(nil), cols...),
+		Values:   values,
+	}
+}
+
+// Set stores one value.
+func (t *Table) Set(row, col int, v float64) { t.Values[row][col] = v }
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	if t.YLabel != "" {
+		fmt.Fprintf(&b, "values: %s\n", t.YLabel)
+	}
+	widths := make([]int, len(t.ColNames)+1)
+	widths[0] = len(t.XLabel)
+	for _, r := range t.RowNames {
+		if len(r) > widths[0] {
+			widths[0] = len(r)
+		}
+	}
+	cells := make([][]string, len(t.RowNames))
+	for i, row := range t.Values {
+		cells[i] = make([]string, len(row))
+		for j, v := range row {
+			cells[i][j] = formatValue(v)
+			if len(cells[i][j]) > widths[j+1] {
+				widths[j+1] = len(cells[i][j])
+			}
+		}
+	}
+	for j, c := range t.ColNames {
+		if len(c) > widths[j+1] {
+			widths[j+1] = len(c)
+		}
+	}
+	// Header.
+	fmt.Fprintf(&b, "%-*s", widths[0], t.XLabel)
+	for j, c := range t.ColNames {
+		fmt.Fprintf(&b, "  %*s", widths[j+1], c)
+	}
+	b.WriteByte('\n')
+	// Rows.
+	for i, r := range t.RowNames {
+		fmt.Fprintf(&b, "%-*s", widths[0], r)
+		for j := range t.ColNames {
+			fmt.Fprintf(&b, "  %*s", widths[j+1], cells[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Markdown formats the table as a GitHub-style markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s** (%s)\n\n", t.Title, t.YLabel)
+	}
+	b.WriteString("| " + t.XLabel + " |")
+	for _, c := range t.ColNames {
+		b.WriteString(" " + c + " |")
+	}
+	b.WriteByte('\n')
+	b.WriteString("|---|")
+	for range t.ColNames {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for i, r := range t.RowNames {
+		b.WriteString("| " + r + " |")
+		for j := range t.ColNames {
+			b.WriteString(" " + formatValue(t.Values[i][j]) + " |")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV formats the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(t.XLabel))
+	for _, c := range t.ColNames {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(c))
+	}
+	b.WriteByte('\n')
+	for i, r := range t.RowNames {
+		b.WriteString(csvEscape(r))
+		for j := range t.ColNames {
+			b.WriteByte(',')
+			if !math.IsNaN(t.Values[i][j]) {
+				fmt.Fprintf(&b, "%g", t.Values[i][j])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Plot renders a crude ASCII chart of the table's series over its rows
+// (one character column per row entry is too coarse; we use a fixed
+// height grid). It is meant for quick visual shape checks in the
+// terminal, not for publication.
+func (t *Table) Plot(height int) string {
+	if height < 4 {
+		height = 8
+	}
+	var lo, hi float64
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, row := range t.Values {
+		for _, v := range row {
+			if math.IsNaN(v) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return "(no data)\n"
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	marks := []byte("*o+x#@%&")
+	width := len(t.RowNames)*6 + 2
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for j := range t.ColNames {
+		for i := range t.RowNames {
+			v := t.Values[i][j]
+			if math.IsNaN(v) {
+				continue
+			}
+			y := int((v - lo) / (hi - lo) * float64(height-1))
+			x := i*6 + 3
+			row := height - 1 - y
+			if grid[row][x] == ' ' {
+				grid[row][x] = marks[j%len(marks)]
+			} else {
+				grid[row][x] = '='
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  [%s .. %s]\n", t.Title, formatValue(lo), formatValue(hi))
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	for i := range t.RowNames {
+		fmt.Fprintf(&b, "%-6s", t.RowNames[i])
+	}
+	b.WriteByte('\n')
+	for j, c := range t.ColNames {
+		fmt.Fprintf(&b, "  %c = %s\n", marks[j%len(marks)], c)
+	}
+	return b.String()
+}

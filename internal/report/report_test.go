@@ -1,0 +1,116 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := NewTable("Fig X", "nodes", "RT [ms]", []string{"1", "2"}, []string{"a", "b"})
+	t.Set(0, 0, 61.5)
+	t.Set(0, 1, 71.25)
+	t.Set(1, 0, 62.01)
+	// (1,1) left NaN.
+	return t
+}
+
+func TestRenderContainsValuesAndLabels(t *testing.T) {
+	out := sample().Render()
+	for _, want := range []string{"Fig X", "nodes", "a", "b", "61.5", "71.2", "62.0", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderAlignment(t *testing.T) {
+	out := sample().Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// header + 2 data rows at the end, all equal width per column
+	// (just check all data lines non-empty and same field count).
+	n := 0
+	for _, l := range lines {
+		if strings.HasPrefix(l, "1") || strings.HasPrefix(l, "2") {
+			if len(strings.Fields(l)) != 3 {
+				t.Fatalf("row %q has wrong field count", l)
+			}
+			n++
+		}
+	}
+	if n != 2 {
+		t.Fatalf("found %d data rows", n)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := sample().CSV()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines %d", len(lines))
+	}
+	if lines[0] != "nodes,a,b" {
+		t.Fatalf("csv header %q", lines[0])
+	}
+	if lines[2] != "2,62.01," {
+		t.Fatalf("csv missing value row %q", lines[2])
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tbl := NewTable("t", "x,1", "y", []string{`he"y`}, []string{"a\nb"})
+	out := tbl.CSV()
+	if !strings.Contains(out, `"x,1"`) || !strings.Contains(out, `"he""y"`) || !strings.Contains(out, "\"a\nb\"") {
+		t.Fatalf("csv escaping broken:\n%s", out)
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		123.4:  "123",
+		12.34:  "12.3",
+		1.234:  "1.23",
+		-123.4: "-123",
+	}
+	for v, want := range cases {
+		if got := formatValue(v); got != want {
+			t.Errorf("formatValue(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := formatValue(math.NaN()); got != "-" {
+		t.Errorf("NaN formatted as %q", got)
+	}
+}
+
+func TestPlot(t *testing.T) {
+	out := sample().Plot(8)
+	if !strings.Contains(out, "Fig X") {
+		t.Fatalf("plot missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("plot missing series marks:\n%s", out)
+	}
+	empty := NewTable("e", "x", "y", []string{"1"}, []string{"a"})
+	if got := empty.Plot(8); !strings.Contains(got, "no data") {
+		t.Fatalf("empty plot: %q", got)
+	}
+}
+
+func TestPlotFlatSeries(t *testing.T) {
+	tbl := NewTable("flat", "x", "y", []string{"1", "2"}, []string{"a"})
+	tbl.Set(0, 0, 5)
+	tbl.Set(1, 0, 5)
+	if out := tbl.Plot(4); !strings.Contains(out, "*") {
+		t.Fatalf("flat series must still plot:\n%s", out)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	out := sample().Markdown()
+	for _, want := range []string{"**Fig X**", "| nodes |", "| a |", "|---|", "| 61.5 |", "| - |"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

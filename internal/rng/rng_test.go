@@ -1,0 +1,173 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+}
+
+func TestSplitterIndependentOfCallOrder(t *testing.T) {
+	sp1 := NewSplitter(7)
+	x1 := sp1.Stream("x").Float64()
+	y1 := sp1.Stream("y").Float64()
+
+	sp2 := NewSplitter(7)
+	y2 := sp2.Stream("y").Float64()
+	x2 := sp2.Stream("x").Float64()
+
+	if x1 != x2 || y1 != y2 {
+		t.Fatal("splitter streams must not depend on creation order")
+	}
+}
+
+func TestSplitterDistinctNames(t *testing.T) {
+	sp := NewSplitter(7)
+	if sp.Stream("a").Float64() == sp.Stream("b").Float64() {
+		t.Fatal("different names should give different streams")
+	}
+}
+
+func TestSplitChild(t *testing.T) {
+	a := New(1).Split("child")
+	b := New(1).Split("child")
+	if a.Float64() != b.Float64() {
+		t.Fatal("split must be reproducible")
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	src := New(3)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += src.Exp(0.05)
+	}
+	mean := sum / n
+	if math.Abs(mean-0.05) > 0.001 {
+		t.Fatalf("exp mean %v, want ~0.05", mean)
+	}
+	if src.Exp(0) != 0 || src.Exp(-1) != 0 {
+		t.Fatal("non-positive mean must return 0")
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	src := New(4)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if src.Bool(0.85) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.85) > 0.01 {
+		t.Fatalf("bool probability %v, want ~0.85", p)
+	}
+}
+
+func TestDiscreteWeights(t *testing.T) {
+	src := New(5)
+	weights := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[src.Discrete(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight bucket drawn %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.2 {
+		t.Fatalf("weight ratio %v, want ~3", ratio)
+	}
+}
+
+func TestDiscretePanicsOnZeroTotal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Discrete([]float64{0, 0})
+}
+
+func TestZipfRangeAndSkew(t *testing.T) {
+	src := New(6)
+	z := NewZipf(src, 1000, 0.8)
+	counts := make(map[int64]int)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := z.Next()
+		if v < 0 || v >= 1000 {
+			t.Fatalf("zipf draw %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Hot value 0 must be far more popular than the median value.
+	if counts[0] < 20*counts[500]+1 {
+		t.Fatalf("zipf not skewed: counts[0]=%d counts[500]=%d", counts[0], counts[500])
+	}
+}
+
+func TestZipfThetaZeroIsUniform(t *testing.T) {
+	src := New(7)
+	z := NewZipf(src, 100, 0)
+	counts := make([]int, 100)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	for i, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("uniform zipf bucket %d has %d draws, want ~1000", i, c)
+		}
+	}
+}
+
+func TestZipfPropertyInRange(t *testing.T) {
+	err := quick.Check(func(seed int64, n uint16, theta float64) bool {
+		size := int64(n%1000) + 1
+		th := math.Mod(math.Abs(theta), 0.99)
+		z := NewZipf(New(seed), size, th)
+		for i := 0; i < 50; i++ {
+			if v := z.Next(); v < 0 || v >= size {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnAndPerm(t *testing.T) {
+	src := New(8)
+	for i := 0; i < 100; i++ {
+		if v := src.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if v := src.Int63n(7); v < 0 || v >= 7 {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+	}
+	perm := src.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range perm {
+		if seen[v] {
+			t.Fatal("perm repeated a value")
+		}
+		seen[v] = true
+	}
+}

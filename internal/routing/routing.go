@@ -1,0 +1,90 @@
+// Package routing implements the workload allocation strategies of the
+// study: random (balanced) routing, affinity-based routing for the
+// debit-credit workload (branch range partitioning), and the iterative
+// heuristics that derive routing tables and coordinated GLA (global
+// lock authority) assignments from the reference distribution of a
+// trace workload [Ra92b].
+package routing
+
+import (
+	"gemsim/internal/model"
+	"gemsim/internal/workload"
+)
+
+// Router assigns an arriving transaction to a processing node.
+type Router interface {
+	Route(t *model.Txn) int
+}
+
+// GLAMap assigns the global lock authority (primary copy) for every
+// page to a node.
+type GLAMap interface {
+	GLA(page model.PageID) int
+}
+
+// RoundRobin is the "random" routing of the paper: transactions are
+// spread so that every node receives about the same number.
+type RoundRobin struct {
+	nodes int
+	next  int
+}
+
+var _ Router = (*RoundRobin)(nil)
+
+// NewRoundRobin creates a balanced random router over n nodes.
+func NewRoundRobin(n int) *RoundRobin { return &RoundRobin{nodes: n} }
+
+// Route returns nodes in cyclic order, ignoring the transaction.
+func (r *RoundRobin) Route(*model.Txn) int {
+	n := r.next
+	r.next = (r.next + 1) % r.nodes
+	return n
+}
+
+// DebitCreditAffinity routes debit-credit transactions by branch ranges
+// and assigns GLAs accordingly: every node is responsible for an equal
+// share of branches together with their TELLER, ACCOUNT and HISTORY
+// records. This is the ideal partitioning the paper describes.
+type DebitCreditAffinity struct {
+	nodes  int
+	params workload.DebitCreditParams
+}
+
+var (
+	_ Router = (*DebitCreditAffinity)(nil)
+	_ GLAMap = (*DebitCreditAffinity)(nil)
+)
+
+// NewDebitCreditAffinity creates the branch-partitioned strategy.
+func NewDebitCreditAffinity(nodes int, params workload.DebitCreditParams) *DebitCreditAffinity {
+	return &DebitCreditAffinity{nodes: nodes, params: params}
+}
+
+// nodeOfBranch maps a branch to its node by contiguous ranges.
+func (a *DebitCreditAffinity) nodeOfBranch(branch int) int {
+	return branch * a.nodes / a.params.Branches
+}
+
+// Route assigns the transaction to the node owning its branch.
+func (a *DebitCreditAffinity) Route(t *model.Txn) int { return a.nodeOfBranch(t.Branch) }
+
+// GLA returns the lock authority for a page: the node owning the
+// branch the page belongs to.
+func (a *DebitCreditAffinity) GLA(page model.PageID) int {
+	switch page.File {
+	case workload.FileBranchTeller, workload.FileBranch:
+		return a.nodeOfBranch(int(page.Page))
+	case workload.FileTeller:
+		// Teller pages hold 10 tellers of one branch.
+		return a.nodeOfBranch(int(page.Page) * 10 / a.params.TellersPerBranch)
+	case workload.FileAccount:
+		branch := int(page.Page) * a.params.AccountBlocking / a.params.AccountsPerBranch
+		return a.nodeOfBranch(branch)
+	default:
+		// HISTORY is accessed without locks; spread deterministically.
+		if page.Page < 0 {
+			return 0
+		}
+		return int(page.Page) % a.nodes
+	}
+}

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkProcessHandoff measures the cost of one schedule/park/resume
+// cycle — the kernel's fundamental operation.
+func BenchmarkProcessHandoff(b *testing.B) {
+	env := NewEnv()
+	defer env.Stop()
+	done := false
+	env.Spawn("spinner", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Wait(time.Microsecond)
+		}
+		done = true
+	})
+	b.ResetTimer()
+	if err := env.RunUntilIdle(); err != nil {
+		b.Fatal(err)
+	}
+	if !done {
+		b.Fatal("spinner did not finish")
+	}
+}
+
+// BenchmarkResourceUse measures a contended acquire/wait/release cycle.
+func BenchmarkResourceUse(b *testing.B) {
+	env := NewEnv()
+	defer env.Stop()
+	r := NewResource(env, "r", 2)
+	const workers = 8
+	per := b.N/workers + 1
+	for w := 0; w < workers; w++ {
+		env.Spawn("w", func(p *Proc) {
+			for i := 0; i < per; i++ {
+				r.Use(p, time.Microsecond)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := env.RunUntilIdle(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEventScheduling measures raw calendar insert/dispatch.
+func BenchmarkEventScheduling(b *testing.B) {
+	env := NewEnv()
+	defer env.Stop()
+	count := 0
+	for i := 0; i < b.N; i++ {
+		env.After(Time(i%1000)*time.Microsecond, func() { count++ })
+	}
+	b.ResetTimer()
+	if err := env.RunUntilIdle(); err != nil {
+		b.Fatal(err)
+	}
+	if count != b.N {
+		b.Fatalf("fired %d of %d", count, b.N)
+	}
+}

@@ -1,0 +1,147 @@
+package sim
+
+// Validation of the simulation kernel against closed-form queueing
+// theory: an M/M/1 and an M/M/c station driven by the kernel must
+// reproduce the analytic mean waiting times. This is the classic
+// correctness check for a discrete event simulator's queueing and
+// clock machinery.
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"gemsim/internal/rng"
+)
+
+// driveStation runs Poisson arrivals with exponential service through a
+// c-server station and returns the measured mean wait in queue (Wq).
+func driveStation(t *testing.T, servers int, lambda, mu float64, jobs int) float64 {
+	t.Helper()
+	env := NewEnv()
+	defer env.Stop()
+	r := NewResource(env, "station", servers)
+	split := rng.NewSplitter(42)
+	arr := split.Stream("arrivals")
+	svc := split.Stream("service")
+
+	env.Spawn("source", func(p *Proc) {
+		for i := 0; i < jobs; i++ {
+			p.Wait(time.Duration(arr.Exp(1/lambda) * float64(time.Second)))
+			d := time.Duration(svc.Exp(1/mu) * float64(time.Second))
+			env.Spawn("job", func(q *Proc) {
+				r.Use(q, d)
+			})
+		}
+	})
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	return r.MeanWait().Seconds()
+}
+
+func TestMM1MeanWait(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical validation")
+	}
+	// M/M/1: Wq = rho / (mu - lambda), rho = lambda/mu.
+	const lambda, mu = 50.0, 100.0
+	want := (lambda / mu) / (mu - lambda) // 0.01 s
+	got := driveStation(t, 1, lambda, mu, 200000)
+	t.Logf("M/M/1 Wq: measured %.5fs, analytic %.5fs", got, want)
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("M/M/1 mean wait %.5fs, analytic %.5fs (>5%% off)", got, want)
+	}
+}
+
+// erlangC returns the probability that an arrival must queue in an
+// M/M/c system.
+func erlangC(c int, a float64) float64 {
+	// a = lambda/mu (offered load in Erlangs).
+	sum := 0.0
+	term := 1.0
+	for k := 0; k < c; k++ {
+		if k > 0 {
+			term *= a / float64(k)
+		}
+		sum += term
+	}
+	top := term * a / float64(c) // a^c / c!
+	top = top / (1 - a/float64(c))
+	return top / (sum + top)
+}
+
+func TestMMcMeanWait(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical validation")
+	}
+	// M/M/4 at 70% utilization.
+	const c = 4
+	const lambda, mu = 280.0, 100.0
+	a := lambda / mu
+	rho := a / c
+	want := erlangC(c, a) / (c*mu - lambda)
+	_ = rho
+	got := driveStation(t, c, lambda, mu, 300000)
+	t.Logf("M/M/%d Wq: measured %.6fs, analytic %.6fs", c, got, want)
+	if math.Abs(got-want)/want > 0.07 {
+		t.Fatalf("M/M/%d mean wait %.6fs, analytic %.6fs (>7%% off)", c, got, want)
+	}
+}
+
+func TestMD1MeanWait(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical validation")
+	}
+	// M/D/1 (deterministic service, our disk model): by
+	// Pollaczek-Khinchine, Wq = rho/(2(1-rho)) * s.
+	const lambda = 40.0
+	s := 15 * time.Millisecond // disk service time
+	rho := lambda * s.Seconds()
+	want := rho / (2 * (1 - rho)) * s.Seconds()
+
+	env := NewEnv()
+	defer env.Stop()
+	r := NewResource(env, "disk", 1)
+	arr := rng.New(7)
+	env.Spawn("source", func(p *Proc) {
+		for i := 0; i < 200000; i++ {
+			p.Wait(time.Duration(arr.Exp(1/lambda) * float64(time.Second)))
+			env.Spawn("job", func(q *Proc) { r.Use(q, s) })
+		}
+	})
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	got := r.MeanWait().Seconds()
+	t.Logf("M/D/1 Wq: measured %.6fs, analytic %.6fs", got, want)
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("M/D/1 mean wait %.6fs, analytic %.6fs (>5%% off)", got, want)
+	}
+}
+
+func TestUtilizationMatchesOfferedLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical validation")
+	}
+	const lambda, mu = 120.0, 200.0
+	env := NewEnv()
+	defer env.Stop()
+	r := NewResource(env, "s", 1)
+	split := rng.NewSplitter(9)
+	arr, svc := split.Stream("a"), split.Stream("s")
+	env.Spawn("source", func(p *Proc) {
+		for i := 0; i < 100000; i++ {
+			p.Wait(time.Duration(arr.Exp(1/lambda) * float64(time.Second)))
+			d := time.Duration(svc.Exp(1/mu) * float64(time.Second))
+			env.Spawn("job", func(q *Proc) { r.Use(q, d) })
+		}
+	})
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	want := lambda / mu
+	if got := r.Utilization(); math.Abs(got-want) > 0.02 {
+		t.Fatalf("utilization %.4f, want ~%.2f", got, want)
+	}
+}

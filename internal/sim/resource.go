@@ -1,0 +1,240 @@
+package sim
+
+// Resource is a k-server FCFS queueing station with utilization and
+// waiting-time accounting. It models CPUs, disks, controllers and the
+// GEM server.
+type Resource struct {
+	env     *Env
+	name    string
+	servers int
+	busy    int
+	waiters []*Proc
+
+	// Statistics, resettable at the end of a warm-up phase.
+	statStart Time
+	lastT     Time
+	busyArea  float64 // server-busy time integral, in seconds
+	requests  int64
+	queued    int64
+	waitSum   Time
+}
+
+// NewResource creates a resource with the given number of parallel
+// servers. servers must be positive.
+func NewResource(env *Env, name string, servers int) *Resource {
+	if servers <= 0 {
+		panic("sim: resource " + name + " needs at least one server")
+	}
+	return &Resource{env: env, name: name, servers: servers}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Servers returns the number of parallel servers.
+func (r *Resource) Servers() int { return r.servers }
+
+// Busy returns the number of currently occupied servers.
+func (r *Resource) Busy() int { return r.busy }
+
+// QueueLen returns the number of waiting processes.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// accumulate integrates server-busy time up to the current instant.
+func (r *Resource) accumulate() {
+	now := r.env.Now()
+	r.busyArea += float64(r.busy) * (now - r.lastT).Seconds()
+	r.lastT = now
+}
+
+// Acquire obtains one server for the calling process, queueing FCFS if
+// all servers are busy. It must be paired with Release.
+func (r *Resource) Acquire(p *Proc) {
+	r.requests++
+	if r.busy < r.servers {
+		r.accumulate()
+		r.busy++
+		return
+	}
+	r.queued++
+	enqueuedAt := r.env.Now()
+	r.waiters = append(r.waiters, p)
+	p.park()
+	r.waitSum += r.env.Now() - enqueuedAt
+	// The releasing process transferred its server to us; busy stays
+	// unchanged across the hand-off.
+}
+
+// Release frees one server, handing it to the longest-waiting process if
+// any.
+func (r *Resource) Release() {
+	if len(r.waiters) > 0 {
+		next := r.waiters[0]
+		copy(r.waiters, r.waiters[1:])
+		r.waiters[len(r.waiters)-1] = nil
+		r.waiters = r.waiters[:len(r.waiters)-1]
+		next.Unpark()
+		return
+	}
+	r.accumulate()
+	r.busy--
+}
+
+// Use acquires a server, holds it for service time d, and releases it.
+func (r *Resource) Use(p *Proc, d Time) {
+	r.Acquire(p)
+	p.Wait(d)
+	r.Release()
+}
+
+// ResetStats discards accumulated statistics (typically at the end of a
+// warm-up phase) while keeping current occupancy.
+func (r *Resource) ResetStats() {
+	r.statStart = r.env.Now()
+	r.lastT = r.env.Now()
+	r.busyArea = 0
+	r.requests = 0
+	r.queued = 0
+	r.waitSum = 0
+}
+
+// Utilization returns the mean fraction of busy servers since the last
+// ResetStats (or the start of the run).
+func (r *Resource) Utilization() float64 {
+	elapsed := (r.env.Now() - r.statStart).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	area := r.busyArea + float64(r.busy)*(r.env.Now()-r.lastT).Seconds()
+	return area / (float64(r.servers) * elapsed)
+}
+
+// Requests returns the number of Acquire calls since the last ResetStats.
+func (r *Resource) Requests() int64 { return r.requests }
+
+// BusySeconds returns the accumulated server-busy time in seconds since
+// the last ResetStats (summed over servers).
+func (r *Resource) BusySeconds() float64 {
+	return r.busyArea + float64(r.busy)*(r.env.Now()-r.lastT).Seconds()
+}
+
+// MeanWait returns the mean time spent queueing (zero for requests that
+// found a free server) since the last ResetStats.
+func (r *Resource) MeanWait() Time {
+	if r.requests == 0 {
+		return 0
+	}
+	return r.waitSum / Time(r.requests)
+}
+
+// QueuedShare returns the fraction of requests that had to queue.
+func (r *Resource) QueuedShare() float64 {
+	if r.requests == 0 {
+		return 0
+	}
+	return float64(r.queued) / float64(r.requests)
+}
+
+// Semaphore is a counted admission gate with FCFS queueing (used for the
+// multiprogramming level of a node). Unlike Resource it keeps no
+// utilization statistics.
+type Semaphore struct {
+	env     *Env
+	name    string
+	tokens  int
+	waiters []*Proc
+	maxQ    int
+	queuedT Time
+	entries int64
+	waitSum Time
+}
+
+// NewSemaphore creates a semaphore with the given number of tokens.
+func NewSemaphore(env *Env, name string, tokens int) *Semaphore {
+	if tokens <= 0 {
+		panic("sim: semaphore " + name + " needs at least one token")
+	}
+	return &Semaphore{env: env, name: name, tokens: tokens}
+}
+
+// Acquire takes one token, blocking FCFS while none is available.
+func (s *Semaphore) Acquire(p *Proc) {
+	s.entries++
+	if s.tokens > 0 {
+		s.tokens--
+		return
+	}
+	at := s.env.Now()
+	s.waiters = append(s.waiters, p)
+	if len(s.waiters) > s.maxQ {
+		s.maxQ = len(s.waiters)
+	}
+	p.park()
+	s.waitSum += s.env.Now() - at
+}
+
+// Release returns one token, waking the longest waiter if any.
+func (s *Semaphore) Release() {
+	if len(s.waiters) > 0 {
+		next := s.waiters[0]
+		copy(s.waiters, s.waiters[1:])
+		s.waiters[len(s.waiters)-1] = nil
+		s.waiters = s.waiters[:len(s.waiters)-1]
+		next.Unpark()
+		return
+	}
+	s.tokens++
+}
+
+// MaxQueue returns the largest observed queue length.
+func (s *Semaphore) MaxQueue() int { return s.maxQ }
+
+// MeanWait returns the mean admission wait over all Acquire calls.
+func (s *Semaphore) MeanWait() Time {
+	if s.entries == 0 {
+		return 0
+	}
+	return s.waitSum / Time(s.entries)
+}
+
+// Mailbox is an unbounded FIFO queue of values for process
+// communication; Get blocks while the mailbox is empty.
+type Mailbox struct {
+	env     *Env
+	name    string
+	items   []any
+	getters []*Proc
+}
+
+// NewMailbox creates an empty mailbox.
+func NewMailbox(env *Env, name string) *Mailbox {
+	return &Mailbox{env: env, name: name}
+}
+
+// Len returns the number of queued items.
+func (m *Mailbox) Len() int { return len(m.items) }
+
+// Put appends v and wakes the longest-waiting getter, if any. It never
+// blocks and may be called from kernel callbacks.
+func (m *Mailbox) Put(v any) {
+	m.items = append(m.items, v)
+	if len(m.getters) > 0 {
+		g := m.getters[0]
+		copy(m.getters, m.getters[1:])
+		m.getters[len(m.getters)-1] = nil
+		m.getters = m.getters[:len(m.getters)-1]
+		g.Unpark()
+	}
+}
+
+// Get removes and returns the oldest item, blocking while empty.
+func (m *Mailbox) Get(p *Proc) any {
+	for len(m.items) == 0 {
+		m.getters = append(m.getters, p)
+		p.park()
+	}
+	v := m.items[0]
+	m.items[0] = nil
+	m.items = m.items[1:]
+	return v
+}

@@ -1,0 +1,299 @@
+// Package sim implements a process-oriented discrete event simulation
+// kernel in the style of DeNet [Li89], the simulation language used by
+// the original study.
+//
+// Simulation processes are goroutines, but the kernel guarantees that at
+// most one process runs at any instant: the kernel and the processes
+// hand control to each other over unbuffered channels, so model code
+// needs no locking and runs deterministically (event ties are broken by
+// insertion order).
+//
+// The primitives are the classic DES set: Spawn to create a process,
+// Proc.Wait to let simulated time pass, Resource for k-server FCFS
+// queueing stations with utilization accounting, Semaphore for counted
+// admission control, Mailbox for process communication, and Park/Unpark
+// for building condition-style waits (lock tables, page transfers).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point in simulated time, measured from the start of the run.
+type Time = time.Duration
+
+// event is a scheduled occurrence: either resume a parked process or run
+// a kernel-context callback (which must not block).
+type event struct {
+	at   Time
+	seq  int64
+	proc *Proc
+	gen  int64
+	fn   func()
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Env is a simulation environment: an event calendar, a clock and the
+// set of live processes. An Env must be used from a single goroutine
+// (the one calling Run); model code runs inside processes spawned on it.
+type Env struct {
+	now      Time
+	seq      int64
+	events   eventHeap
+	live     map[*Proc]struct{}
+	stopping bool
+	panicked any
+}
+
+// NewEnv returns an empty simulation environment at time zero.
+func NewEnv() *Env {
+	return &Env{
+		live: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current simulated time.
+func (e *Env) Now() Time { return e.now }
+
+// Pending reports the number of scheduled events.
+func (e *Env) Pending() int { return len(e.events) }
+
+// schedule enqueues an event at absolute time at (>= now).
+func (e *Env) schedule(at Time, p *Proc, fn func()) *event {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	ev := &event{at: at, seq: e.seq, proc: p, fn: fn}
+	if p != nil {
+		ev.gen = p.gen
+	}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run in kernel context after delay d. fn must not
+// call blocking process primitives.
+func (e *Env) After(d Time, fn func()) {
+	e.schedule(e.now+d, nil, fn)
+}
+
+// stopSignal is panicked inside a process to unwind it during Stop.
+type stopSignal struct{}
+
+// Proc is a simulation process. All blocking primitives must be called
+// by the process itself (from the function passed to Spawn).
+type Proc struct {
+	env     *Env
+	name    string
+	resume  chan bool     // kernel -> proc; value: stopped
+	yielded chan struct{} // proc -> kernel: blocked or finished
+	gen     int64         // incremented at every resume; stale wake events are dropped
+	done    bool
+	joiner  *Proc
+}
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Done reports whether the process function has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// Spawn creates a new process executing fn and schedules it to start at
+// the current simulated time.
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.SpawnAfter(0, name, fn)
+}
+
+// SpawnAfter creates a new process executing fn, starting after delay d.
+func (e *Env) SpawnAfter(d Time, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, resume: make(chan bool), yielded: make(chan struct{})}
+	e.live[p] = struct{}{}
+	go p.run(fn)
+	e.schedule(e.now+d, p, nil)
+	return p
+}
+
+// run is the top-level body of a process goroutine.
+func (p *Proc) run(fn func(p *Proc)) {
+	stopped := <-p.resume
+	p.gen++
+	if !stopped {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(stopSignal); !ok {
+						p.env.panicked = fmt.Sprintf("process %q: %v", p.name, r)
+					}
+				}
+			}()
+			fn(p)
+		}()
+	}
+	p.done = true
+	delete(p.env.live, p)
+	if p.joiner != nil {
+		j := p.joiner
+		p.joiner = nil
+		p.env.schedule(p.env.now, j, nil)
+	}
+	p.yielded <- struct{}{}
+}
+
+// park blocks the calling process until the kernel resumes it.
+func (p *Proc) park() {
+	p.yielded <- struct{}{}
+	stopped := <-p.resume
+	p.gen++
+	if stopped {
+		panic(stopSignal{})
+	}
+}
+
+// Park blocks the calling process until another process or a kernel
+// callback calls Unpark on it. It is the building block for condition
+// waits (lock queues, page-transfer waits).
+func (p *Proc) Park() { p.park() }
+
+// Unpark schedules p to resume at the current simulated time. It must
+// only be called for a process that is parked (or about to park within
+// the same instant); the kernel delivers the resume after the caller
+// yields, so "unpark then park" races cannot occur within one instant
+// as long as the parking process parks before yielding control.
+func (p *Proc) Unpark() {
+	p.env.schedule(p.env.now, p, nil)
+}
+
+// UnparkAfter schedules p to resume after delay d.
+func (p *Proc) UnparkAfter(d Time) {
+	p.env.schedule(p.env.now+d, p, nil)
+}
+
+// Wait suspends the calling process for duration d of simulated time.
+func (p *Proc) Wait(d Time) {
+	p.env.schedule(p.env.now+d, p, nil)
+	p.park()
+}
+
+// Join blocks the calling process until other has finished. At most one
+// process may join another.
+func (p *Proc) Join(other *Proc) {
+	if other.done {
+		return
+	}
+	if other.joiner != nil {
+		panic("sim: second joiner on process " + other.name)
+	}
+	other.joiner = p
+	p.park()
+}
+
+// Fork runs each fn as a child process and blocks until all have
+// finished. It models parallel sub-operations such as the parallel
+// force-writes at commit.
+func (p *Proc) Fork(name string, fns ...func(p *Proc)) {
+	children := make([]*Proc, len(fns))
+	for i, fn := range fns {
+		children[i] = p.env.Spawn(fmt.Sprintf("%s/%d", name, i), fn)
+	}
+	for _, c := range children {
+		p.Join(c)
+	}
+}
+
+// Run advances the simulation until the event calendar is empty or the
+// clock would pass until. Events scheduled exactly at until still run.
+// It returns an error if any process panicked.
+func (e *Env) Run(until Time) error {
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if next.at > until {
+			break
+		}
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		e.dispatch(ev)
+		if e.panicked != nil {
+			return fmt.Errorf("sim: %v", e.panicked)
+		}
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return nil
+}
+
+// RunUntilIdle advances the simulation until no events remain.
+func (e *Env) RunUntilIdle() error {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		e.dispatch(ev)
+		if e.panicked != nil {
+			return fmt.Errorf("sim: %v", e.panicked)
+		}
+	}
+	return nil
+}
+
+// dispatch fires one event: run a kernel callback or hand control to a
+// process and wait for it to yield.
+func (e *Env) dispatch(ev *event) {
+	if ev.fn != nil {
+		ev.fn()
+		return
+	}
+	if ev.proc != nil {
+		if ev.proc.done || ev.gen != ev.proc.gen {
+			return // stale wake: the process moved on since this was scheduled
+		}
+		ev.proc.resume <- false
+		<-ev.proc.yielded
+	}
+}
+
+// Stop terminates all live processes by unwinding them, so that no
+// goroutines leak after a run. The environment must not be used again.
+func (e *Env) Stop() {
+	e.stopping = true
+	for len(e.live) > 0 {
+		var p *Proc
+		for q := range e.live {
+			p = q
+			break
+		}
+		delete(e.live, p)
+		p.resume <- true
+		<-p.yielded
+	}
+	e.events = nil
+}

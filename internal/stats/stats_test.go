@@ -1,0 +1,256 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	for _, v := range []float64{1, 2, 3, 4} {
+		s.Add(v)
+	}
+	if s.Count() != 4 {
+		t.Fatalf("count %d", s.Count())
+	}
+	if got := s.Mean(); got != 2.5 {
+		t.Fatalf("mean %v", got)
+	}
+	if got := s.Variance(); math.Abs(got-5.0/3.0) > 1e-12 {
+		t.Fatalf("variance %v", got)
+	}
+	if s.Min() != 1 || s.Max() != 4 {
+		t.Fatalf("min/max %v %v", s.Min(), s.Max())
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Variance() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty series should report zeros")
+	}
+}
+
+func TestSeriesDuration(t *testing.T) {
+	var s Series
+	s.AddDuration(10 * time.Millisecond)
+	s.AddDuration(30 * time.Millisecond)
+	if got := s.MeanDuration(); got < 20*time.Millisecond-time.Microsecond || got > 20*time.Millisecond+time.Microsecond {
+		t.Fatalf("mean duration %v", got)
+	}
+}
+
+func TestSeriesMergeMatchesSequential(t *testing.T) {
+	err := quick.Check(func(a, b []float64) bool {
+		var whole, left, right Series
+		for _, v := range a {
+			sanitize(&v)
+			whole.Add(v)
+			left.Add(v)
+		}
+		for _, v := range b {
+			sanitize(&v)
+			whole.Add(v)
+			right.Add(v)
+		}
+		left.Merge(&right)
+		if whole.Count() != left.Count() {
+			return false
+		}
+		if whole.Count() == 0 {
+			return true
+		}
+		return closeEnough(whole.Mean(), left.Mean()) &&
+			closeEnough(whole.Variance(), left.Variance()) &&
+			whole.Min() == left.Min() && whole.Max() == left.Max()
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sanitize(v *float64) {
+	if math.IsNaN(*v) || math.IsInf(*v, 0) {
+		*v = 0
+	}
+	// Keep magnitudes bounded so float comparison tolerances hold.
+	*v = math.Mod(*v, 1e6)
+}
+
+func closeEnough(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= 1e-9*math.Max(scale, 1)
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(0.001, 1.1)
+	for i := 1; i <= 1000; i++ {
+		h.Add(float64(i) * 0.001)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count %d", h.Count())
+	}
+	med := h.Quantile(0.5)
+	if med < 0.45 || med > 0.6 {
+		t.Fatalf("median estimate %v, want ~0.5", med)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 0.9 || p99 > 1.2 {
+		t.Fatalf("p99 estimate %v, want ~0.99", p99)
+	}
+	if q := h.Quantile(0.5); h.Quantile(0.9) < q {
+		t.Fatal("quantiles must be monotone")
+	}
+}
+
+func TestHistogramUnderflow(t *testing.T) {
+	h := NewHistogram(1.0, 2.0)
+	h.Add(0.5)
+	h.Add(0.25)
+	if got := h.Quantile(0.9); got != 1.0 {
+		t.Fatalf("underflow quantile %v", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewDurationHistogram()
+	b := NewDurationHistogram()
+	for i := 0; i < 100; i++ {
+		a.AddDuration(time.Millisecond)
+		b.AddDuration(100 * time.Millisecond)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count %d", a.Count())
+	}
+	med := a.QuantileDuration(0.5)
+	if med < 500*time.Microsecond || med > 2*time.Millisecond {
+		t.Fatalf("median after merge %v", med)
+	}
+	if p95 := a.QuantileDuration(0.95); p95 < 80*time.Millisecond {
+		t.Fatalf("p95 after merge %v", p95)
+	}
+}
+
+func TestHistogramMergeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bucketing mismatch")
+		}
+	}()
+	NewHistogram(1, 2).Merge(NewHistogram(1, 3))
+}
+
+func TestRatio(t *testing.T) {
+	var r Ratio
+	r.Observe(true)
+	r.Observe(true)
+	r.Observe(false)
+	if got := r.Value(); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("ratio %v", got)
+	}
+	r.Reset()
+	if r.Value() != 0 || r.Total() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestBatchMeans(t *testing.T) {
+	b := NewBatchMeans(10)
+	for i := 0; i < 100; i++ {
+		b.Add(float64(i % 10))
+	}
+	if b.Batches() != 10 {
+		t.Fatalf("batches %d", b.Batches())
+	}
+	if got := b.Mean(); got != 4.5 {
+		t.Fatalf("grand mean %v", got)
+	}
+	if hw := b.HalfWidth95(); hw != 0 {
+		t.Fatalf("identical batches should give zero half-width, got %v", hw)
+	}
+}
+
+func TestBatchMeansHalfWidth(t *testing.T) {
+	b := NewBatchMeans(1)
+	for _, v := range []float64{1, 2, 3, 4, 5, 6, 7, 8} {
+		b.Add(v)
+	}
+	if hw := b.HalfWidth95(); hw <= 0 {
+		t.Fatalf("half width %v, want > 0", hw)
+	}
+}
+
+func TestQuantilesExact(t *testing.T) {
+	sample := []float64{5, 1, 4, 2, 3}
+	qs := Quantiles(sample, 0.0, 0.5, 1.0)
+	if qs[0] != 1 || qs[1] != 3 || qs[2] != 5 {
+		t.Fatalf("quantiles %v", qs)
+	}
+	if got := Quantiles(nil, 0.5); got[0] != 0 {
+		t.Fatalf("empty sample quantile %v", got)
+	}
+}
+
+func TestSeriesAddPropertyMeanBounded(t *testing.T) {
+	err := quick.Check(func(vs []float64) bool {
+		var s Series
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range vs {
+			sanitize(&v)
+			s.Add(v)
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if s.Count() == 0 {
+			return true
+		}
+		return s.Mean() >= lo-1e-9 && s.Mean() <= hi+1e-9 && s.Variance() >= -1e-9
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMSERCutoffDetectsTransient(t *testing.T) {
+	// A decaying initial transient followed by stationary noise.
+	series := make([]float64, 1000)
+	for i := range series {
+		transient := 50 * math.Exp(-float64(i)/40)
+		noise := math.Sin(float64(i)*0.7) * 2 // bounded pseudo-noise
+		series[i] = 10 + transient + noise
+	}
+	cut, se := MSERCutoff(series, 5)
+	if cut < 50 || cut > 400 {
+		t.Fatalf("cutoff %d, want within the transient decay region", cut)
+	}
+	if se <= 0 {
+		t.Fatalf("standard error %v", se)
+	}
+}
+
+func TestMSERCutoffStationarySeries(t *testing.T) {
+	series := make([]float64, 500)
+	for i := range series {
+		series[i] = 5 + math.Cos(float64(i)*1.3)
+	}
+	cut, _ := MSERCutoff(series, 5)
+	// No transient: the cutoff must stay small.
+	if cut > 125 {
+		t.Fatalf("cutoff %d for a stationary series", cut)
+	}
+}
+
+func TestMSERCutoffShortSeries(t *testing.T) {
+	if cut, se := MSERCutoff([]float64{1, 2, 3}, 5); cut != 0 || se != 0 {
+		t.Fatal("short series must return zero cutoff")
+	}
+	if cut, _ := MSERCutoff(nil, 0); cut != 0 {
+		t.Fatal("empty series must return zero cutoff")
+	}
+}

@@ -1,0 +1,99 @@
+package storage
+
+import (
+	"container/list"
+
+	"gemsim/internal/model"
+)
+
+// Cache is a shared disk cache with LRU replacement, following the
+// organization of commercial disk caches [Gr89]. A volatile cache only
+// serves read hits; a non-volatile cache additionally absorbs writes
+// (dirty entries are destaged to disk asynchronously by the owning
+// Group).
+type Cache struct {
+	capacity int
+	volatile bool
+	lru      *list.List // front = most recently used
+	index    map[model.PageID]*list.Element
+}
+
+type cacheEntry struct {
+	page  model.PageID
+	dirty bool
+}
+
+// NewCache creates a cache holding up to capacity pages.
+func NewCache(capacity int, volatile bool) *Cache {
+	if capacity <= 0 {
+		panic("storage: cache capacity must be positive")
+	}
+	return &Cache{
+		capacity: capacity,
+		volatile: volatile,
+		lru:      list.New(),
+		index:    make(map[model.PageID]*list.Element, capacity),
+	}
+}
+
+// Volatile reports whether the cache loses its content on power failure
+// (and therefore cannot absorb writes).
+func (c *Cache) Volatile() bool { return c.volatile }
+
+// Len returns the number of cached pages.
+func (c *Cache) Len() int { return c.lru.Len() }
+
+// Capacity returns the configured capacity.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Contains reports whether the page is cached, without touching LRU
+// state.
+func (c *Cache) Contains(page model.PageID) bool {
+	_, ok := c.index[page]
+	return ok
+}
+
+// Dirty reports whether the page is cached and dirty.
+func (c *Cache) Dirty(page model.PageID) bool {
+	el, ok := c.index[page]
+	return ok && el.Value.(*cacheEntry).dirty
+}
+
+// Touch looks the page up and, on a hit, moves it to the MRU position.
+func (c *Cache) Touch(page model.PageID) bool {
+	el, ok := c.index[page]
+	if !ok {
+		return false
+	}
+	c.lru.MoveToFront(el)
+	return true
+}
+
+// Insert places the page at the MRU position with the given dirty state,
+// evicting the LRU entry if the cache is full. It returns the victim and
+// its dirty state when an eviction happened.
+func (c *Cache) Insert(page model.PageID, dirty bool) (victim model.PageID, victimDirty, evicted bool) {
+	if el, ok := c.index[page]; ok {
+		e := el.Value.(*cacheEntry)
+		e.dirty = e.dirty || dirty
+		c.lru.MoveToFront(el)
+		return model.PageID{}, false, false
+	}
+	if c.lru.Len() >= c.capacity {
+		back := c.lru.Back()
+		e := back.Value.(*cacheEntry)
+		victim, victimDirty, evicted = e.page, e.dirty, true
+		c.lru.Remove(back)
+		delete(c.index, e.page)
+	}
+	c.index[page] = c.lru.PushFront(&cacheEntry{page: page, dirty: dirty})
+	return victim, victimDirty, evicted
+}
+
+// Clean clears the dirty flag after a completed destage; it is a no-op
+// if the page has been evicted meanwhile.
+func (c *Cache) Clean(page model.PageID) {
+	if el, ok := c.index[page]; ok {
+		el.Value.(*cacheEntry).dirty = false
+	}
+}

@@ -1,0 +1,92 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gemsim/internal/model"
+)
+
+func TestCacheLRUOrder(t *testing.T) {
+	c := NewCache(2, true)
+	c.Insert(page(1), false)
+	c.Insert(page(2), false)
+	c.Touch(page(1)) // 1 becomes MRU
+	victim, _, evicted := c.Insert(page(3), false)
+	if !evicted || victim != page(2) {
+		t.Fatalf("victim %v evicted=%v, want page 2", victim, evicted)
+	}
+	if !c.Contains(page(1)) || !c.Contains(page(3)) || c.Contains(page(2)) {
+		t.Fatal("wrong cache content after eviction")
+	}
+}
+
+func TestCacheInsertExistingMergesDirty(t *testing.T) {
+	c := NewCache(2, false)
+	c.Insert(page(1), true)
+	_, _, evicted := c.Insert(page(1), false)
+	if evicted {
+		t.Fatal("re-insert must not evict")
+	}
+	if !c.Dirty(page(1)) {
+		t.Fatal("dirty state must be sticky across re-insert")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len %d", c.Len())
+	}
+}
+
+func TestCacheClean(t *testing.T) {
+	c := NewCache(2, false)
+	c.Insert(page(1), true)
+	c.Clean(page(1))
+	if c.Dirty(page(1)) {
+		t.Fatal("clean failed")
+	}
+	c.Clean(page(99)) // no-op for absent pages
+}
+
+func TestCacheVictimDirtyFlag(t *testing.T) {
+	c := NewCache(1, false)
+	c.Insert(page(1), true)
+	victim, dirty, evicted := c.Insert(page(2), false)
+	if !evicted || victim != page(1) || !dirty {
+		t.Fatalf("victim=%v dirty=%v evicted=%v", victim, dirty, evicted)
+	}
+}
+
+func TestCachePanicsOnZeroCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCache(0, false)
+}
+
+// TestCacheNeverExceedsCapacityProperty drives random insert/touch
+// sequences and checks the size bound and index consistency.
+func TestCacheNeverExceedsCapacityProperty(t *testing.T) {
+	err := quick.Check(func(ops []uint16, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		c := NewCache(capacity, false)
+		for _, op := range ops {
+			p := model.PageID{File: 1, Page: int32(op % 64)}
+			if op%3 == 0 {
+				c.Touch(p)
+			} else {
+				c.Insert(p, op%5 == 0)
+			}
+			if c.Len() > capacity {
+				return false
+			}
+			if c.Contains(p) != (op%3 != 0 || c.Contains(p)) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

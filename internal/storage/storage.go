@@ -1,0 +1,229 @@
+// Package storage models the external storage devices of the shared
+// disk complex: disk groups (controller + disk servers + page transfer
+// delay), sequential log disks, and shared disk caches in their volatile
+// and non-volatile variants, managed LRU after the commercial (IBM)
+// disk caches referenced by the paper.
+//
+// Because the architecture is "shared disk", every disk group and its
+// cache is a single system-wide instance reachable by all nodes; the
+// shared cache therefore acts as a global database buffer.
+package storage
+
+import (
+	"time"
+
+	"gemsim/internal/model"
+	"gemsim/internal/sim"
+	"gemsim/internal/stats"
+)
+
+// Params configures one disk group.
+type Params struct {
+	// Disks is the number of parallel disk servers in the group.
+	Disks int
+	// Controllers is the number of controller servers.
+	Controllers int
+	// DiskTime is the mean disk service time (15 ms for database
+	// disks, 5 ms for sequentially accessed log disks in Table 4.1).
+	DiskTime time.Duration
+	// ControllerTime is the mean controller service time (1 ms).
+	ControllerTime time.Duration
+	// TransferTime is the page transmission delay between main memory
+	// and the controller (0.4 ms).
+	TransferTime time.Duration
+	// Cache, if non-nil, attaches a shared disk cache to the group.
+	Cache *CacheParams
+}
+
+// CacheParams configures a shared disk cache.
+type CacheParams struct {
+	// SizePages is the cache capacity in pages.
+	SizePages int
+	// Volatile selects a volatile cache (read hits only); otherwise
+	// the cache is non-volatile and absorbs writes with asynchronous
+	// destage to disk.
+	Volatile bool
+}
+
+// DefaultDBParams returns Table 4.1 database disk settings with the
+// given number of disks.
+func DefaultDBParams(disks int) Params {
+	return Params{
+		Disks:          disks,
+		Controllers:    maxInt(1, disks/4),
+		DiskTime:       15 * time.Millisecond,
+		ControllerTime: time.Millisecond,
+		TransferTime:   400 * time.Microsecond,
+	}
+}
+
+// DefaultLogParams returns Table 4.1 log disk settings.
+func DefaultLogParams() Params {
+	return Params{
+		Disks:          1,
+		Controllers:    1,
+		DiskTime:       5 * time.Millisecond,
+		ControllerTime: time.Millisecond,
+		TransferTime:   400 * time.Microsecond,
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Group is one shared disk group, optionally fronted by a shared cache.
+type Group struct {
+	name        string
+	env         *sim.Env
+	params      Params
+	controllers *sim.Resource
+	disks       *sim.Resource
+	cache       *Cache
+
+	reads        int64
+	writes       int64
+	readHits     int64
+	writesAbsorb int64
+	destages     int64
+	readLatency  stats.Series
+	writeLatency stats.Series
+}
+
+// NewGroup creates a disk group.
+func NewGroup(env *sim.Env, name string, params Params) *Group {
+	if params.Disks <= 0 {
+		params.Disks = 1
+	}
+	if params.Controllers <= 0 {
+		params.Controllers = 1
+	}
+	g := &Group{
+		name:        name,
+		env:         env,
+		params:      params,
+		controllers: sim.NewResource(env, name+"/ctl", params.Controllers),
+		disks:       sim.NewResource(env, name+"/disk", params.Disks),
+	}
+	if params.Cache != nil && params.Cache.SizePages > 0 {
+		g.cache = NewCache(params.Cache.SizePages, params.Cache.Volatile)
+	}
+	return g
+}
+
+// Name returns the group name.
+func (g *Group) Name() string { return g.name }
+
+// Cache returns the attached shared disk cache, or nil.
+func (g *Group) Cache() *Cache { return g.cache }
+
+// Read performs one page read through the group and reports whether it
+// was satisfied by the shared disk cache.
+func (g *Group) Read(p *sim.Proc, page model.PageID) (cacheHit bool) {
+	start := g.env.Now()
+	g.reads++
+	if g.cache != nil && g.cache.Touch(page) {
+		g.readHits++
+		g.controllers.Use(p, g.params.ControllerTime)
+		p.Wait(g.params.TransferTime)
+		g.readLatency.AddDuration(g.env.Now() - start)
+		return true
+	}
+	g.controllers.Use(p, g.params.ControllerTime)
+	g.disks.Use(p, g.params.DiskTime)
+	p.Wait(g.params.TransferTime)
+	if g.cache != nil {
+		g.insert(page, false)
+	}
+	g.readLatency.AddDuration(g.env.Now() - start)
+	return false
+}
+
+// Write performs one page write through the group and reports whether a
+// non-volatile cache absorbed it (updating the disk asynchronously).
+func (g *Group) Write(p *sim.Proc, page model.PageID) (absorbed bool) {
+	start := g.env.Now()
+	g.writes++
+	if g.cache != nil && !g.cache.Volatile() {
+		// Write-behind: the cache absorbs the write; the disk copy is
+		// updated lazily when the dirty entry reaches the LRU end
+		// (asynchronous destage, so requesters never see disk delay).
+		g.controllers.Use(p, g.params.ControllerTime)
+		p.Wait(g.params.TransferTime)
+		g.insert(page, true)
+		g.writesAbsorb++
+		g.writeLatency.AddDuration(g.env.Now() - start)
+		return true
+	}
+	g.controllers.Use(p, g.params.ControllerTime)
+	g.disks.Use(p, g.params.DiskTime)
+	p.Wait(g.params.TransferTime)
+	if g.cache != nil {
+		// Volatile cache: write-through, keep the copy readable.
+		g.insert(page, false)
+	}
+	g.writeLatency.AddDuration(g.env.Now() - start)
+	return false
+}
+
+// insert adds a page to the cache, destaging a dirty LRU victim in the
+// background (the cache keeps enough headroom that requesters never wait
+// for destage, matching commercial write-behind caches).
+func (g *Group) insert(page model.PageID, dirty bool) {
+	victim, victimDirty, evicted := g.cache.Insert(page, dirty)
+	if evicted && victimDirty {
+		g.scheduleDestage(victim)
+	}
+}
+
+// scheduleDestage writes a cached dirty page back to disk in the
+// background and cleans the cache entry afterwards (unless it was
+// re-dirtied, in which case its own destage has been scheduled).
+func (g *Group) scheduleDestage(page model.PageID) {
+	g.destages++
+	g.env.Spawn(g.name+"/destage", func(p *sim.Proc) {
+		g.disks.Use(p, g.params.DiskTime)
+		g.cache.Clean(page)
+	})
+}
+
+// DiskUtilization returns the utilization of the disk servers.
+func (g *Group) DiskUtilization() float64 { return g.disks.Utilization() }
+
+// ControllerUtilization returns the utilization of the controllers.
+func (g *Group) ControllerUtilization() float64 { return g.controllers.Utilization() }
+
+// Reads returns the number of page reads since the last ResetStats.
+func (g *Group) Reads() int64 { return g.reads }
+
+// Writes returns the number of page writes since the last ResetStats.
+func (g *Group) Writes() int64 { return g.writes }
+
+// ReadHitRatio returns the cache read hit ratio.
+func (g *Group) ReadHitRatio() float64 {
+	if g.reads == 0 {
+		return 0
+	}
+	return float64(g.readHits) / float64(g.reads)
+}
+
+// Destages returns the number of background destage writes.
+func (g *Group) Destages() int64 { return g.destages }
+
+// MeanReadLatency returns the mean read latency including queueing.
+func (g *Group) MeanReadLatency() time.Duration { return g.readLatency.MeanDuration() }
+
+// MeanWriteLatency returns the mean write latency including queueing.
+func (g *Group) MeanWriteLatency() time.Duration { return g.writeLatency.MeanDuration() }
+
+// ResetStats discards accumulated statistics.
+func (g *Group) ResetStats() {
+	g.controllers.ResetStats()
+	g.disks.ResetStats()
+	g.reads, g.writes, g.readHits, g.writesAbsorb, g.destages = 0, 0, 0, 0, 0
+	g.readLatency.Reset()
+	g.writeLatency.Reset()
+}

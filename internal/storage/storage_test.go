@@ -1,0 +1,224 @@
+package storage
+
+import (
+	"testing"
+	"time"
+
+	"gemsim/internal/model"
+	"gemsim/internal/sim"
+)
+
+func page(n int32) model.PageID { return model.PageID{File: 1, Page: n} }
+
+func TestPlainDiskReadTiming(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Stop()
+	g := NewGroup(env, "db", DefaultDBParams(1))
+	var done sim.Time
+	env.Spawn("u", func(p *sim.Proc) {
+		if hit := g.Read(p, page(1)); hit {
+			t.Error("no cache: read must not hit")
+		}
+		done = env.Now()
+	})
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	// 1 ms controller + 15 ms disk + 0.4 ms transfer = 16.4 ms.
+	if done != 16400*time.Microsecond {
+		t.Fatalf("read finished at %v, want 16.4ms", done)
+	}
+}
+
+func TestLogDiskWriteTiming(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Stop()
+	g := NewGroup(env, "log", DefaultLogParams())
+	var done sim.Time
+	env.Spawn("u", func(p *sim.Proc) {
+		g.Write(p, page(1))
+		done = env.Now()
+	})
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	// 1 ms controller + 5 ms disk + 0.4 ms transfer = 6.4 ms.
+	if done != 6400*time.Microsecond {
+		t.Fatalf("log write finished at %v, want 6.4ms", done)
+	}
+}
+
+func TestVolatileCacheReadHit(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Stop()
+	params := DefaultDBParams(1)
+	params.Cache = &CacheParams{SizePages: 10, Volatile: true}
+	g := NewGroup(env, "db", params)
+	var first, second sim.Time
+	env.Spawn("u", func(p *sim.Proc) {
+		g.Read(p, page(1))
+		first = env.Now()
+		g.Read(p, page(1))
+		second = env.Now() - first
+	})
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if first != 16400*time.Microsecond {
+		t.Fatalf("cold read %v, want 16.4ms", first)
+	}
+	// Cache hit: 1 ms controller + 0.4 ms transfer = 1.4 ms.
+	if second != 1400*time.Microsecond {
+		t.Fatalf("cache hit %v, want 1.4ms", second)
+	}
+	if g.ReadHitRatio() != 0.5 {
+		t.Fatalf("hit ratio %v, want 0.5", g.ReadHitRatio())
+	}
+}
+
+func TestVolatileCacheWriteThrough(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Stop()
+	params := DefaultDBParams(1)
+	params.Cache = &CacheParams{SizePages: 10, Volatile: true}
+	g := NewGroup(env, "db", params)
+	var wdur, rdur sim.Time
+	env.Spawn("u", func(p *sim.Proc) {
+		start := env.Now()
+		if absorbed := g.Write(p, page(1)); absorbed {
+			t.Error("volatile cache must not absorb writes")
+		}
+		wdur = env.Now() - start
+		start = env.Now()
+		g.Read(p, page(1)) // written page is cached readable
+		rdur = env.Now() - start
+	})
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if wdur != 16400*time.Microsecond {
+		t.Fatalf("write-through %v, want 16.4ms", wdur)
+	}
+	if rdur != 1400*time.Microsecond {
+		t.Fatalf("read after write %v, want 1.4ms cache hit", rdur)
+	}
+}
+
+func TestNonVolatileCacheAbsorbsWrites(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Stop()
+	params := DefaultDBParams(1)
+	params.Cache = &CacheParams{SizePages: 10}
+	g := NewGroup(env, "db", params)
+	var wdur sim.Time
+	env.Spawn("u", func(p *sim.Proc) {
+		start := env.Now()
+		if absorbed := g.Write(p, page(1)); !absorbed {
+			t.Error("non-volatile cache must absorb writes")
+		}
+		wdur = env.Now() - start
+	})
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if wdur != 1400*time.Microsecond {
+		t.Fatalf("absorbed write %v, want 1.4ms", wdur)
+	}
+}
+
+func TestNonVolatileCacheDestagesOnEviction(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Stop()
+	params := DefaultDBParams(2)
+	params.Cache = &CacheParams{SizePages: 2}
+	g := NewGroup(env, "db", params)
+	env.Spawn("u", func(p *sim.Proc) {
+		g.Write(p, page(1)) // dirty
+		g.Write(p, page(2)) // dirty
+		g.Write(p, page(3)) // evicts page 1 -> background destage
+	})
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Destages() != 1 {
+		t.Fatalf("destages %d, want 1", g.Destages())
+	}
+	if g.Cache().Contains(page(1)) {
+		t.Fatal("evicted page still cached")
+	}
+}
+
+func TestRewriteCoalescesDirtyState(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Stop()
+	params := DefaultDBParams(1)
+	params.Cache = &CacheParams{SizePages: 4}
+	g := NewGroup(env, "db", params)
+	env.Spawn("u", func(p *sim.Proc) {
+		g.Write(p, page(1))
+		g.Write(p, page(1)) // re-dirty, no extra destage scheduling
+	})
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Destages() != 0 {
+		t.Fatalf("destages %d, want 0 (lazy destage on eviction only)", g.Destages())
+	}
+	if !g.Cache().Dirty(page(1)) {
+		t.Fatal("page must be dirty in cache")
+	}
+}
+
+func TestDiskQueueing(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Stop()
+	g := NewGroup(env, "db", DefaultDBParams(1))
+	var last sim.Time
+	for i := 0; i < 3; i++ {
+		i := i
+		env.Spawn("u", func(p *sim.Proc) {
+			g.Read(p, page(int32(i)))
+			last = env.Now()
+		})
+	}
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	// Controller (1 server) pipelines with the single disk: three
+	// serial 15 ms disk services dominate.
+	if last < 45*time.Millisecond {
+		t.Fatalf("3 reads on one disk finished at %v, want >= 45ms", last)
+	}
+	if u := g.DiskUtilization(); u < 0.8 {
+		t.Fatalf("disk utilization %v", u)
+	}
+	if g.Reads() != 3 {
+		t.Fatalf("reads %d", g.Reads())
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Stop()
+	g := NewGroup(env, "db", DefaultDBParams(1))
+	env.Spawn("u", func(p *sim.Proc) {
+		g.Read(p, page(1))
+		g.ResetStats()
+	})
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Reads() != 0 || g.Writes() != 0 {
+		t.Fatal("counters must reset")
+	}
+}
+
+func TestGroupDefaultsClampServers(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Stop()
+	g := NewGroup(env, "db", Params{DiskTime: time.Millisecond, ControllerTime: time.Millisecond})
+	env.Spawn("u", func(p *sim.Proc) { g.Read(p, page(1)) })
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+}

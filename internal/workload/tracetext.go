@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gemsim/internal/model"
+)
+
+// Text trace format: a human-editable line format for importing real
+// trace data into the simulator (the binary format is the compact
+// interchange form).
+//
+//	# comment
+//	file <id> <name> <pages> <blockingFactor> <locked|unlocked>
+//	txn <type>
+//	ref <fileID> <page> [w]
+//
+// Every `ref` belongs to the most recent `txn`. Files must be declared
+// before they are referenced.
+
+// WriteText serializes the trace in the text format.
+func (t *Trace) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# gemsim text trace: %d types, %d files, %d txns\n", t.Types, len(t.Files), len(t.Txns))
+	for i := range t.Files {
+		f := &t.Files[i]
+		locked := "locked"
+		if !f.Locking {
+			locked = "unlocked"
+		}
+		fmt.Fprintf(bw, "file %d %s %d %d %s\n", f.ID, f.Name, f.Pages, f.BlockingFactor, locked)
+	}
+	for i := range t.Txns {
+		tx := &t.Txns[i]
+		fmt.Fprintf(bw, "txn %d\n", tx.Type)
+		for _, r := range tx.Refs {
+			if r.Write {
+				fmt.Fprintf(bw, "ref %d %d w\n", r.Page.File, r.Page.Page)
+			} else {
+				fmt.Fprintf(bw, "ref %d %d\n", r.Page.File, r.Page.Page)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTextTrace parses the text trace format.
+func ReadTextTrace(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	var cur *model.Txn
+	maxType := -1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "file":
+			if len(fields) != 6 {
+				return nil, textErr(lineNo, "file needs: file <id> <name> <pages> <bf> <locked|unlocked>")
+			}
+			id, err1 := strconv.Atoi(fields[1])
+			pages, err2 := strconv.Atoi(fields[3])
+			bf, err3 := strconv.Atoi(fields[4])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, textErr(lineNo, "bad numbers in file declaration")
+			}
+			var locking bool
+			switch fields[5] {
+			case "locked":
+				locking = true
+			case "unlocked":
+				locking = false
+			default:
+				return nil, textErr(lineNo, "lock flag must be locked or unlocked")
+			}
+			t.Files = append(t.Files, model.File{
+				ID:             model.FileID(id),
+				Name:           fields[2],
+				Pages:          int32(pages),
+				BlockingFactor: bf,
+				Locking:        locking,
+				Medium:         model.MediumDisk,
+			})
+		case "txn":
+			if len(fields) != 2 {
+				return nil, textErr(lineNo, "txn needs: txn <type>")
+			}
+			typ, err := strconv.Atoi(fields[1])
+			if err != nil || typ < 0 {
+				return nil, textErr(lineNo, "bad transaction type")
+			}
+			if typ > maxType {
+				maxType = typ
+			}
+			t.Txns = append(t.Txns, model.Txn{Type: typ})
+			cur = &t.Txns[len(t.Txns)-1]
+		case "ref":
+			if cur == nil {
+				return nil, textErr(lineNo, "ref before any txn")
+			}
+			if len(fields) != 3 && len(fields) != 4 {
+				return nil, textErr(lineNo, "ref needs: ref <fileID> <page> [w]")
+			}
+			file, err1 := strconv.Atoi(fields[1])
+			page, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, textErr(lineNo, "bad numbers in ref")
+			}
+			ref := model.Ref{Page: model.PageID{File: model.FileID(file), Page: int32(page)}}
+			if len(fields) == 4 {
+				if fields[3] != "w" {
+					return nil, textErr(lineNo, "ref mode flag must be w")
+				}
+				ref.Write = true
+			}
+			cur.Refs = append(cur.Refs, ref)
+		default:
+			return nil, textErr(lineNo, "unknown directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	t.Types = maxType + 1
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func textErr(line int, format string, args ...any) error {
+	return fmt.Errorf("workload: text trace line %d: %s", line, fmt.Sprintf(format, args...))
+}

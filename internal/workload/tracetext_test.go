@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleText = `# demo trace
+file 0 CUSTOMERS 100 10 locked
+file 1 ORDERS 200 10 locked
+file 2 SCRATCH 10 1 unlocked
+
+txn 0
+ref 0 5
+ref 1 17 w
+txn 1
+ref 2 3
+txn 0
+ref 0 5
+`
+
+func TestReadTextTrace(t *testing.T) {
+	tr, err := ReadTextTrace(strings.NewReader(sampleText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Types != 2 {
+		t.Fatalf("types %d, want 2", tr.Types)
+	}
+	if len(tr.Files) != 3 || len(tr.Txns) != 3 {
+		t.Fatalf("files %d txns %d", len(tr.Files), len(tr.Txns))
+	}
+	if !tr.Files[0].Locking || tr.Files[2].Locking {
+		t.Fatal("lock flags wrong")
+	}
+	tx := tr.Txns[0]
+	if len(tx.Refs) != 2 || tx.Refs[0].Write || !tx.Refs[1].Write {
+		t.Fatalf("txn 0 refs %+v", tx.Refs)
+	}
+}
+
+func TestTextTraceRoundTrip(t *testing.T) {
+	orig, err := ReadTextTrace(strings.NewReader(sampleText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTextTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Txns) != len(orig.Txns) || back.Types != orig.Types {
+		t.Fatal("round trip lost structure")
+	}
+	for i := range orig.Txns {
+		a, b := orig.Txns[i], back.Txns[i]
+		if a.Type != b.Type || len(a.Refs) != len(b.Refs) {
+			t.Fatalf("txn %d differs", i)
+		}
+		for j := range a.Refs {
+			if a.Refs[j] != b.Refs[j] {
+				t.Fatalf("txn %d ref %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestTextTraceGeneratedRoundTrip(t *testing.T) {
+	gen, err := GenerateTrace(smallTraceParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gen.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTextTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := gen.Stats(), back.Stats()
+	if a.References != b.References || a.Writes != b.Writes || a.Transactions != b.Transactions {
+		t.Fatalf("stats differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestTextTraceErrors(t *testing.T) {
+	cases := []string{
+		"file 0 X 10\n",                           // short file line
+		"file a X 10 1 locked\n",                  // bad id
+		"file 0 X 10 1 maybe\n",                   // bad lock flag
+		"ref 0 1\n",                               // ref before txn
+		"file 0 X 10 1 locked\ntxn x\n",           // bad type
+		"file 0 X 10 1 locked\ntxn 0\nref 0\n",    // short ref
+		"file 0 X 10 1 locked\ntxn 0\nref 0 1 z",  // bad mode flag
+		"blargh 1 2 3\n",                          // unknown directive
+		"file 0 X 10 1 locked\ntxn 0\nref 0 99\n", // page out of range (Validate)
+	}
+	for i, c := range cases {
+		if _, err := ReadTextTrace(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
