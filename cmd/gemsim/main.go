@@ -175,6 +175,22 @@ func printDetails(rep *core.Report) {
 		m.InvalidationsPerTxn, m.PageRequestsPerTxn, m.MeanPageReqDelay)
 	fmt.Printf("storage                 reads %d  writes %d  force writes %d  log writes %d\n",
 		m.StorageReads, m.StorageWrites, m.ForceWrites, m.LogWrites)
+	if m.TxnsKilled > 0 || m.TxnsRetried > 0 || m.LockTimeouts > 0 ||
+		m.MessagesDropped > 0 || len(m.Failovers) > 0 {
+		fmt.Printf("faults                  killed %d  retried %d  lock timeouts %d  messages dropped %d\n",
+			m.TxnsKilled, m.TxnsRetried, m.LockTimeouts, m.MessagesDropped)
+		for i := range m.Failovers {
+			f := &m.Failovers[i]
+			fmt.Printf("failover                node %d  crash %v  detect %v  recovered %v  (outage %v)\n",
+				f.Node, f.CrashAt, f.DetectAt, f.RecoveredAt, f.RecoveryDuration)
+			fmt.Printf("  recovery phases       locks %v (%d)  log scan %v (%d pages)  redo %v (%d pages)\n",
+				f.LockRecovery, f.LocksRecovered, f.LogScan, f.LogPagesScanned, f.Redo, f.PagesRedone)
+		}
+		if len(m.Failovers) > 0 {
+			fmt.Printf("  response time         pre %v  during recovery %v  post %v\n",
+				m.MeanRTPreFailure, m.MeanRTDuringRecovery, m.MeanRTPostRecovery)
+		}
+	}
 	names := make([]string, 0, len(m.BufferHitRatio))
 	for name := range m.BufferHitRatio {
 		names = append(names, name)

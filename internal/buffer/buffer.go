@@ -189,3 +189,12 @@ func (b *Pool) Pages(fn func(*Frame)) {
 		}
 	}
 }
+
+// DropAll discards every frame, fixed or not, modelling the loss of a
+// node's main memory buffer at a crash. Detached frames held by
+// in-flight transactions keep their fix counts, so a later Unfix on a
+// stale pointer is harmless; the pool itself starts empty.
+func (b *Pool) DropAll() {
+	b.lru.Init()
+	b.index = make(map[model.PageID]*Frame, b.capacity)
+}

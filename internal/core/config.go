@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"gemsim/internal/fault"
 	"gemsim/internal/model"
 	"gemsim/internal/node"
 	"gemsim/internal/workload"
@@ -78,6 +79,38 @@ type ClosedLoopConfig struct {
 	ThinkTime time.Duration
 }
 
+// FaultConfig enables fault injection: node crashes with in-simulation
+// failover and recovery, random message loss, and disk stalls. All
+// times are absolute simulation times (warm-up included). Fault runs
+// remain fully deterministic for a given seed.
+type FaultConfig struct {
+	// Crashes schedules explicit node failures.
+	Crashes []fault.NodeCrash
+	// MTBF and MTTR, when both positive, additionally generate a
+	// stochastic crash schedule (exponential inter-failure and repair
+	// times over the whole complex) from the run seed.
+	MTBF time.Duration
+	MTTR time.Duration
+	// MessageLossProb drops each regular network message with this
+	// probability in [0,1). Protocol messages whose loss would wedge
+	// the complex (lock releases, RA revocations, recovery traffic)
+	// are delivered reliably, modelling transport-level retransmission.
+	MessageLossProb float64
+	// DiskStalls freezes disk groups (file name, or "logN" for node N's
+	// log disks) for a while.
+	DiskStalls []fault.DiskStall
+	// LockWaitTimeout bounds every lock wait and remote reply wait;
+	// a timed-out transaction aborts and is retried with exponential
+	// backoff. Default 2s.
+	LockWaitTimeout time.Duration
+	// CheckpointInterval is the fuzzy checkpoint period; it bounds the
+	// log that must be scanned when a node is recovered. Default 10s.
+	CheckpointInterval time.Duration
+	// DetectDelay is the failure detection latency between a crash and
+	// the start of recovery on the survivors. Default 50ms.
+	DetectDelay time.Duration
+}
+
 // Config describes one simulated configuration.
 type Config struct {
 	// Nodes is the number of processing nodes (1-10 in the paper).
@@ -127,6 +160,10 @@ type Config struct {
 	Seed int64
 	// CheckInvariants enables the coherency oracle.
 	CheckInvariants bool
+
+	// Faults, if non-nil, enables fault injection (node crashes with
+	// measured failover, message loss, disk stalls).
+	Faults *FaultConfig
 
 	// Tune, if set, adjusts the low-level node parameters after the
 	// defaults are applied (ablations, sensitivity studies).
@@ -192,6 +229,22 @@ func (c *Config) validate() error {
 		return fmt.Errorf("core: ClosedLoop.TerminalsPerNode must be positive")
 	case c.GlobalLogMerge && !c.LogInGEM:
 		return fmt.Errorf("core: GlobalLogMerge requires LogInGEM")
+	}
+	if f := c.Faults; f != nil {
+		switch {
+		case c.Coupling == CouplingLockEngine:
+			return fmt.Errorf("core: fault injection is not supported for the lock engine baseline")
+		case c.CheckInvariants:
+			return fmt.Errorf("core: CheckInvariants cannot be combined with Faults (crashes legitimately lose uncommitted state)")
+		case f.MessageLossProb < 0 || f.MessageLossProb >= 1:
+			return fmt.Errorf("core: Faults.MessageLossProb must be in [0,1), got %v", f.MessageLossProb)
+		case (f.MTBF > 0) != (f.MTTR > 0):
+			return fmt.Errorf("core: Faults.MTBF and Faults.MTTR must be set together")
+		case f.LockWaitTimeout < 0 || f.CheckpointInterval < 0 || f.DetectDelay < 0:
+			return fmt.Errorf("core: Faults timings must be non-negative")
+		case c.Nodes < 2 && (len(f.Crashes) > 0 || f.MTBF > 0):
+			return fmt.Errorf("core: node crashes need at least 2 nodes (no survivor to recover)")
+		}
 	}
 	return nil
 }

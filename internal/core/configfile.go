@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"gemsim/internal/fault"
 	"gemsim/internal/model"
 	"gemsim/internal/workload"
 )
@@ -41,6 +42,36 @@ type ConfigFile struct {
 
 	Seed            int64 `json:"seed,omitempty"`
 	CheckInvariants bool  `json:"checkInvariants,omitempty"`
+
+	// Faults enables fault injection (see FaultConfig).
+	Faults *FaultsFile `json:"faults,omitempty"`
+}
+
+// FaultsFile is the JSON representation of a FaultConfig.
+type FaultsFile struct {
+	Crashes            []CrashFile `json:"crashes,omitempty"`
+	MTBF               string      `json:"mtbf,omitempty"`
+	MTTR               string      `json:"mttr,omitempty"`
+	MessageLossProb    float64     `json:"messageLossProb,omitempty"`
+	DiskStalls         []StallFile `json:"diskStalls,omitempty"`
+	LockWaitTimeout    string      `json:"lockWaitTimeout,omitempty"`
+	CheckpointInterval string      `json:"checkpointInterval,omitempty"`
+	DetectDelay        string      `json:"detectDelay,omitempty"`
+}
+
+// CrashFile schedules one node crash.
+type CrashFile struct {
+	Node   int    `json:"node"`
+	At     string `json:"at"`
+	Repair string `json:"repair"`
+}
+
+// StallFile freezes one disk group (file name, or "logN" for node N's
+// log disks).
+type StallFile struct {
+	File     string `json:"file"`
+	At       string `json:"at"`
+	Duration string `json:"duration"`
 }
 
 // ParseMedium converts a medium name to its model constant.
@@ -168,7 +199,68 @@ func (f *ConfigFile) ToConfig() (Config, error) {
 		cfg.Seed = f.Seed
 	}
 	cfg.CheckInvariants = f.CheckInvariants
+	if f.Faults != nil {
+		fc, err := f.Faults.toFaultConfig()
+		if err != nil {
+			return Config{}, err
+		}
+		cfg.Faults = fc
+	}
 	return cfg, nil
+}
+
+func (f *FaultsFile) toFaultConfig() (*FaultConfig, error) {
+	fc := &FaultConfig{MessageLossProb: f.MessageLossProb}
+	for i, c := range f.Crashes {
+		at, err := parseOptDuration(fmt.Sprintf("faults.crashes[%d].at", i), c.At)
+		if err != nil {
+			return nil, err
+		}
+		repair, err := parseOptDuration(fmt.Sprintf("faults.crashes[%d].repair", i), c.Repair)
+		if err != nil {
+			return nil, err
+		}
+		fc.Crashes = append(fc.Crashes, fault.NodeCrash{Node: c.Node, At: at, Repair: repair})
+	}
+	for i, s := range f.DiskStalls {
+		at, err := parseOptDuration(fmt.Sprintf("faults.diskStalls[%d].at", i), s.At)
+		if err != nil {
+			return nil, err
+		}
+		dur, err := parseOptDuration(fmt.Sprintf("faults.diskStalls[%d].duration", i), s.Duration)
+		if err != nil {
+			return nil, err
+		}
+		fc.DiskStalls = append(fc.DiskStalls, fault.DiskStall{File: s.File, At: at, Duration: dur})
+	}
+	var err error
+	if fc.MTBF, err = parseOptDuration("faults.mtbf", f.MTBF); err != nil {
+		return nil, err
+	}
+	if fc.MTTR, err = parseOptDuration("faults.mttr", f.MTTR); err != nil {
+		return nil, err
+	}
+	if fc.LockWaitTimeout, err = parseOptDuration("faults.lockWaitTimeout", f.LockWaitTimeout); err != nil {
+		return nil, err
+	}
+	if fc.CheckpointInterval, err = parseOptDuration("faults.checkpointInterval", f.CheckpointInterval); err != nil {
+		return nil, err
+	}
+	if fc.DetectDelay, err = parseOptDuration("faults.detectDelay", f.DetectDelay); err != nil {
+		return nil, err
+	}
+	return fc, nil
+}
+
+func parseOptDuration(name, s string) (time.Duration, error) {
+	if s == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("core: %s: %w", name, err)
+	}
+	return d, nil
 }
 
 // LoadConfigFile reads a JSON configuration from path.

@@ -75,12 +75,50 @@ func TestLoadConfigFileClosedLoop(t *testing.T) {
 	}
 }
 
+func TestLoadConfigFileFaults(t *testing.T) {
+	path := writeCfg(t, `{
+		"nodes": 2,
+		"coupling": "gem",
+		"routing": "affinity",
+		"faults": {
+			"crashes": [{"node": 1, "at": "2s", "repair": "1s"}],
+			"messageLossProb": 0.01,
+			"diskStalls": [{"file": "ACCOUNT", "at": "3s", "duration": "200ms"}],
+			"lockWaitTimeout": "500ms",
+			"checkpointInterval": "1s",
+			"detectDelay": "25ms"
+		}
+	}`)
+	cfg, err := LoadConfigFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := cfg.Faults
+	if f == nil {
+		t.Fatal("Faults not loaded")
+	}
+	if len(f.Crashes) != 1 || f.Crashes[0].Node != 1 ||
+		f.Crashes[0].At != 2*time.Second || f.Crashes[0].Repair != time.Second {
+		t.Fatalf("crashes %+v", f.Crashes)
+	}
+	if len(f.DiskStalls) != 1 || f.DiskStalls[0].File != "ACCOUNT" ||
+		f.DiskStalls[0].Duration != 200*time.Millisecond {
+		t.Fatalf("stalls %+v", f.DiskStalls)
+	}
+	if f.MessageLossProb != 0.01 || f.LockWaitTimeout != 500*time.Millisecond ||
+		f.CheckpointInterval != time.Second || f.DetectDelay != 25*time.Millisecond {
+		t.Fatalf("faults %+v", f)
+	}
+}
+
 func TestLoadConfigFileErrors(t *testing.T) {
 	cases := []string{
 		`{"nodes": 1, "coupling": "nope", "routing": "random"}`,
 		`{"nodes": 1, "coupling": "gem", "routing": "sideways"}`,
 		`{"nodes": 1, "coupling": "gem", "routing": "random", "fileMedium": {"X": "floppy"}}`,
 		`{"nodes": 1, "coupling": "gem", "routing": "random", "warmup": "yesterday"}`,
+		`{"nodes": 2, "coupling": "gem", "routing": "random", "faults": {"crashes": [{"node": 1, "at": "soon", "repair": "1s"}]}}`,
+		`{"nodes": 2, "coupling": "gem", "routing": "random", "faults": {"lockWaitTimeout": "fast"}}`,
 		`{"nodes": 1, "unknownField": true}`,
 		`not json at all`,
 	}

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
+	"gemsim/internal/fault"
 	"gemsim/internal/model"
 	"gemsim/internal/node"
 	"gemsim/internal/routing"
@@ -40,6 +42,18 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Faults != nil {
+		plan := fault.Plan{
+			Crashes: append([]fault.NodeCrash(nil), cfg.Faults.Crashes...),
+			Stalls:  append([]fault.DiskStall(nil), cfg.Faults.DiskStalls...),
+		}
+		plan.Crashes = append(plan.Crashes, fault.GenerateCrashes(
+			cfg.Seed, cfg.Nodes, cfg.Warmup+cfg.Measure, cfg.Faults.MTBF, cfg.Faults.MTTR)...)
+		if err := plan.Validate(cfg.Nodes); err != nil {
+			return nil, err
+		}
+		fault.NewInjector(env, plan, sys).Start()
+	}
 	if cfg.ClosedLoop != nil {
 		sys.StartClosed(cfg.ClosedLoop.TerminalsPerNode, cfg.ClosedLoop.ThinkTime)
 	} else {
@@ -48,12 +62,35 @@ func Run(cfg Config) (*Report, error) {
 	if err := env.Run(cfg.Warmup); err != nil {
 		return nil, err
 	}
+	if err := stalledCheck(env, &cfg); err != nil {
+		return nil, err
+	}
 	sys.ResetStats()
 	if err := env.Run(cfg.Warmup + cfg.Measure); err != nil {
 		return nil, err
 	}
+	if err := stalledCheck(env, &cfg); err != nil {
+		return nil, err
+	}
 	metrics := sys.Snapshot()
 	return &Report{Config: cfg, Metrics: metrics}, nil
+}
+
+// stalledCheck turns a silently wedged simulation into a diagnosable
+// error: when the event calendar is exhausted while processes are
+// still parked (for instance waiters on a lock that a fault left
+// orphaned), the run can make no further progress and would otherwise
+// just report truncated measurements.
+func stalledCheck(env *sim.Env, cfg *Config) error {
+	if !env.Stalled() {
+		return nil
+	}
+	hint := ""
+	if cfg.Faults == nil {
+		hint = "; a lock-wait timeout (Config.Faults.LockWaitTimeout) makes blocked waiters abort and retry"
+	}
+	return fmt.Errorf("core: simulation stalled at %v with %d parked processes (%s)%s",
+		env.Now(), env.LiveCount(), strings.Join(env.LiveNames(8), ", "), hint)
 }
 
 // assemble builds generator, routing, GLA assignment and node
@@ -68,6 +105,25 @@ func assemble(cfg *Config) (workload.Generator, routing.Router, routing.GLAMap, 
 	params.GlobalLogMerge = cfg.GlobalLogMerge
 	params.GEMMessaging = cfg.GEMMessaging
 	params.CheckInvariants = cfg.CheckInvariants
+	if f := cfg.Faults; f != nil {
+		params.FaultsEnabled = true
+		params.Net.LossProb = f.MessageLossProb
+		params.LockWaitTimeout = 2 * time.Second
+		if f.LockWaitTimeout > 0 {
+			params.LockWaitTimeout = f.LockWaitTimeout
+		}
+		params.CheckpointInterval = 10 * time.Second
+		if f.CheckpointInterval > 0 {
+			params.CheckpointInterval = f.CheckpointInterval
+		}
+		params.FailureDetectDelay = 50 * time.Millisecond
+		if f.DetectDelay > 0 {
+			params.FailureDetectDelay = f.DetectDelay
+		}
+		params.RetryBackoffCap = 2 * time.Second
+		params.RecoveryApplyInstr = 5000
+		params.RecoveryEntryInstr = 100
+	}
 
 	var (
 		gen    workload.Generator

@@ -1,0 +1,144 @@
+// Package fault injects failures into a running simulation: node
+// crashes with subsequent repair, message loss (configured on the
+// communication subsystem) and disk stalls. Crashes can be scheduled
+// explicitly or generated stochastically from MTBF/MTTR parameters;
+// either way the resulting Plan is deterministic, so fault runs stay
+// reproducible.
+//
+// The package only decides *when* failures happen; *what* a failure
+// means (killing in-flight transactions, fencing pages, running the
+// recovery phase) is implemented by the Target, normally node.System.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"gemsim/internal/rng"
+	"gemsim/internal/sim"
+)
+
+// NodeCrash is one node failure: the node loses its volatile state at
+// At and rejoins the complex (with a cold buffer) Repair later.
+type NodeCrash struct {
+	Node   int
+	At     time.Duration
+	Repair time.Duration
+}
+
+// DiskStall freezes a disk group (by file name, or "logN" for node N's
+// log disk) for Duration starting at At, modelling a controller hiccup.
+type DiskStall struct {
+	File     string
+	At       time.Duration
+	Duration time.Duration
+}
+
+// Plan is the full fault schedule of one run. Times are absolute
+// simulation times (warm-up included).
+type Plan struct {
+	Crashes []NodeCrash
+	Stalls  []DiskStall
+}
+
+// Validate checks the plan against the node count. Crash windows must
+// not overlap (at most one node is down at any time and its repair
+// completes before the next crash), which guarantees survivors exist
+// for recovery as long as nodes >= 2.
+func (p *Plan) Validate(nodes int) error {
+	crashes := append([]NodeCrash(nil), p.Crashes...)
+	sort.Slice(crashes, func(i, j int) bool { return crashes[i].At < crashes[j].At })
+	for i, c := range crashes {
+		switch {
+		case c.Node < 0 || c.Node >= nodes:
+			return fmt.Errorf("fault: crash %d: node %d out of range [0,%d)", i, c.Node, nodes)
+		case nodes < 2:
+			return fmt.Errorf("fault: node crashes need at least 2 nodes (no survivor to recover)")
+		case c.At < 0:
+			return fmt.Errorf("fault: crash %d: negative crash time %v", i, c.At)
+		case c.Repair <= 0:
+			return fmt.Errorf("fault: crash %d: repair time must be positive", i)
+		}
+		if i > 0 {
+			prev := crashes[i-1]
+			if prev.At+prev.Repair > c.At {
+				return fmt.Errorf("fault: crash windows overlap: [%v,%v] and [%v,%v]",
+					prev.At, prev.At+prev.Repair, c.At, c.At+c.Repair)
+			}
+		}
+	}
+	for i, st := range p.Stalls {
+		switch {
+		case st.File == "":
+			return fmt.Errorf("fault: stall %d: empty file name", i)
+		case st.At < 0 || st.Duration <= 0:
+			return fmt.Errorf("fault: stall %d: need At >= 0 and positive Duration", i)
+		}
+	}
+	return nil
+}
+
+// GenerateCrashes draws a deterministic stochastic crash schedule:
+// exponential inter-failure times with the given mean (MTBF, over the
+// whole complex), exponential repair with mean MTTR, uniformly chosen
+// victims. Windows never overlap (the next failure waits for the
+// previous repair), matching Plan.Validate.
+func GenerateCrashes(seed int64, nodes int, horizon, mtbf, mttr time.Duration) []NodeCrash {
+	if nodes < 2 || mtbf <= 0 || mttr <= 0 {
+		return nil
+	}
+	src := rng.New(seed).Split("fault-crashes")
+	var out []NodeCrash
+	t := time.Duration(0)
+	for {
+		gap := time.Duration(src.Exp(mtbf.Seconds()) * float64(time.Second))
+		repair := time.Duration(src.Exp(mttr.Seconds())*float64(time.Second)) + time.Millisecond
+		t += gap
+		if t >= horizon {
+			return out
+		}
+		out = append(out, NodeCrash{Node: src.Intn(nodes), At: t, Repair: repair})
+		t += repair
+	}
+}
+
+// Target is the system-side implementation of a failure. All methods
+// are invoked in kernel context (they must not block on simulation
+// primitives).
+type Target interface {
+	// CrashNode fails the node: volatile state is lost, in-flight
+	// transactions are killed, survivors start recovery.
+	CrashNode(node int)
+	// RepairNode brings the node back with a cold buffer.
+	RepairNode(node int)
+	// StallDisk freezes the named disk group for d.
+	StallDisk(file string, d time.Duration)
+}
+
+// Injector schedules a validated Plan onto the simulation calendar.
+type Injector struct {
+	env    *sim.Env
+	plan   Plan
+	target Target
+}
+
+// NewInjector creates an injector; call Start before running the
+// simulation.
+func NewInjector(env *sim.Env, plan Plan, target Target) *Injector {
+	return &Injector{env: env, plan: plan, target: target}
+}
+
+// Start places all fault events on the calendar. Events beyond the
+// simulated horizon simply never fire.
+func (in *Injector) Start() {
+	for _, c := range in.plan.Crashes {
+		c := c
+		in.env.After(c.At, func() { in.target.CrashNode(c.Node) })
+		in.env.After(c.At+c.Repair, func() { in.target.RepairNode(c.Node) })
+	}
+	for _, st := range in.plan.Stalls {
+		st := st
+		in.env.After(st.At, func() { in.target.StallDisk(st.File, st.Duration) })
+	}
+}

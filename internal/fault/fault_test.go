@@ -1,0 +1,128 @@
+package fault
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"gemsim/internal/sim"
+)
+
+func TestPlanValidate(t *testing.T) {
+	good := Plan{
+		Crashes: []NodeCrash{
+			{Node: 1, At: time.Second, Repair: time.Second},
+			{Node: 0, At: 5 * time.Second, Repair: time.Second},
+		},
+		Stalls: []DiskStall{{File: "ACCOUNT", At: 0, Duration: time.Second}},
+	}
+	if err := good.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Plan{
+		{Crashes: []NodeCrash{{Node: 4, At: 0, Repair: time.Second}}},
+		{Crashes: []NodeCrash{{Node: -1, At: 0, Repair: time.Second}}},
+		{Crashes: []NodeCrash{{Node: 1, At: -time.Second, Repair: time.Second}}},
+		{Crashes: []NodeCrash{{Node: 1, At: time.Second, Repair: 0}}},
+		// Overlapping crash windows (second node fails before the first
+		// repair completes).
+		{Crashes: []NodeCrash{
+			{Node: 1, At: time.Second, Repair: 2 * time.Second},
+			{Node: 2, At: 2 * time.Second, Repair: time.Second},
+		}},
+		{Stalls: []DiskStall{{File: "", At: 0, Duration: time.Second}}},
+		{Stalls: []DiskStall{{File: "ACCOUNT", At: 0, Duration: 0}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(4); err == nil {
+			t.Errorf("plan %d: expected validation error", i)
+		}
+	}
+	one := Plan{Crashes: []NodeCrash{{Node: 0, At: 0, Repair: time.Second}}}
+	if err := one.Validate(1); err == nil {
+		t.Error("a crash plan with a single node must be rejected (no survivor)")
+	}
+}
+
+func TestGenerateCrashesDeterministic(t *testing.T) {
+	gen := func(seed int64) []NodeCrash {
+		return GenerateCrashes(seed, 4, time.Hour, 5*time.Minute, 30*time.Second)
+	}
+	a, b := gen(7), gen(7)
+	if len(a) == 0 {
+		t.Fatal("an hour at 5 min MTBF must produce crashes")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%v\n%v", a, b)
+	}
+	if reflect.DeepEqual(a, gen(8)) {
+		t.Fatal("different seeds produced the identical schedule")
+	}
+	// The generated schedule must satisfy its own validator (windows in
+	// range, non-overlapping).
+	p := Plan{Crashes: a}
+	if err := p.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range a {
+		if c.At >= time.Hour {
+			t.Fatalf("crash %d at %v beyond the horizon", i, c.At)
+		}
+	}
+}
+
+func TestGenerateCrashesDisabled(t *testing.T) {
+	if got := GenerateCrashes(1, 1, time.Hour, time.Minute, time.Second); got != nil {
+		t.Fatalf("single node: got %v, want nil", got)
+	}
+	if got := GenerateCrashes(1, 4, time.Hour, 0, time.Second); got != nil {
+		t.Fatalf("MTBF 0: got %v, want nil", got)
+	}
+	if got := GenerateCrashes(1, 4, time.Hour, time.Minute, 0); got != nil {
+		t.Fatalf("MTTR 0: got %v, want nil", got)
+	}
+}
+
+// recTarget records fault callbacks with their simulation time.
+type recTarget struct {
+	env    *sim.Env
+	events []string
+}
+
+func (r *recTarget) CrashNode(n int) {
+	r.events = append(r.events, fmt.Sprintf("crash %d @%v", n, r.env.Now()))
+}
+
+func (r *recTarget) RepairNode(n int) {
+	r.events = append(r.events, fmt.Sprintf("repair %d @%v", n, r.env.Now()))
+}
+
+func (r *recTarget) StallDisk(file string, d time.Duration) {
+	r.events = append(r.events, fmt.Sprintf("stall %s %v @%v", file, d, r.env.Now()))
+}
+
+func TestInjectorSchedules(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Stop()
+	target := &recTarget{env: env}
+	plan := Plan{
+		Crashes: []NodeCrash{{Node: 1, At: time.Second, Repair: 2 * time.Second}},
+		Stalls:  []DiskStall{{File: "log0", At: 500 * time.Millisecond, Duration: time.Second}},
+	}
+	if err := plan.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	NewInjector(env, plan, target).Start()
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"stall log0 1s @500ms",
+		"crash 1 @1s",
+		"repair 1 @3s",
+	}
+	if !reflect.DeepEqual(target.events, want) {
+		t.Fatalf("events %v, want %v", target.events, want)
+	}
+}

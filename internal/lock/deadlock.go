@@ -86,3 +86,7 @@ func Victim(cycle []Owner) Owner {
 	}
 	return v
 }
+
+// SetTable replaces the table at index i, used when a failed node's
+// lock table partition is rebuilt at a new home during failover.
+func (d *Detector) SetTable(i int, t *Table) { d.tables[i] = t }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"gemsim/internal/cpusrv"
+	"gemsim/internal/rng"
 	"gemsim/internal/sim"
 )
 
@@ -48,6 +49,11 @@ type Params struct {
 	BandwidthBytesPerSec float64
 	// WireLatency is an additional fixed propagation delay.
 	WireLatency time.Duration
+	// LossProb is the probability that an unreliable message is lost in
+	// transit (fault injection). The sender still pays the send
+	// overhead; the receiver never sees the message. Requires a loss
+	// source via SetLossSource.
+	LossProb float64
 }
 
 // DefaultParams returns the Table 4.1 communication settings.
@@ -98,8 +104,12 @@ type Network struct {
 	endpoints []endpoint
 	transport *StoreTransport
 
+	lossSrc   *rng.Source
+	downCheck func(node int) bool
+
 	shortSent int64
 	longSent  int64
+	dropped   int64
 }
 
 // New creates a network for the given number of nodes. Each node must
@@ -116,6 +126,15 @@ func (n *Network) Register(node int, cpu *cpusrv.CPU, h Handler) {
 // UseStore switches the network to storage-based message exchange
 // through the given shared store.
 func (n *Network) UseStore(t *StoreTransport) { n.transport = t }
+
+// SetLossSource installs the random source used to draw message-loss
+// decisions when Params.LossProb > 0.
+func (n *Network) SetLossSource(src *rng.Source) { n.lossSrc = src }
+
+// SetDownCheck installs a predicate consulted at delivery time: when it
+// reports the receiver down, the message is dropped (the sender has
+// already paid the send overhead).
+func (n *Network) SetDownCheck(fn func(node int) bool) { n.downCheck = fn }
 
 // transit returns the transmission delay for a message class.
 func (n *Network) transit(c Class) time.Duration {
@@ -142,19 +161,45 @@ func (n *Network) sendInstr(c Class) float64 {
 // is charged the send CPU overhead inline; delivery is asynchronous:
 // after the transmission delay, a fresh process at the receiver is
 // charged the receive overhead and then runs the receiver's handler.
+//
+// Send is subject to fault injection: the message is lost with
+// Params.LossProb, and it is dropped when the receiver is down at
+// delivery time. Callers must tolerate loss (timeout and retry).
 func (n *Network) Send(p *sim.Proc, from, to int, c Class, msg any) {
+	n.send(p, from, to, c, msg, false)
+}
+
+// SendReliable transmits a message that a real system would retransmit
+// until acknowledged (lock releases, recovery traffic): it is exempt
+// from random loss, but still dropped when the receiver is down.
+func (n *Network) SendReliable(p *sim.Proc, from, to int, c Class, msg any) {
+	n.send(p, from, to, c, msg, true)
+}
+
+func (n *Network) send(p *sim.Proc, from, to int, c Class, msg any, reliable bool) {
 	if c == Long {
 		n.longSent++
 	} else {
 		n.shortSent++
 	}
 	if n.transport != nil {
+		// Store-based exchange rides on reliable shared memory: no
+		// random loss, but a down receiver still never picks it up.
 		n.sendViaStore(p, from, to, c, msg)
 		return
 	}
+	lost := !reliable && n.lossSrc != nil && n.params.LossProb > 0 && n.lossSrc.Float64() < n.params.LossProb
 	n.endpoints[from].cpu.Exec(p, n.sendInstr(c))
+	if lost {
+		n.dropped++
+		return
+	}
 	ep := n.endpoints[to]
 	n.env.After(n.transit(c), func() {
+		if n.downCheck != nil && n.downCheck(to) {
+			n.dropped++
+			return
+		}
 		n.env.Spawn("recv", func(q *sim.Proc) {
 			ep.cpu.Exec(q, n.sendInstr(c))
 			ep.handler(q, from, msg)
@@ -180,6 +225,10 @@ func (n *Network) sendViaStore(p *sim.Proc, from, to int, c Class, msg any) {
 	sender.Release()
 	ep := n.endpoints[to]
 	n.env.After(0, func() {
+		if n.downCheck != nil && n.downCheck(to) {
+			n.dropped++
+			return
+		}
 		n.env.Spawn("recv", func(q *sim.Proc) {
 			ep.cpu.Acquire(q)
 			ep.cpu.ExecHolding(q, instr)
@@ -205,8 +254,13 @@ func (n *Network) ShortSent() int64 { return n.shortSent }
 // LongSent returns the number of long messages sent since ResetStats.
 func (n *Network) LongSent() int64 { return n.longSent }
 
+// Dropped returns the number of messages lost in transit or dropped at
+// a down receiver since ResetStats.
+func (n *Network) Dropped() int64 { return n.dropped }
+
 // ResetStats discards message counters.
 func (n *Network) ResetStats() {
 	n.shortSent = 0
 	n.longSent = 0
+	n.dropped = 0
 }

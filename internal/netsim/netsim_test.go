@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"gemsim/internal/cpusrv"
+	"gemsim/internal/rng"
 	"gemsim/internal/sim"
 )
 
@@ -156,6 +157,65 @@ func TestResetStats(t *testing.T) {
 func TestClassString(t *testing.T) {
 	if Short.String() != "short" || Long.String() != "long" {
 		t.Fatal("class strings")
+	}
+}
+
+func TestMessageLossDropsUnreliableOnly(t *testing.T) {
+	params := DefaultParams()
+	params.LossProb = 1 // Float64() < 1 always: every unreliable message is lost
+	env, n, _, delivered := harness(t, params)
+	defer env.Stop()
+	n.SetLossSource(rng.New(1).Split("loss"))
+	env.Spawn("sender", func(p *sim.Proc) {
+		n.Send(p, 0, 1, Short, "lost")
+		n.SendReliable(p, 0, 1, Short, "kept")
+	})
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*delivered) != 1 || (*delivered)[0] != "kept" {
+		t.Fatalf("delivered %v, want only the reliable message", *delivered)
+	}
+	if n.Dropped() != 1 {
+		t.Fatalf("dropped %d, want 1", n.Dropped())
+	}
+}
+
+func TestLossProbNeedsSource(t *testing.T) {
+	// Without a loss source the probability is ignored: fault-free runs
+	// never pay for (or depend on) the loss draw.
+	params := DefaultParams()
+	params.LossProb = 1
+	env, n, _, delivered := harness(t, params)
+	defer env.Stop()
+	env.Spawn("sender", func(p *sim.Proc) { n.Send(p, 0, 1, Short, "x") })
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*delivered) != 1 {
+		t.Fatalf("delivered %v, want 1 message", *delivered)
+	}
+}
+
+func TestDownReceiverDropsAtDelivery(t *testing.T) {
+	env, n, _, delivered := harness(t, DefaultParams())
+	defer env.Stop()
+	down := map[int]bool{1: true}
+	n.SetDownCheck(func(node int) bool { return down[node] })
+	env.Spawn("sender", func(p *sim.Proc) {
+		n.Send(p, 0, 1, Short, "to-down")
+		n.Send(p, 1, 0, Short, "from-down-ok")
+	})
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	// Only the receiver is checked: a message TO the down node vanishes,
+	// a message FROM it (sent before the crash took effect) arrives.
+	if len(*delivered) != 1 || (*delivered)[0] != "from-down-ok" {
+		t.Fatalf("delivered %v, want only from-down-ok", *delivered)
+	}
+	if n.Dropped() != 1 {
+		t.Fatalf("dropped %d, want 1", n.Dropped())
 	}
 }
 

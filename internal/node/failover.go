@@ -1,0 +1,646 @@
+package node
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"gemsim/internal/buffer"
+	"gemsim/internal/lock"
+	"gemsim/internal/model"
+	"gemsim/internal/netsim"
+	"gemsim/internal/sim"
+)
+
+// This file implements the failure model: node crashes injected by the
+// fault package, the killing of in-flight transactions, and the
+// survivor-driven recovery phase whose duration is measured from the
+// actual run state (dirty pages lost with the buffer, log length since
+// the last fuzzy checkpoint).
+//
+// The architectural contrast follows the paper's non-volatility
+// argument for GEM: with the global lock table in non-volatile GEM,
+// lock state survives a node crash and recovery only has to fence the
+// failed node's modified pages and scan its log — which itself sits in
+// GEM at ~50 µs per page when LogInGEM is set. Under loose coupling
+// (PCL) the failed node additionally takes its GLA partition down with
+// it: a survivor must adopt the partition and rebuild its lock table
+// from the other nodes via messages, and the log scan runs against
+// disks at milliseconds per page.
+
+// fenceTag marks a recovery fence request in a lock table. The wake
+// dispatchers ignore it (the recovery process releases fences itself).
+type fenceTag struct{}
+
+// rebuildTag marks survivor locks re-registered during GLA rebuild.
+type rebuildTag struct{}
+
+// dirtyPage is one buffered page lost in a crash.
+type dirtyPage struct {
+	page model.PageID
+	seq  uint64
+}
+
+// redoPage is one page the recovery phase restores from log and
+// storage.
+type redoPage struct {
+	page   model.PageID
+	tbl    int    // lock table holding the fence; -1 for unlocked files
+	seq    uint64 // committed sequence number to restore
+	fence  lock.Owner
+	fenced bool
+}
+
+// failWindow is one [crash, recovery-end] interval; end stays zero
+// while recovery is in progress.
+type failWindow struct {
+	start sim.Time
+	end   sim.Time
+}
+
+// FailoverStats describes one recovered node crash.
+type FailoverStats struct {
+	Node        int
+	CrashAt     time.Duration
+	DetectAt    time.Duration
+	RecoveredAt time.Duration
+	// RecoveryDuration is the full outage: crash until the last page
+	// was redone and unfenced.
+	RecoveryDuration time.Duration
+	// Phase durations.
+	LockRecovery time.Duration
+	LogScan      time.Duration
+	Redo         time.Duration
+	// Work counts.
+	LogPagesScanned int64
+	PagesRedone     int64
+	LocksRecovered  int64
+	TxnsKilled      int64
+}
+
+// CrashNode implements fault.Target: the node fails, losing its
+// volatile state (database buffer, read authorizations, in-flight
+// transactions). It runs in kernel context; the state transition is
+// immediate and all timed recovery work happens in the recovery
+// process spawned at the end.
+func (s *System) CrashNode(node int) {
+	if !s.faultsOn || s.down[node] {
+		return
+	}
+	alive := 0
+	for i := range s.down {
+		if !s.down[i] {
+			alive++
+		}
+	}
+	if alive <= 1 {
+		return // never fail the last node: nobody could recover
+	}
+	s.down[node] = true
+	n := s.nodes[node]
+	crashAt := s.env.Now()
+
+	// The dirty pages lost with the buffer form the redo set (under
+	// NOFORCE committed versions may exist only in the failed buffer).
+	var dirty []dirtyPage
+	n.pool.Pages(func(f *buffer.Frame) {
+		if f.Dirty {
+			dirty = append(dirty, dirtyPage{page: f.Page, seq: f.SeqNo})
+		}
+	})
+	sort.Slice(dirty, func(i, j int) bool { return pageLess(dirty[i].page, dirty[j].page) })
+	n.pool.DropAll()
+	n.inflight = make(map[model.PageID]uint64)
+	n.raHeld = make(map[model.PageID]bool)
+	logPages := n.logSinceCkpt
+	n.logSinceCkpt = 0
+	s.dropNodeRAs(node)
+
+	// Kill the transactions in flight at the node. Parked waiters are
+	// woken so they unwind; running ones notice killed at their next
+	// lock or loop check. Their locks stay registered until recovery
+	// releases them, so surviving conflicting requests keep waiting —
+	// that wait is part of the measured degradation.
+	var losers []lock.Owner
+	for o := range s.active {
+		if o.Node == node {
+			losers = append(losers, o)
+		}
+	}
+	sort.Slice(losers, func(i, j int) bool { return losers[i].Tx < losers[j].Tx })
+	for _, o := range losers {
+		t := s.active[o]
+		t.killed = true
+		if t.waiting == nil {
+			continue
+		}
+		for i, tbl := range s.tables {
+			if tbl.Waiting(o) == nil {
+				continue
+			}
+			granted := tbl.CancelWaiting(o)
+			atNode := s.aliveTarget(node)
+			if s.params.Coupling == CouplingPCL {
+				atNode = s.glaHomeOf(i)
+			}
+			s.wakeGrantedAsync(granted, i, atNode)
+		}
+		t.proc.Unpark()
+	}
+	s.txnsKilled += int64(len(losers))
+
+	w := &failWindow{start: crashAt}
+	s.failWindows = append(s.failWindows, w)
+	s.env.Spawn("recovery", func(p *sim.Proc) {
+		s.runRecovery(p, node, crashAt, losers, dirty, logPages, w)
+	})
+}
+
+// RepairNode implements fault.Target: the node rejoins the complex
+// with a cold buffer. GLA partitions adopted by survivors stay where
+// they are (no failback).
+func (s *System) RepairNode(node int) {
+	if !s.faultsOn || !s.down[node] {
+		return
+	}
+	n := s.nodes[node]
+	n.pool.DropAll()
+	n.inflight = make(map[model.PageID]uint64)
+	n.raHeld = make(map[model.PageID]bool)
+	n.logSinceCkpt = 0
+	s.down[node] = false
+}
+
+// StallDisk implements fault.Target: freeze the named disk group
+// (file name, or "logN" for node N's log disks).
+func (s *System) StallDisk(file string, d time.Duration) {
+	for _, g := range s.groups {
+		if g.Name() == file {
+			g.StallFor(d)
+			return
+		}
+	}
+	for _, n := range s.nodes {
+		if n.logGroup.Name() == file {
+			n.logGroup.StallFor(d)
+			return
+		}
+	}
+}
+
+// aliveTarget returns the preferred node if it is up, otherwise the
+// next alive node in ring order.
+func (s *System) aliveTarget(pref int) int {
+	for k := 0; k < len(s.nodes); k++ {
+		i := (pref + k) % len(s.nodes)
+		if !s.down[i] {
+			return i
+		}
+	}
+	return pref
+}
+
+// coordinator picks the recovery coordinator: the lowest-numbered
+// surviving node.
+func (s *System) coordinator() int {
+	for i := range s.nodes {
+		if !s.down[i] {
+			return i
+		}
+	}
+	return 0
+}
+
+// runWithRetry drives one transaction to commit across failures: when
+// the execution reports "not committed" (the node crashed under it),
+// the transaction is resubmitted — to another node if its own is down
+// — preserving the original arrival time, so the availability cost
+// shows up in the measured response time.
+func (s *System) runWithRetry(p *sim.Proc, n *Node, spec model.Txn, arrive sim.Time) {
+	for {
+		if n.runTxnCounted(p, spec, arrive) {
+			return
+		}
+		if !s.faultsOn {
+			return
+		}
+		s.txnsRetried++
+		if d := s.params.RestartDelayMean; d > 0 {
+			p.Wait(time.Duration(n.src.Exp(d.Seconds()) * float64(time.Second)))
+		}
+		n = s.nodes[s.aliveTarget(n.id)]
+	}
+}
+
+// classifyRT files a committed transaction's response time into the
+// pre-failure, during-recovery or post-recovery series.
+func (s *System) classifyRT(at sim.Time, rt time.Duration) {
+	if len(s.failWindows) == 0 {
+		s.respPre.AddDuration(rt)
+		return
+	}
+	for _, w := range s.failWindows {
+		if at >= w.start && (w.end == 0 || at <= w.end) {
+			s.respDuring.AddDuration(rt)
+			return
+		}
+	}
+	if at < s.failWindows[0].start {
+		s.respPre.AddDuration(rt)
+		return
+	}
+	s.respPost.AddDuration(rt)
+}
+
+// startCheckpoints runs one fuzzy checkpoint process per node: at
+// every interval the node logs its dirty page table (one log page
+// write) and resets the redo scan horizon. Transaction processing is
+// not paused.
+func (s *System) startCheckpoints() {
+	if !s.faultsOn || s.params.CheckpointInterval <= 0 {
+		return
+	}
+	for _, n := range s.nodes {
+		n := n
+		s.env.Spawn("ckpt"+itoa(n.id), func(p *sim.Proc) {
+			for {
+				p.Wait(s.params.CheckpointInterval)
+				if s.down[n.id] {
+					continue
+				}
+				n.writeLog(p)
+				n.logSinceCkpt = 0
+			}
+		})
+	}
+}
+
+// runRecovery is the recovery coordinator: a process at the
+// lowest-numbered survivor that recovers lock state, fences the failed
+// node's modified pages, releases loser locks, scans the failed node's
+// log since its last checkpoint and redoes the lost pages. Every step
+// is charged against the coordinator's CPU and the shared devices, so
+// the recovery duration — and the degradation other transactions see —
+// comes out of the simulation itself.
+func (s *System) runRecovery(p *sim.Proc, crashed int, crashAt sim.Time, losers []lock.Owner, dirty []dirtyPage, logPages int64, w *failWindow) {
+	params := &s.params
+	if params.FailureDetectDelay > 0 {
+		p.Wait(params.FailureDetectDelay)
+	}
+	detectAt := s.env.Now()
+	coordID := s.coordinator()
+	coord := s.nodes[coordID]
+	fs := FailoverStats{
+		Node:            crashed,
+		CrashAt:         crashAt,
+		DetectAt:        detectAt,
+		TxnsKilled:      int64(len(losers)),
+		LogPagesScanned: logPages,
+	}
+
+	// Phase 1: lock state recovery and page fencing.
+	lockStart := s.env.Now()
+	var redo []redoPage
+	if params.Coupling == CouplingPCL {
+		fs.LocksRecovered = s.recoverPCLLocks(p, coord, crashed)
+		for _, d := range dirty {
+			if !s.db.File(d.page.File).Locking {
+				redo = append(redo, redoPage{page: d.page, tbl: -1, seq: d.seq})
+				continue
+			}
+			// Only committed versions are redone; pages dirtied solely
+			// by losers roll back to the storage version.
+			if seq := s.oracle.latest[d.page]; seq > 0 {
+				redo = append(redo, redoPage{page: d.page, tbl: s.gla.GLA(d.page), seq: seq})
+			}
+		}
+	} else {
+		// The GLT survives in non-volatile GEM: read the failed node's
+		// entries (losers' locks and owned pages) — no rebuild needed.
+		entries := 0
+		for _, o := range losers {
+			entries += len(s.tables[0].Held(o))
+		}
+		owned := s.gemOwnedPages(crashed)
+		entries += len(owned)
+		if entries > 0 {
+			coord.cpu.Acquire(p)
+			if params.RecoveryEntryInstr > 0 {
+				coord.cpu.ExecHolding(p, float64(entries)*params.RecoveryEntryInstr)
+			}
+			s.gemDev.AccessEntries(p, entries)
+			coord.cpu.Release()
+		}
+		fs.LocksRecovered = int64(entries)
+		for _, pg := range owned {
+			redo = append(redo, redoPage{page: pg, tbl: 0, seq: s.gltMetaOf(pg).seq})
+		}
+		for _, d := range dirty {
+			if !s.db.File(d.page.File).Locking {
+				redo = append(redo, redoPage{page: d.page, tbl: -1, seq: d.seq})
+			}
+		}
+	}
+
+	// Fence the redo pages: a write lock per page under a unique
+	// recovery owner (negative tx id: never a deadlock victim) keeps
+	// transactions from reading stale storage versions until the page
+	// is redone. Fences queue behind loser locks and are promoted when
+	// those are released below.
+	for i := range redo {
+		r := &redo[i]
+		if r.tbl < 0 {
+			continue
+		}
+		s.recoverySeq++
+		r.fence = lock.Owner{Node: crashed, Tx: lock.TxID(-s.recoverySeq)}
+		if params.Coupling == CouplingPCL {
+			if params.RecoveryEntryInstr > 0 {
+				coord.cpu.Exec(p, params.RecoveryEntryInstr)
+			}
+		} else {
+			coord.cpu.Acquire(p)
+			s.gemDev.AccessEntries(p, 1)
+			coord.cpu.Release()
+		}
+		s.tables[r.tbl].Request(r.page, r.fence, model.LockWrite, fenceTag{})
+		r.fenced = true
+	}
+
+	// Release the losers' locks and wake unblocked waiters.
+	for _, o := range losers {
+		for i, tbl := range s.tables {
+			held := len(tbl.Held(o))
+			if held == 0 && tbl.Waiting(o) == nil {
+				continue
+			}
+			if params.Coupling == CouplingPCL {
+				if params.RecoveryEntryInstr > 0 && held > 0 {
+					coord.cpu.Exec(p, float64(held)*params.RecoveryEntryInstr)
+				}
+			} else if held > 0 {
+				coord.cpu.Acquire(p)
+				s.gemDev.AccessEntries(p, 2*held)
+				coord.cpu.Release()
+			}
+			granted := tbl.ReleaseAll(o)
+			home := coordID
+			if params.Coupling == CouplingPCL {
+				home = s.glaHomeOf(i)
+			}
+			if home == coordID {
+				s.wakeGranted(granted, i, execCtx{node: coordID, proc: p})
+			} else {
+				s.wakeGrantedAsync(granted, i, home)
+			}
+		}
+	}
+	fs.LockRecovery = s.env.Now() - lockStart
+
+	// Phase 2: scan the failed node's log written since its last fuzzy
+	// checkpoint, plus the undo information of each loser. This is the
+	// phase where log placement decides the outage: GEM-resident logs
+	// read at ~50 µs per page, log disks at ~6 ms.
+	scanStart := s.env.Now()
+	logPage := model.PageID{File: -1, Page: int32(crashed)}
+	for i := int64(0); i < logPages; i++ {
+		s.readCrashedLog(p, coord, crashed, logPage)
+	}
+	for range losers {
+		s.readCrashedLog(p, coord, crashed, logPage)
+		if params.RecoveryApplyInstr > 0 {
+			coord.cpu.Exec(p, params.RecoveryApplyInstr)
+		}
+	}
+	fs.LogScan = s.env.Now() - scanStart
+
+	// Phase 3: redo the lost pages — read the storage version, apply
+	// the log records, write the recovered version back, then drop the
+	// fence.
+	redoStart := s.env.Now()
+	for _, r := range redo {
+		file := s.db.File(r.page.File)
+		coord.readStorage(p, file, r.page, 0)
+		if params.RecoveryApplyInstr > 0 {
+			coord.cpu.Exec(p, params.RecoveryApplyInstr)
+		}
+		coord.writeStorage(p, file, r.page, r.seq)
+		if r.tbl >= 0 {
+			if params.Coupling == CouplingPCL {
+				meta := s.pclMetaOf(r.tbl, r.page)
+				if r.seq > meta.seq {
+					meta.seq = r.seq
+				}
+				if meta.owner == crashed {
+					meta.owner = -1
+				}
+			} else {
+				meta := s.gltMetaOf(r.page)
+				if meta.owner == crashed {
+					meta.owner = -1
+				}
+				coord.cpu.Acquire(p)
+				s.gemDev.AccessEntries(p, 1)
+				coord.cpu.Release()
+			}
+		}
+		if r.fenced {
+			tbl := s.tables[r.tbl]
+			var granted []*lock.Request
+			if tbl.HoldsLock(r.page, r.fence, model.LockWrite) {
+				granted = tbl.Release(r.page, r.fence)
+			} else {
+				// Fence never granted (a survivor still holds the
+				// page); withdraw it, the holder's copy is current.
+				granted = tbl.CancelWaiting(r.fence)
+			}
+			home := coordID
+			if params.Coupling == CouplingPCL {
+				home = s.glaHomeOf(r.tbl)
+			}
+			if home == coordID {
+				s.wakeGranted(granted, r.tbl, execCtx{node: coordID, proc: p})
+			} else {
+				s.wakeGrantedAsync(granted, r.tbl, home)
+			}
+		}
+	}
+	fs.Redo = s.env.Now() - redoStart
+	fs.PagesRedone = int64(len(redo))
+
+	end := s.env.Now()
+	fs.RecoveredAt = end
+	fs.RecoveryDuration = end - crashAt
+	w.end = end
+	s.failovers = append(s.failovers, fs)
+}
+
+// readCrashedLog reads one page of the failed node's log: from GEM
+// when logs are GEM-resident, otherwise from the failed node's log
+// disks (shared disk: survivors reach all disks).
+func (s *System) readCrashedLog(p *sim.Proc, coord *Node, crashed int, logPage model.PageID) {
+	if s.params.LogInGEM {
+		coord.gemPageIO(p)
+		return
+	}
+	coord.cpu.Exec(p, s.params.IOInstr)
+	s.nodes[crashed].logGroup.Read(p, logPage)
+}
+
+// gemOwnedPages lists the pages whose current version was buffered at
+// the given node according to the GLT, in deterministic order.
+func (s *System) gemOwnedPages(node int) []model.PageID {
+	var pages []model.PageID
+	for pg, meta := range s.gltMeta {
+		if meta.owner == node {
+			pages = append(pages, pg)
+		}
+	}
+	sort.Slice(pages, func(i, j int) bool { return pageLess(pages[i], pages[j]) })
+	return pages
+}
+
+// recoverPCLLocks adopts the crashed node's GLA partitions at the
+// coordinator and rebuilds their lock tables from the survivors'
+// in-flight transactions. The state is reconstructed immediately — so
+// no request ever sees a half-built table — while the communication
+// and CPU costs of the rebuild are charged before recovery proceeds.
+func (s *System) recoverPCLLocks(p *sim.Proc, coord *Node, crashed int) int64 {
+	var parts []int
+	for g := range s.tables {
+		if s.glaHome[g] == crashed {
+			parts = append(parts, g)
+		}
+	}
+	if len(parts) == 0 {
+		return 0
+	}
+	partSet := make(map[int]bool, len(parts))
+	for _, g := range parts {
+		s.glaHome[g] = coord.id
+		tbl := lock.NewTable(fmt.Sprintf("GLA%d@%d", g, coord.id))
+		s.tables[g] = tbl
+		s.detector.SetTable(g, tbl)
+		s.pclMeta[g] = make(map[model.PageID]*pageMeta)
+		partSet[g] = true
+	}
+	s.dropPartitionRAs(partSet)
+
+	var total int64
+	for _, n := range s.nodes {
+		if s.down[n.id] {
+			continue
+		}
+		total += s.rebuildFromNode(n, partSet)
+	}
+	if s.params.RecoveryEntryInstr > 0 && total > 0 {
+		coord.cpu.Exec(p, float64(total)*s.params.RecoveryEntryInstr)
+	}
+	// One reliable query/reply round trip per remote survivor models
+	// the rebuild communication.
+	wait := &remoteWait{proc: p}
+	for i := range s.nodes {
+		if i == coord.id || s.down[i] {
+			continue
+		}
+		wait.needed++
+		s.net.SendReliable(p, coord.id, i, netsim.Short, rebuildQueryMsg{Partitions: parts, Wait: wait})
+	}
+	if wait.needed > 0 {
+		p.Park()
+	}
+	return total
+}
+
+// rebuildFromNode re-registers one survivor's granted locks on the
+// lost partitions and conservatively drops its unfixed cached copies
+// of those partitions (the coherency metadata proving them current
+// died with the GLA), along with its read authorizations there.
+func (s *System) rebuildFromNode(n *Node, parts map[int]bool) int64 {
+	var owners []lock.Owner
+	for o := range s.active {
+		if o.Node == n.id {
+			owners = append(owners, o)
+		}
+	}
+	sort.Slice(owners, func(i, j int) bool { return owners[i].Tx < owners[j].Tx })
+	var count int64
+	for _, o := range owners {
+		t := s.active[o]
+		for _, page := range sortedLockedPages(t) {
+			g := s.gla.GLA(page)
+			if !parts[g] {
+				continue
+			}
+			hl := t.locked[page]
+			tbl := s.tables[g]
+			_, granted := tbl.Request(page, o, hl.mode, rebuildTag{})
+			if !granted {
+				// Cannot happen with a consistent snapshot; withdraw
+				// defensively rather than strand the entry.
+				tbl.CancelWaiting(o)
+				continue
+			}
+			count++
+			// Unmodified copies seed the rebuilt coherency metadata;
+			// modified (uncommitted) versions do not — their sequence
+			// number becomes authoritative only at commit.
+			if t.modified[page] == nil {
+				var copySeq uint64
+				if fr := n.pool.Peek(page); fr != nil {
+					copySeq = fr.SeqNo
+				} else if seq, ok := n.inflight[page]; ok {
+					copySeq = seq
+				}
+				if copySeq > 0 {
+					meta := s.pclMetaOf(g, page)
+					if copySeq > meta.seq {
+						meta.seq = copySeq
+					}
+				}
+			}
+		}
+	}
+	var drops []model.PageID
+	n.pool.Pages(func(f *buffer.Frame) {
+		if f.Fixed() || !s.db.File(f.Page.File).Locking {
+			return
+		}
+		if parts[s.gla.GLA(f.Page)] {
+			drops = append(drops, f.Page)
+		}
+	})
+	for _, pg := range drops {
+		n.pool.Drop(pg)
+	}
+	for pg := range n.raHeld {
+		if parts[s.gla.GLA(pg)] {
+			delete(n.raHeld, pg)
+		}
+	}
+	return count
+}
+
+// dropNodeRAs clears a crashed node out of every read authorization
+// set.
+func (s *System) dropNodeRAs(node int) {
+	for page, set := range s.ra {
+		if set[node] {
+			delete(set, node)
+			if len(set) == 0 {
+				delete(s.ra, page)
+			}
+		}
+	}
+}
+
+// dropPartitionRAs forgets all read authorizations of the lost
+// partitions (their grant state died with the GLA; survivors' raHeld
+// views are cleared during rebuild).
+func (s *System) dropPartitionRAs(parts map[int]bool) {
+	for page := range s.ra {
+		if parts[s.gla.GLA(page)] {
+			delete(s.ra, page)
+		}
+	}
+}

@@ -44,6 +44,9 @@ func (c *gemCC) gltAccess(p *sim.Proc, entries int) {
 // lock processes one lock request against the GLT.
 func (c *gemCC) lock(t *txn, page model.PageID, mode model.LockMode) (ccOutcome, error) {
 	n := c.n
+	if t.killed {
+		return ccOutcome{}, errKilled
+	}
 	n.localLocks++ // GLT locking is routing-independent; no messages
 	c.gltAccess(t.proc, 2)
 

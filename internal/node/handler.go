@@ -15,22 +15,47 @@ func (n *Node) handleMessage(p *sim.Proc, from int, msg any) {
 	case lockRequestMsg:
 		n.handleLockRequest(p, m)
 	case lockGrantMsg:
+		if m.Wait.abandoned {
+			return
+		}
 		m.Wait.seq = m.Seq
 		m.Wait.carried = m.Carried
 		m.Wait.ownerHasCopy = m.OwnerHasCopy
 		m.Wait.grantRA = m.GrantRA
 		m.Wait.deadlock = m.Deadlock
+		m.Wait.woken = true
 		m.Wait.proc.Unpark()
 	case lockReleaseMsg:
 		n.handleLockRelease(p, m)
+	case lockCancelMsg:
+		n.handleLockCancel(p, m)
 	case pageRequestMsg:
 		n.handlePageRequest(p, m)
 	case pageReplyMsg:
+		if m.Wait.abandoned {
+			return
+		}
 		m.Wait.found = m.Found
 		m.Wait.seq = m.Seq
+		m.Wait.woken = true
 		m.Wait.proc.Unpark()
 	case wakeupMsg:
+		if m.Wait.abandoned {
+			return
+		}
+		m.Wait.woken = true
 		m.Wait.proc.Unpark()
+	case rebuildQueryMsg:
+		// Cost model only: the survivors' lock state was captured
+		// synchronously when the failure was detected; the round trip
+		// charges the communication work of the partition rebuild.
+		n.sys.net.SendReliable(p, n.id, from, netsim.Short, rebuildReplyMsg{Wait: m.Wait})
+	case rebuildReplyMsg:
+		m.Wait.acks++
+		m.Wait.woken = true
+		if m.Wait.acks >= m.Wait.needed {
+			m.Wait.proc.Unpark()
+		}
 	case revokeRAMsg:
 		delete(n.raHeld, m.Page)
 	case invalidateMsg:

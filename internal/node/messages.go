@@ -10,11 +10,14 @@ import (
 // through the netsim package, which charges send/receive CPU overhead
 // and the transmission delay.
 
-// lockRequestMsg asks the GLA node for a lock (PCL).
+// lockRequestMsg asks the GLA node for a lock (PCL). GLA names the
+// partition (table index); after a failover it can be served by a node
+// other than its original home.
 type lockRequestMsg struct {
 	Owner     lock.Owner
 	Page      model.PageID
 	Mode      model.LockMode
+	GLA       int
 	CachedSeq uint64 // requester's buffered version, 0 if none
 	HasCopy   bool
 	Wait      *remoteWait
@@ -36,12 +39,47 @@ type lockGrantMsg struct {
 	Deadlock     bool // request aborted as deadlock victim
 }
 
-// lockReleaseMsg releases a transaction's locks at one GLA node (commit
-// phase 2 or abort). Modified pages of the GLA's partition travel with
-// the release (NOFORCE), making the message long.
+// lockReleaseMsg releases a transaction's locks at one GLA partition
+// (commit phase 2 or abort). Modified pages of the GLA's partition
+// travel with the release (NOFORCE), making the message long.
 type lockReleaseMsg struct {
 	Owner lock.Owner
+	GLA   int
 	Pages []releasedPage
+}
+
+// lockCancelMsg withdraws a timed-out remote lock request at its GLA
+// partition (fire-and-forget; the aborting transaction has already
+// cleaned up its table state directly, so this only carries the
+// message cost of a distributed cancel).
+type lockCancelMsg struct {
+	Owner lock.Owner
+	GLA   int
+}
+
+// rebuildQueryMsg asks a surviving node to report its granted locks on
+// the listed GLA partitions (PCL failover: the partitions of a crashed
+// node are rebuilt at their new home from the survivors).
+type rebuildQueryMsg struct {
+	Partitions []int
+	Wait       *remoteWait
+}
+
+// rebuildReplyMsg returns a survivor's lock entries for the queried
+// partitions.
+type rebuildReplyMsg struct {
+	Entries []rebuildEntry
+	Wait    *remoteWait
+}
+
+// rebuildEntry is one granted lock re-registered during GLA rebuild,
+// with the sequence number of the survivor's buffered copy (0 if
+// none), from which the partition's coherency metadata is re-derived.
+type rebuildEntry struct {
+	Page    model.PageID
+	Owner   lock.Owner
+	Mode    model.LockMode
+	CopySeq uint64
 }
 
 // releasedPage is one lock released at the GLA.
@@ -93,6 +131,13 @@ type remoteWait struct {
 	grantRA      bool
 	found        bool
 	deadlock     bool
+	// woken distinguishes a real reply from a timeout wake: every
+	// message-delivery path sets it before Unpark.
+	woken bool
+	// abandoned is set by a waiter that gave up (timeout or crash);
+	// message handlers drop the wait without unparking, so a late
+	// reply cannot resume the process at an unrelated park point.
+	abandoned bool
 	// broadcast acknowledgement counting (lock engine coherency).
 	acks   int
 	needed int

@@ -48,6 +48,10 @@ type Node struct {
 	// active counts admitted-or-queued transactions (load control).
 	active int
 
+	// logSinceCkpt counts log pages written since the last fuzzy
+	// checkpoint: the redo log scan length if this node crashes now.
+	logSinceCkpt int64
+
 	// Statistics (reset at the end of warm-up).
 	commits       int64
 	aborts        int64
@@ -127,6 +131,10 @@ type txn struct {
 
 	waiting  *remoteWait
 	deadlock bool
+	// killed marks a transaction whose node crashed: it unwinds without
+	// undo (its frames died with the buffer) and without releasing
+	// locks (recovery does that).
+	killed bool
 }
 
 // pageLess orders page ids for deterministic iteration.
@@ -206,26 +214,40 @@ func itoa(i int) string { return strconv.Itoa(i) }
 func (n *Node) submit(spec model.Txn) {
 	arrive := n.sys.env.Now()
 	n.sys.env.Spawn("txn", func(p *sim.Proc) {
-		n.runTxnCounted(p, spec, arrive)
+		n.sys.runWithRetry(p, n, spec, arrive)
 	})
 }
 
 // runTxnCounted wraps runTxn with the activation accounting used by
-// load-aware routing.
-func (n *Node) runTxnCounted(p *sim.Proc, spec model.Txn, arrive sim.Time) {
+// load-aware routing. It reports whether the transaction committed
+// (false only when its node crashed under it).
+func (n *Node) runTxnCounted(p *sim.Proc, spec model.Txn, arrive sim.Time) bool {
 	n.active++
-	n.runTxn(p, spec, arrive)
+	committed := n.runTxn(p, spec, arrive)
 	n.active--
+	return committed
 }
 
 // runTxn is the transaction manager's main loop: admission, execution,
-// restart on deadlock, statistics.
-func (n *Node) runTxn(p *sim.Proc, spec model.Txn, arrive sim.Time) {
+// restart on deadlock or timeout, statistics. It returns false when
+// the transaction was killed by a node crash (the caller resubmits).
+func (n *Node) runTxn(p *sim.Proc, spec model.Txn, arrive sim.Time) bool {
+	sys := n.sys
 	n.mpl.Acquire(p)
-	n.inputWait.AddDuration(n.sys.env.Now() - arrive)
+	if sys.faultsOn && sys.down[n.id] {
+		// The node failed while the transaction queued for admission.
+		n.mpl.Release()
+		return false
+	}
+	n.inputWait.AddDuration(sys.env.Now() - arrive)
+	timeouts := 0
 	for {
+		if sys.faultsOn && sys.down[n.id] {
+			n.mpl.Release()
+			return false
+		}
 		t := &txn{
-			id:       n.sys.nextTxID(),
+			id:       sys.nextTxID(),
 			node:     n,
 			spec:     spec,
 			proc:     p,
@@ -234,19 +256,37 @@ func (n *Node) runTxn(p *sim.Proc, spec model.Txn, arrive sim.Time) {
 			modified: make(map[model.PageID]*modRecord, 4),
 		}
 		t.owner = lock.Owner{Node: n.id, Tx: t.id}
-		n.sys.active[t.owner] = t
+		sys.active[t.owner] = t
 		err := n.attempt(t)
-		delete(n.sys.active, t.owner)
+		delete(sys.active, t.owner)
 		if err == nil {
 			break
 		}
-		// Deadlock victim: undo, back off, restart as a younger
-		// transaction.
+		if t.killed || err == errKilled {
+			// Crash kill: no local undo (the frames died with the
+			// buffer) and no lock release (recovery does that).
+			n.mpl.Release()
+			return false
+		}
+		// Deadlock victim or lock-wait timeout: undo, back off,
+		// restart as a younger transaction.
 		n.abortTxn(t)
-		p.Wait(time.Duration(n.src.Exp(n.sys.params.RestartDelayMean.Seconds()) * float64(time.Second)))
+		delay := sys.params.RestartDelayMean
+		if err == errTimeout {
+			// Exponential back-off against repeated timeouts (the
+			// conflict that caused them needs time to clear).
+			for i := 0; i < timeouts && (sys.params.RetryBackoffCap <= 0 || delay < sys.params.RetryBackoffCap); i++ {
+				delay *= 2
+			}
+			if cap := sys.params.RetryBackoffCap; cap > 0 && delay > cap {
+				delay = cap
+			}
+			timeouts++
+		}
+		p.Wait(time.Duration(n.src.Exp(delay.Seconds()) * float64(time.Second)))
 	}
 	n.mpl.Release()
-	rt := n.sys.env.Now() - arrive
+	rt := sys.env.Now() - arrive
 	n.commits++
 	n.respRefs += int64(len(spec.Refs))
 	n.resp.AddDuration(rt)
@@ -261,6 +301,10 @@ func (n *Node) runTxn(p *sim.Proc, spec model.Txn, arrive sim.Time) {
 	}
 	byType.AddDuration(rt)
 	n.respHist.AddDuration(rt)
+	if sys.faultsOn {
+		sys.classifyRT(sys.env.Now(), rt)
+	}
+	return true
 }
 
 // attempt executes the transaction once; it returns errDeadlock when
@@ -271,6 +315,9 @@ func (n *Node) attempt(t *txn) error {
 	n.cpu.Exec(t.proc, n.src.Exp(params.BOTInstr))
 
 	for _, ref := range t.spec.Refs {
+		if t.killed {
+			return errKilled
+		}
 		ref = n.resolveRef(ref)
 		file := n.sys.db.File(ref.Page.File)
 		// CPU demand of the record access.
@@ -314,6 +361,9 @@ func (n *Node) attempt(t *txn) error {
 
 	// End of transaction.
 	n.cpu.Exec(t.proc, n.src.Exp(params.EOTInstr))
+	if t.killed {
+		return errKilled
+	}
 	n.commit(t)
 	return nil
 }
@@ -607,6 +657,7 @@ func (n *Node) gemCacheInsert(file *model.File, page model.PageID, dirty bool) {
 // writeLog writes the transaction's log data (one page) at commit.
 func (n *Node) writeLog(p *sim.Proc) {
 	n.logWrites++
+	n.logSinceCkpt++
 	if n.sys.params.LogInGEM {
 		n.cpu.Acquire(p)
 		n.cpu.ExecHolding(p, n.sys.params.GEMIOInstr)
@@ -626,15 +677,31 @@ func (n *Node) writeLog(p *sim.Proc) {
 // false if the owner no longer buffers the page (then the permanent
 // database is current).
 func (n *Node) requestPage(t *txn, page model.PageID, owner int, write bool) (uint64, bool) {
+	sys := n.sys
+	if sys.faultsOn && (sys.down[owner] || sys.down[n.id]) {
+		// The owner (or this node) is down: fall back to storage.
+		// Committed versions lost with the owner's buffer are redone
+		// during its recovery; until then the page is fenced.
+		return 0, false
+	}
 	n.pageReqs++
-	start := n.sys.env.Now()
+	start := sys.env.Now()
 	wait := &remoteWait{proc: t.proc}
-	t.waiting = wait
-	n.sys.net.Send(t.proc, n.id, owner, netsim.Short, pageRequestMsg{
+	sys.net.Send(t.proc, n.id, owner, netsim.Short, pageRequestMsg{
 		Page: page, Requester: n.id, Transfer: write, Wait: wait,
 	})
+	if armed := sys.faultsOn && sys.params.LockWaitTimeout > 0; armed {
+		t.proc.UnparkAfter(sys.params.LockWaitTimeout)
+	}
+	t.waiting = wait
 	t.proc.Park()
 	t.waiting = nil
+	if t.killed || (sys.faultsOn && sys.params.LockWaitTimeout > 0 && !wait.woken) {
+		// Crash, lost request or lost reply: fall back to storage.
+		wait.abandoned = true
+		n.pageReqMiss++
+		return 0, false
+	}
 	if n.sys.params.GEMPageTransfer && wait.found {
 		// Exchange across GEM: the owner deposited the page in GEM
 		// (modelled at the owner); read it back synchronously.

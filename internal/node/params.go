@@ -140,6 +140,36 @@ type Params struct {
 	// is validated against a global view of committed versions.
 	CheckInvariants bool
 
+	// FaultsEnabled arms the failure machinery: lock-wait timeouts,
+	// down-node routing, checkpointing and crash recovery. With it off
+	// (the default) none of the fault paths is ever taken and fault-free
+	// runs are bit-identical to earlier versions.
+	FaultsEnabled bool
+	// LockWaitTimeout aborts (and retries) a transaction whose lock
+	// wait exceeds it; this is what lets the system degrade instead of
+	// hanging when a lock holder dies or a grant message is lost. 0
+	// disables timeouts.
+	LockWaitTimeout time.Duration
+	// RetryBackoffCap bounds the exponential back-off applied to
+	// timeout retries (the back-off doubles per consecutive timeout,
+	// starting from RestartDelayMean).
+	RetryBackoffCap time.Duration
+	// CheckpointInterval is the fuzzy checkpoint period per node; the
+	// redo log scan after a crash covers the log written since the last
+	// checkpoint. 0 disables checkpointing (the scan covers the whole
+	// run).
+	CheckpointInterval time.Duration
+	// FailureDetectDelay is the time until the survivors notice a crash
+	// and start recovery.
+	FailureDetectDelay time.Duration
+	// RecoveryApplyInstr is the CPU demand of applying the log records
+	// of one redone page (5000 instr = 0.5 ms at 10 MIPS, matching
+	// recovery.Params.RedoApplyPerPage).
+	RecoveryApplyInstr float64
+	// RecoveryEntryInstr is the CPU demand per lock entry read or
+	// re-registered during lock state recovery.
+	RecoveryEntryInstr float64
+
 	// Seed drives all stochastic model components.
 	Seed int64
 }
@@ -198,6 +228,16 @@ func (p *Params) Validate() error {
 		return errParam("DefaultDisksPerFile must be positive")
 	case p.GlobalLogMerge && !p.LogInGEM:
 		return errParam("GlobalLogMerge requires LogInGEM (the merge reads the GEM-resident local logs)")
+	case p.FaultsEnabled && p.Coupling == CouplingLockEngine:
+		return errParam("fault injection is not supported for the lock engine baseline (its broadcast protocol has no timeout recovery)")
+	case p.FaultsEnabled && p.CheckInvariants:
+		return errParam("fault injection is incompatible with CheckInvariants (recovery approximations violate the oracle's strict coherency view)")
+	case p.LockWaitTimeout < 0 || p.RetryBackoffCap < 0 || p.CheckpointInterval < 0 || p.FailureDetectDelay < 0:
+		return errParam("fault timing parameters must be non-negative")
+	case p.RecoveryApplyInstr < 0 || p.RecoveryEntryInstr < 0:
+		return errParam("recovery instruction demands must be non-negative")
+	case p.Net.LossProb < 0 || p.Net.LossProb >= 1:
+		return errParam("Net.LossProb must be in [0,1)")
 	}
 	return nil
 }

@@ -32,9 +32,15 @@ func (c *pclCC) table(gla int) *lock.Table { return c.n.sys.tables[gla] }
 func (c *pclCC) lock(t *txn, page model.PageID, mode model.LockMode) (ccOutcome, error) {
 	n := c.n
 	sys := n.sys
+	if t.killed {
+		return ccOutcome{}, errKilled
+	}
 	gla := sys.gla.GLA(page)
+	// After a failover the partition of a crashed node is served by the
+	// recovery coordinator; requests follow the indirection.
+	home := sys.glaHomeOf(gla)
 
-	if gla == n.id {
+	if home == n.id {
 		return c.lockLocal(t, page, mode, gla)
 	}
 
@@ -52,7 +58,7 @@ func (c *pclCC) lock(t *txn, page model.PageID, mode model.LockMode) (ccOutcome,
 		}
 	}
 
-	return c.lockRemote(t, page, mode, gla)
+	return c.lockRemote(t, page, mode, gla, home)
 }
 
 // lockLocal handles a request against this node's own partition.
@@ -115,7 +121,7 @@ func (c *pclCC) lockShadowRA(t *txn, page model.PageID, gla int, copySeq uint64)
 		t.locked[page] = &heldLock{mode: model.LockRead, kind: kindShadowRA}
 		out := ccOutcome{seq: meta.seq, owner: -1, local: true}
 		if !sys.params.Force {
-			out.owner = gla
+			out.owner = sys.glaHomeOf(gla)
 		}
 		return out, nil
 	}
@@ -123,13 +129,21 @@ func (c *pclCC) lockShadowRA(t *txn, page model.PageID, gla int, copySeq uint64)
 	return ccOutcome{seq: copySeq, owner: -1, local: true}, nil
 }
 
-// lockRemote sends the request to the GLA node and waits for the grant.
-func (c *pclCC) lockRemote(t *txn, page model.PageID, mode model.LockMode, gla int) (ccOutcome, error) {
+// lockRemote sends the request to the partition's serving node (its
+// original GLA home, or the adoptive coordinator after a failover) and
+// waits for the grant.
+func (c *pclCC) lockRemote(t *txn, page model.PageID, mode model.LockMode, gla, home int) (ccOutcome, error) {
 	n := c.n
 	sys := n.sys
+	if sys.faultsOn && sys.down[home] {
+		// The serving node crashed and the failure is not yet detected:
+		// abort and retry; by the time the backoff has expired the
+		// partition has been reassigned to a survivor.
+		return ccOutcome{}, errTimeout
+	}
 	n.remoteLocks++
 	wait := &remoteWait{proc: t.proc}
-	msg := lockRequestMsg{Owner: t.owner, Page: page, Mode: mode, Wait: wait}
+	msg := lockRequestMsg{Owner: t.owner, Page: page, Mode: mode, GLA: gla, Wait: wait}
 	if fr := n.pool.Peek(page); fr != nil {
 		msg.HasCopy = true
 		msg.CachedSeq = fr.SeqNo
@@ -138,12 +152,36 @@ func (c *pclCC) lockRemote(t *txn, page model.PageID, mode model.LockMode, gla i
 		msg.CachedSeq = seq
 	}
 	start := sys.env.Now()
+	sys.net.Send(t.proc, n.id, home, netsim.Short, msg)
+	// The wait becomes visible only after the send: until the request
+	// is registered at the serving node this transaction cannot be in
+	// a deadlock cycle, and a crash sweep must not unpark the process
+	// while it is still inside the send.
 	t.waiting = wait
-	sys.net.Send(t.proc, n.id, gla, netsim.Short, msg)
+	armed := sys.faultsOn && sys.params.LockWaitTimeout > 0
+	if armed {
+		t.proc.UnparkAfter(sys.params.LockWaitTimeout)
+	}
 	t.proc.Park()
 	t.waiting = nil
+	if t.killed {
+		wait.abandoned = true
+		return ccOutcome{}, errKilled
+	}
 	if wait.deadlock {
 		return ccOutcome{}, errDeadlock
+	}
+	if armed && !wait.woken {
+		// Timer wake: the request or the grant was lost, or the serving
+		// node died. Withdraw the request (the abort path clears this
+		// owner's table state directly; the cancel message models the
+		// distributed withdrawal) and retry after backoff.
+		wait.abandoned = true
+		sys.lockTimeouts++
+		if home = sys.glaHomeOf(gla); !sys.down[home] {
+			sys.net.Send(t.proc, n.id, home, netsim.Short, lockCancelMsg{Owner: t.owner, GLA: gla})
+		}
+		return ccOutcome{}, errTimeout
 	}
 	n.lockWaitTime.AddDuration(sys.env.Now() - start)
 	if wait.grantRA {
@@ -153,9 +191,9 @@ func (c *pclCC) lockRemote(t *txn, page model.PageID, mode model.LockMode, gla i
 	out := ccOutcome{seq: wait.seq, owner: -1, carried: wait.carried, local: false}
 	if wait.ownerHasCopy && !sys.params.Force {
 		// Should the local copy disappear before the access (it can be
-		// replaced while the grant is in flight), fetch from the GLA
+		// replaced while the grant is in flight), fetch from the serving
 		// node, which buffers the current version.
-		out.owner = gla
+		out.owner = home
 	}
 	return out, nil
 }
@@ -164,7 +202,12 @@ func (c *pclCC) lockRemote(t *txn, page model.PageID, mode model.LockMode, gla i
 // GLA node (runs in a message handler process at this node).
 func (n *Node) handleLockRequest(p *sim.Proc, m lockRequestMsg) {
 	sys := n.sys
-	_, granted := sys.tables[n.id].Request(m.Page, m.Owner, m.Mode, m)
+	if sys.faultsOn && sys.down[m.Owner.Node] {
+		// The requester crashed while the message was in flight; its
+		// lock state was already swept by the failover.
+		return
+	}
+	_, granted := sys.tables[m.GLA].Request(m.Page, m.Owner, m.Mode, m)
 	if granted {
 		n.pclReply(p, m)
 		return
@@ -184,7 +227,7 @@ func (n *Node) handleLockRequest(p *sim.Proc, m lockRequestMsg) {
 // obsolete (long reply).
 func (n *Node) pclReply(p *sim.Proc, m lockRequestMsg) {
 	sys := n.sys
-	meta := sys.pclMetaOf(n.id, m.Page)
+	meta := sys.pclMetaOf(m.GLA, m.Page)
 	grant := lockGrantMsg{Wait: m.Wait, Seq: meta.seq}
 	class := netsim.Short
 	if !sys.params.Force {
@@ -242,18 +285,22 @@ func (s *System) revokeRAs(page model.PageID, keep int, ctx execCtx) {
 			continue
 		}
 		delete(set, node)
-		s.net.Send(ctx.proc, ctx.node, node, netsim.Short, revokeRAMsg{Page: page})
+		// Reliable: a lost revocation would leave a stale authorization
+		// and silently break coherency.
+		s.net.SendReliable(ctx.proc, ctx.node, node, netsim.Short, revokeRAMsg{Page: page})
 	}
 	if len(set) == 0 {
 		delete(s.ra, page)
 	}
 }
 
-// wakePCLGranted dispatches newly granted requests of the GLA table at
-// atNode: local waiters (including shadow RA readers) resume directly;
-// remote requesters get a grant reply message.
-func (s *System) wakePCLGranted(granted []*lock.Request, atNode int, ctx execCtx) {
-	g := s.nodes[atNode]
+// wakePCLGranted dispatches newly granted requests of one GLA table:
+// local waiters (including shadow RA readers) resume directly; remote
+// requesters get a grant reply message from the partition's serving
+// node. Recovery fences and rebuild registrations carry tag data and
+// are skipped — they are held silently.
+func (s *System) wakePCLGranted(granted []*lock.Request, gla int, ctx execCtx) {
+	g := s.nodes[s.glaHomeOf(gla)]
 	for _, req := range granted {
 		switch d := req.Data.(type) {
 		case *remoteWait:
@@ -280,10 +327,10 @@ func (c *pclCC) releaseAll(t *txn, commit bool) {
 		// notice was in flight (they never made it into t.locked).
 		for g, tbl := range sys.tables {
 			granted := tbl.ReleaseAll(t.owner)
-			if g == n.id {
+			if home := sys.glaHomeOf(g); home == n.id {
 				sys.wakeGranted(granted, g, execCtx{node: n.id, proc: t.proc})
 			} else {
-				sys.wakeGrantedAsync(granted, g, g)
+				sys.wakeGrantedAsync(granted, g, home)
 			}
 		}
 		for page := range t.locked {
@@ -308,10 +355,10 @@ func (c *pclCC) releaseAll(t *txn, commit bool) {
 			sys.wakeGranted(granted, gla, execCtx{node: n.id, proc: t.proc})
 		case kindShadowRA:
 			granted := sys.tables[gla].Release(page, t.owner)
-			if gla == n.id {
+			if home := sys.glaHomeOf(gla); home == n.id {
 				sys.wakeGranted(granted, gla, execCtx{node: n.id, proc: t.proc})
 			} else {
-				sys.wakeGrantedAsync(granted, gla, gla)
+				sys.wakeGrantedAsync(granted, gla, home)
 			}
 		case kindRemote:
 			rp := releasedPage{Page: page}
@@ -338,7 +385,9 @@ func (c *pclCC) releaseAll(t *txn, commit bool) {
 				break
 			}
 		}
-		sys.net.Send(t.proc, n.id, gla, class, lockReleaseMsg{Owner: t.owner, Pages: pages})
+		// Reliable: a lost release would orphan committed locks at the
+		// partition and strand every later requester.
+		sys.net.SendReliable(t.proc, n.id, sys.glaHomeOf(gla), class, lockReleaseMsg{Owner: t.owner, GLA: gla, Pages: pages})
 	}
 }
 
@@ -350,7 +399,7 @@ func (n *Node) handleLockRelease(p *sim.Proc, m lockReleaseMsg) {
 	for _, rp := range m.Pages {
 		tracePage(rp.Page, "release from %v newSeq=%d carried=%v", m.Owner, rp.NewSeq, rp.Carried)
 		if rp.NewSeq > 0 {
-			meta := sys.pclMetaOf(n.id, rp.Page)
+			meta := sys.pclMetaOf(m.GLA, rp.Page)
 			if rp.NewSeq > meta.seq {
 				meta.seq = rp.NewSeq
 				sys.oracle.commit(rp.Page, rp.NewSeq)
@@ -359,7 +408,16 @@ func (n *Node) handleLockRelease(p *sim.Proc, m lockReleaseMsg) {
 		if rp.Carried {
 			n.install(rp.Page, rp.NewSeq, true)
 		}
-		granted := sys.tables[n.id].Release(rp.Page, m.Owner)
-		sys.wakeGranted(granted, n.id, execCtx{node: n.id, proc: p})
+		granted := sys.tables[m.GLA].Release(rp.Page, m.Owner)
+		sys.wakeGranted(granted, m.GLA, execCtx{node: n.id, proc: p})
 	}
+}
+
+// handleLockCancel processes a timed-out requester's withdrawal at the
+// partition's serving node. The aborting transaction already cleared
+// its table state directly when it unwound (lock tables are shared
+// structures in the simulator), so the message only charges the
+// communication cost of a distributed cancel; mutating the table here
+// could race a fast retry of the same transaction.
+func (n *Node) handleLockCancel(p *sim.Proc, m lockCancelMsg) {
 }

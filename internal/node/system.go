@@ -78,6 +78,29 @@ type System struct {
 	mergedLogPages   int64
 
 	statsStart sim.Time
+
+	// Fault injection state (FaultsEnabled). down marks crashed nodes;
+	// glaHome maps each GLA partition to the node currently serving it
+	// (PCL failover reassigns the partitions of a crashed node).
+	faultsOn bool
+	down     []bool
+	glaHome  []int
+	// recoverySeq numbers recovery fence owners (negative tx ids, so
+	// they are never chosen as deadlock victims).
+	recoverySeq int64
+	// Availability statistics.
+	txnsKilled   int64
+	txnsRetried  int64
+	lockTimeouts int64
+	failovers    []FailoverStats
+	// failWindows are the [crash, recovery-end] intervals used to
+	// classify response times into pre/during/post failure phases. They
+	// survive ResetStats so a crash spanning the warm-up boundary still
+	// marks the measurement interval.
+	failWindows []*failWindow
+	respPre     stats.Series
+	respDuring  stats.Series
+	respPost    stats.Series
 }
 
 // pageMeta is the per-page coherency control information.
@@ -88,6 +111,15 @@ type pageMeta struct {
 
 // errDeadlock aborts a transaction chosen as deadlock victim.
 var errDeadlock = fmt.Errorf("node: transaction aborted as deadlock victim")
+
+// errKilled unwinds a transaction whose node crashed; the recovery
+// phase, not the transaction, cleans up its locks and pages.
+var errKilled = fmt.Errorf("node: transaction killed by node crash")
+
+// errTimeout aborts a transaction whose lock wait exceeded
+// LockWaitTimeout: the holder may have crashed or a grant message may
+// have been lost; the transaction retries with exponential back-off.
+var errTimeout = fmt.Errorf("node: lock wait timed out")
 
 // NewSystem assembles a system for the given parameters, workload and
 // allocation strategies. gla may be nil for GEM coupling.
@@ -178,6 +210,21 @@ func NewSystem(env *sim.Env, params Params, gen workload.Generator, router routi
 	}
 	s.detector = lock.NewDetector(s.tables...)
 
+	s.faultsOn = params.FaultsEnabled
+	s.down = make([]bool, params.Nodes)
+	if params.Coupling == CouplingPCL {
+		s.glaHome = make([]int, params.Nodes)
+		for i := range s.glaHome {
+			s.glaHome[i] = i
+		}
+	}
+	if params.FaultsEnabled {
+		s.net.SetDownCheck(func(node int) bool { return s.down[node] })
+		if params.Net.LossProb > 0 {
+			s.net.SetLossSource(s.split.Stream("msgloss"))
+		}
+	}
+
 	s.nodes = make([]*Node, params.Nodes)
 	for i := range s.nodes {
 		s.nodes[i] = newNode(s, i)
@@ -229,10 +276,14 @@ func (s *System) Start(ratePerNode float64) {
 			p.Wait(time.Duration(arrivals.Exp(1/totalRate) * float64(time.Second)))
 			spec := s.gen.Next(gen)
 			target := s.router.Route(&spec)
+			if s.faultsOn {
+				target = s.aliveTarget(target)
+			}
 			s.nodes[target].submit(spec)
 		}
 	})
 	s.startLogMerge()
+	s.startCheckpoints()
 }
 
 // startLogMerge spawns the global log merge process at node 0: it
@@ -287,11 +338,15 @@ func (s *System) StartClosed(terminals int, thinkTime time.Duration) {
 					}
 					spec := s.gen.Next(gen)
 					target := s.router.Route(&spec)
-					s.nodes[target].runTxnCounted(p, spec, s.env.Now())
+					if s.faultsOn {
+						target = s.aliveTarget(target)
+					}
+					s.runWithRetry(p, s.nodes[target], spec, s.env.Now())
 				}
 			})
 		}
 	}
+	s.startCheckpoints()
 }
 
 // nextTxID allocates a transaction identifier; larger ids are younger.
@@ -320,6 +375,16 @@ func (s *System) pclMetaOf(gla int, page model.PageID) *pageMeta {
 	return m
 }
 
+// glaHomeOf returns the node currently serving GLA partition g: its
+// original home, or — after a failover — the survivor that adopted the
+// partition.
+func (s *System) glaHomeOf(g int) int {
+	if s.glaHome == nil {
+		return g
+	}
+	return s.glaHome[g]
+}
+
 // execCtx identifies the node and process in whose context protocol
 // actions (message sends, CPU charges) happen.
 type execCtx struct {
@@ -329,7 +394,11 @@ type execCtx struct {
 
 // blockForLock parks t until its pending lock request is granted,
 // running deadlock detection first. It returns errDeadlock if t was
-// chosen as (or became) a deadlock victim.
+// chosen as (or became) a deadlock victim, errKilled if t's node
+// crashed while it waited, and errTimeout when the wait exceeded
+// LockWaitTimeout (fault runs only): the lock holder may be dead or
+// the grant notification lost, so the transaction withdraws its
+// request and retries instead of hanging forever.
 func (s *System) blockForLock(t *txn) error {
 	ctx := execCtx{node: t.node.id, proc: t.proc}
 	if cycle := s.detector.FindCycle(t.owner); cycle != nil {
@@ -340,11 +409,47 @@ func (s *System) blockForLock(t *txn) error {
 		}
 		s.abortVictim(victim)
 	}
+	timeout := s.params.LockWaitTimeout
+	armed := s.faultsOn && timeout > 0
+	if armed {
+		t.proc.UnparkAfter(timeout)
+	}
 	t.proc.Park()
+	if t.killed {
+		return errKilled
+	}
 	if t.deadlock {
 		return errDeadlock
 	}
+	if armed && s.stillWaiting(t.owner) {
+		// Timer wake: the request was never granted.
+		s.lockTimeouts++
+		if t.waiting != nil {
+			t.waiting.abandoned = true
+		}
+		s.cancelWaiting(t.owner, ctx)
+		return errTimeout
+	}
+	if armed && t.waiting != nil && !t.waiting.woken {
+		// The lock was granted but the notification has not been
+		// consumed: either the timer raced a direct wake in the same
+		// instant (deduplicated by the park generation) or a wakeup
+		// message is still in flight — or was lost. The lock is held
+		// either way; mark the wait so a late message is dropped.
+		t.waiting.abandoned = true
+	}
 	return nil
+}
+
+// stillWaiting reports whether the owner has an outstanding waiting
+// request in any lock table.
+func (s *System) stillWaiting(o lock.Owner) bool {
+	for _, tbl := range s.tables {
+		if tbl.Waiting(o) != nil {
+			return true
+		}
+	}
+	return false
 }
 
 // cancelWaiting removes the owner's queued lock requests from every
@@ -358,10 +463,10 @@ func (s *System) cancelWaiting(o lock.Owner, ctx execCtx) {
 		if len(granted) == 0 {
 			continue
 		}
-		if s.params.Coupling != CouplingPCL || i == ctx.node {
+		if s.params.Coupling != CouplingPCL || s.glaHomeOf(i) == ctx.node {
 			s.wakeGranted(granted, i, ctx)
 		} else {
-			s.wakeGrantedAsync(granted, i, i)
+			s.wakeGrantedAsync(granted, i, s.glaHomeOf(i))
 		}
 	}
 }
@@ -384,7 +489,8 @@ func (s *System) abortVictim(o lock.Owner) {
 		granted := tbl.CancelWaiting(o)
 		atNode := vt.node.id
 		if s.params.Coupling == CouplingPCL {
-			atNode = i // grants of a GLA table are processed at the GLA node
+			// Grants of a GLA table are processed at its serving node.
+			atNode = s.glaHomeOf(i)
 		}
 		s.wakeGrantedAsync(granted, i, atNode)
 	}
@@ -438,6 +544,11 @@ func (s *System) ResetStats() {
 	s.wbWrites, s.wbReadHits = 0, 0
 	s.gemCacheHits, s.gemCacheReqs = 0, 0
 	s.rtBatches = stats.NewBatchMeans(100)
+	s.txnsKilled, s.txnsRetried, s.lockTimeouts = 0, 0, 0
+	s.failovers = nil
+	s.respPre.Reset()
+	s.respDuring.Reset()
+	s.respPost.Reset()
 }
 
 // Metrics is the measurement snapshot of one simulation run.
@@ -522,6 +633,22 @@ type Metrics struct {
 	CacheHitRatio   map[string]float64
 
 	BufferOverflows int64
+
+	// Availability metrics (fault injection runs).
+	TxnsKilled   int64 // in-flight transactions killed by node crashes
+	TxnsRetried  int64 // killed or timed-out transactions resubmitted
+	LockTimeouts int64 // lock waits aborted by LockWaitTimeout
+	// MessagesDropped counts messages lost in transit or addressed to a
+	// down node.
+	MessagesDropped int64
+	// Failovers describes each recovered crash: phase durations and
+	// work counts.
+	Failovers []FailoverStats
+	// Response time of committed transactions before the first failure,
+	// inside a failure/recovery window, and after recovery completed.
+	MeanRTPreFailure     time.Duration
+	MeanRTDuringRecovery time.Duration
+	MeanRTPostRecovery   time.Duration
 }
 
 // Snapshot collects the metrics accumulated since the last ResetStats.
@@ -664,6 +791,15 @@ func (s *System) Snapshot() Metrics {
 	for _, n := range s.nodes {
 		m.DiskUtilization[fmt.Sprintf("LOG%d", n.id)] = n.logGroup.DiskUtilization()
 	}
+
+	m.TxnsKilled = s.txnsKilled
+	m.TxnsRetried = s.txnsRetried
+	m.LockTimeouts = s.lockTimeouts
+	m.MessagesDropped = s.net.Dropped()
+	m.Failovers = append([]FailoverStats(nil), s.failovers...)
+	m.MeanRTPreFailure = s.respPre.MeanDuration()
+	m.MeanRTDuringRecovery = s.respDuring.MeanDuration()
+	m.MeanRTPostRecovery = s.respPost.MeanDuration()
 	return m
 }
 

@@ -41,6 +41,19 @@ func NewTable(title, xlabel, ylabel string, rows, cols []string) *Table {
 // Set stores one value.
 func (t *Table) Set(row, col int, v float64) { t.Values[row][col] = v }
 
+// AddRow appends one named row; missing trailing values stay NaN and
+// surplus values are dropped. Useful for tables built row by row
+// (e.g. one configuration per row with a fixed metric column set).
+func (t *Table) AddRow(name string, values ...float64) {
+	row := make([]float64, len(t.ColNames))
+	for j := range row {
+		row[j] = math.NaN()
+	}
+	copy(row, values)
+	t.RowNames = append(t.RowNames, name)
+	t.Values = append(t.Values, row)
+}
+
 // Render formats the table with aligned columns.
 func (t *Table) Render() string {
 	var b strings.Builder

@@ -18,6 +18,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -83,6 +84,42 @@ func (e *Env) Now() Time { return e.now }
 
 // Pending reports the number of scheduled events.
 func (e *Env) Pending() int { return len(e.events) }
+
+// LiveCount reports the number of live (spawned, not yet finished)
+// processes.
+func (e *Env) LiveCount() int { return len(e.live) }
+
+// Stalled reports whether the simulation can make no further progress
+// while processes are still alive: the event calendar is empty but live
+// processes remain, all of them parked with nothing scheduled to wake
+// them (e.g. waiters on a lock that is never released).
+func (e *Env) Stalled() bool {
+	return len(e.events) == 0 && len(e.live) > 0
+}
+
+// LiveNames returns the names of live processes, deduplicated with
+// counts ("txn x12") and sorted, for stall diagnostics. At most max
+// distinct names are returned (0 means all).
+func (e *Env) LiveNames(max int) []string {
+	counts := make(map[string]int)
+	for p := range e.live {
+		counts[p.name]++
+	}
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if max > 0 && len(names) > max {
+		names = names[:max]
+	}
+	for i, n := range names {
+		if c := counts[n]; c > 1 {
+			names[i] = fmt.Sprintf("%s x%d", n, c)
+		}
+	}
+	return names
+}
 
 // schedule enqueues an event at absolute time at (>= now).
 func (e *Env) schedule(at Time, p *Proc, fn func()) *event {

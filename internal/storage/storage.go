@@ -84,6 +84,10 @@ type Group struct {
 	disks       *sim.Resource
 	cache       *Cache
 
+	// stallUntil freezes the group until the given time (fault
+	// injection): requests arriving earlier first wait it out.
+	stallUntil sim.Time
+
 	reads        int64
 	writes       int64
 	readHits     int64
@@ -120,9 +124,26 @@ func (g *Group) Name() string { return g.name }
 // Cache returns the attached shared disk cache, or nil.
 func (g *Group) Cache() *Cache { return g.cache }
 
+// StallFor freezes the group for d from now (fault injection: a
+// controller hiccup or path failure). Requests issued while the stall
+// is active wait until it clears before queueing for the devices.
+func (g *Group) StallFor(d time.Duration) {
+	if until := g.env.Now() + d; until > g.stallUntil {
+		g.stallUntil = until
+	}
+}
+
+// waitStall makes the caller sit out an active stall window.
+func (g *Group) waitStall(p *sim.Proc) {
+	if now := g.env.Now(); now < g.stallUntil {
+		p.Wait(g.stallUntil - now)
+	}
+}
+
 // Read performs one page read through the group and reports whether it
 // was satisfied by the shared disk cache.
 func (g *Group) Read(p *sim.Proc, page model.PageID) (cacheHit bool) {
+	g.waitStall(p)
 	start := g.env.Now()
 	g.reads++
 	if g.cache != nil && g.cache.Touch(page) {
@@ -145,6 +166,7 @@ func (g *Group) Read(p *sim.Proc, page model.PageID) (cacheHit bool) {
 // Write performs one page write through the group and reports whether a
 // non-volatile cache absorbed it (updating the disk asynchronously).
 func (g *Group) Write(p *sim.Proc, page model.PageID) (absorbed bool) {
+	g.waitStall(p)
 	start := g.env.Now()
 	g.writes++
 	if g.cache != nil && !g.cache.Volatile() {

@@ -213,6 +213,44 @@ func TestResetStats(t *testing.T) {
 	}
 }
 
+func TestStallForDelaysRequests(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Stop()
+	g := NewGroup(env, "db", DefaultDBParams(1))
+	var done sim.Time
+	env.Spawn("u", func(p *sim.Proc) {
+		g.StallFor(10 * time.Millisecond)
+		g.Read(p, page(1))
+		done = env.Now()
+	})
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	// 10 ms stall + 16.4 ms plain disk read.
+	if done != 26400*time.Microsecond {
+		t.Fatalf("stalled read finished at %v, want 26.4ms", done)
+	}
+}
+
+func TestStallForExtendsNotShortens(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Stop()
+	g := NewGroup(env, "db", DefaultDBParams(1))
+	var done sim.Time
+	env.Spawn("u", func(p *sim.Proc) {
+		g.StallFor(10 * time.Millisecond)
+		g.StallFor(time.Millisecond) // must not shorten the window
+		g.Read(p, page(1))
+		done = env.Now()
+	})
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 26400*time.Microsecond {
+		t.Fatalf("stalled read finished at %v, want 26.4ms", done)
+	}
+}
+
 func TestGroupDefaultsClampServers(t *testing.T) {
 	env := sim.NewEnv()
 	defer env.Stop()
