@@ -16,10 +16,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"gemsim/internal/core"
 	"gemsim/internal/node"
+	"gemsim/internal/trace"
 )
 
 func main() {
@@ -43,10 +46,25 @@ func run(args []string) error {
 		plotOut = fs.Bool("plot", false, "additionally print an ASCII plot")
 		seed    = fs.Int64("seed", 1, "random seed")
 		verbose = fs.Bool("v", false, "print per-run progress")
+
+		traceOut = fs.String("trace-out", "", "per-run event trace files (run label inserted before the extension)")
+		traceFmt = fs.String("trace-format", "jsonl", "event trace encoding: jsonl or perfetto")
+		tsOut    = fs.String("timeseries", "", "per-run time-series files (run label inserted before the extension)")
+		sampleIv = fs.Duration("sample-interval", 500*time.Millisecond, "time-series window length")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	sink := &traceSink{events: *traceOut, timeseries: *tsOut, interval: *sampleIv}
+	if *traceOut != "" {
+		format, ok := trace.ParseFormat(*traceFmt)
+		if !ok {
+			return fmt.Errorf("unknown trace format %q (want jsonl or perfetto)", *traceFmt)
+		}
+		sink.format = format
+	}
+	defer sink.closeAll()
 
 	if *table == "4.1" {
 		printTable41()
@@ -85,13 +103,18 @@ func run(args []string) error {
 			fmt.Fprintf(os.Stderr, "  [%s] %s n=%d: %v\n", expID, series, nodes, rep)
 		}
 	}
+	if sink.enabled() {
+		opts.Configure = func(cfg *core.Config, expID, series string, nodes int) {
+			sink.attach(cfg, fmt.Sprintf("%s-%s-n%d", expID, series, nodes))
+		}
+	}
 
 	var selected []core.Experiment
 	switch {
 	case *all:
 		selected = exps
 	case *fig == "failover":
-		return runFailoverPreset(*seed, *quick, *verbose, *csvOut, *mdOut)
+		return runFailoverPreset(*seed, *quick, *verbose, *csvOut, *mdOut, sink)
 	case *fig != "":
 		for i := range exps {
 			if exps[i].ID == *fig {
@@ -125,16 +148,81 @@ func run(args []string) error {
 		fmt.Printf("(completed in %v)\n\n", time.Since(start).Round(time.Millisecond))
 	}
 	if *all {
-		return runFailoverPreset(*seed, *quick, *verbose, *csvOut, *mdOut)
+		return runFailoverPreset(*seed, *quick, *verbose, *csvOut, *mdOut, sink)
 	}
-	return nil
+	return sink.err
+}
+
+// traceSink derives per-run tracing outputs from the -trace-out and
+// -timeseries filename templates: the run label is inserted before the
+// extension ("out.json" becomes "out-4.1-GEM-n4.json"). Files stay
+// open until the whole suite finishes; the first error is remembered
+// and reported at the end.
+type traceSink struct {
+	events     string
+	timeseries string
+	format     trace.Format
+	interval   time.Duration
+	files      []*os.File
+	err        error
+}
+
+func (s *traceSink) enabled() bool { return s.events != "" || s.timeseries != "" }
+
+// attach opens the per-run output files and sets cfg.Tracing.
+func (s *traceSink) attach(cfg *core.Config, label string) {
+	if !s.enabled() {
+		return
+	}
+	tc := &core.TraceConfig{Format: s.format, SampleInterval: s.interval}
+	if s.events != "" {
+		if f := s.create(s.events, label); f != nil {
+			tc.Events = f
+		}
+	}
+	if s.timeseries != "" {
+		if f := s.create(s.timeseries, label); f != nil {
+			tc.TimeSeries = f
+		}
+	}
+	cfg.Tracing = tc
+}
+
+func (s *traceSink) create(tpl, label string) *os.File {
+	label = strings.NewReplacer("/", "-", " ", "-").Replace(label)
+	ext := filepath.Ext(tpl)
+	path := strings.TrimSuffix(tpl, ext) + "-" + label + ext
+	f, err := os.Create(path)
+	if err != nil {
+		if s.err == nil {
+			s.err = err
+		}
+		return nil
+	}
+	s.files = append(s.files, f)
+	return f
+}
+
+func (s *traceSink) closeAll() error {
+	for _, f := range s.files {
+		if err := f.Close(); err != nil && s.err == nil {
+			s.err = err
+		}
+	}
+	s.files = nil
+	return s.err
 }
 
 // runFailoverPreset runs the fault-injection comparison (not part of
 // the paper's figure catalog): the same mid-run node crash under GEM
 // and PCL, recovered from a disk-resident versus a GEM-resident log.
-func runFailoverPreset(seed int64, quick, verbose, csvOut, mdOut bool) error {
+func runFailoverPreset(seed int64, quick, verbose, csvOut, mdOut bool, sink *traceSink) error {
 	opts := core.FailoverOptions{Seed: seed}
+	if sink.enabled() {
+		opts.Configure = func(label string, cfg *core.Config) {
+			sink.attach(cfg, "failover-"+label)
+		}
+	}
 	if quick {
 		// The window must still contain a complete disk-log recovery
 		// (several simulated seconds of log scan and redo), so quick
@@ -160,7 +248,7 @@ func runFailoverPreset(seed int64, quick, verbose, csvOut, mdOut bool) error {
 		fmt.Println(tbl.Markdown())
 	}
 	fmt.Printf("(completed in %v)\n\n", time.Since(start).Round(time.Millisecond))
-	return nil
+	return sink.err
 }
 
 func printTable41() {

@@ -19,6 +19,8 @@ import (
 
 	"gemsim/internal/core"
 	"gemsim/internal/model"
+	"gemsim/internal/report"
+	"gemsim/internal/trace"
 	"gemsim/internal/workload"
 )
 
@@ -50,10 +52,19 @@ func run(args []string) error {
 		measure  = fs.Duration("measure", 16*time.Second, "measurement period of simulated time")
 		seed     = fs.Int64("seed", 1, "random seed")
 		check    = fs.Bool("check", false, "enable the coherency invariant oracle")
+		traceOut = fs.String("trace-out", "", "write an event trace to this file (see -trace-format)")
+		traceFmt = fs.String("trace-format", "jsonl", "event trace encoding: jsonl or perfetto")
+		tsOut    = fs.String("timeseries", "", "write windowed time-series samples (JSONL) to this file")
+		sampleIv = fs.Duration("sample-interval", 500*time.Millisecond, "time-series window length")
+		phases   = fs.Bool("phases", false, "collect and print the per-phase response time breakdown")
 		verbose  = fs.Bool("v", false, "print detailed metrics")
+		quiet    = fs.Bool("quiet", false, "suppress the summary line (useful with -trace-out/-timeseries)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *quiet && *verbose {
+		return fmt.Errorf("-quiet and -v are mutually exclusive")
 	}
 
 	if *cfgPath != "" {
@@ -61,15 +72,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		rep, err := core.Run(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(rep)
-		if *verbose {
-			printDetails(rep)
-		}
-		return nil
+		return execute(cfg, *traceOut, *traceFmt, *tsOut, *sampleIv, *phases, *quiet, *verbose)
 	}
 
 	cfg := core.DefaultDebitCreditConfig(*nodes)
@@ -125,13 +128,50 @@ func run(args []string) error {
 	cfg.Seed = *seed
 	cfg.CheckInvariants = *check
 
+	return execute(cfg, *traceOut, *traceFmt, *tsOut, *sampleIv, *phases, *quiet, *verbose)
+}
+
+// execute attaches the requested tracing outputs, runs the
+// configuration and prints the results.
+func execute(cfg core.Config, traceOut, traceFmt, tsOut string, sampleIv time.Duration, phases, quiet, verbose bool) error {
+	if traceOut != "" || tsOut != "" || phases {
+		tc := &core.TraceConfig{SampleInterval: sampleIv}
+		if traceOut != "" {
+			format, ok := trace.ParseFormat(traceFmt)
+			if !ok {
+				return fmt.Errorf("unknown trace format %q (want jsonl or perfetto)", traceFmt)
+			}
+			f, err := os.Create(traceOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			tc.Events = f
+			tc.Format = format
+		}
+		if tsOut != "" {
+			f, err := os.Create(tsOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			tc.TimeSeries = f
+		}
+		cfg.Tracing = tc
+	}
+
 	rep, err := core.Run(cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Println(rep)
-	if *verbose {
+	if !quiet {
+		fmt.Println(rep)
+	}
+	if verbose {
 		printDetails(rep)
+	}
+	if m := &rep.Metrics; m.Phases != nil && m.Phases.N > 0 && (verbose || phases) {
+		fmt.Print(report.PhaseTable(m.Phases).Render())
 	}
 	return nil
 }

@@ -1,0 +1,349 @@
+// Command traceview summarizes event traces produced by the
+// simulator's -trace-out flag: per-category service time totals, the
+// hottest lock pages, the slowest transactions, and a validation mode
+// for CI that checks the emitted events against the Chrome trace_event
+// schema. Both encodings are accepted — JSONL (one event per line) and
+// the Perfetto JSON document — and are detected automatically.
+//
+// Examples:
+//
+//	traceview run.jsonl
+//	traceview -top 5 run.json
+//	traceview -validate run.json     # exit 1 on schema violations
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "traceview:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("traceview", flag.ContinueOnError)
+	var (
+		top      = fs.Int("top", 10, "number of entries in the hotspot and slowest-transaction lists")
+		validate = fs.Bool("validate", false, "validate the trace against the trace_event schema and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: traceview [-top N] [-validate] <trace file, or - for stdin>")
+	}
+
+	var r io.Reader = os.Stdin
+	if name := fs.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	tr, err := parse(r)
+	if err != nil {
+		return err
+	}
+	if *validate {
+		if errs := tr.validate(); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintln(os.Stderr, "traceview: invalid:", e)
+			}
+			return fmt.Errorf("%d schema violation(s) in %d events (%s)", len(errs), len(tr.events), tr.format)
+		}
+		fmt.Printf("OK: %d events (%s) conform to the trace_event schema\n", len(tr.events), tr.format)
+		return nil
+	}
+	tr.summarize(os.Stdout, *top)
+	return nil
+}
+
+// event is the union of the fields of both encodings. Pointer fields
+// distinguish absent from zero for validation.
+type event struct {
+	Ph    string         `json:"ph"`
+	TS    *float64       `json:"ts"`
+	Dur   *float64       `json:"dur"`
+	Track string         `json:"track"` // JSONL only
+	PID   *int           `json:"pid"`   // Perfetto only
+	TID   *int64         `json:"tid"`
+	Cat   string         `json:"cat"`
+	Name  string         `json:"name"`
+	Arg   string         `json:"arg"`   // JSONL only
+	Value *float64       `json:"value"` // JSONL counters
+	Args  map[string]any `json:"args"`  // Perfetto counters/details
+	S     string         `json:"s"`     // Perfetto instant scope
+}
+
+type traceData struct {
+	format string // "jsonl" or "perfetto"
+	events []event
+	procs  map[int]string // Perfetto pid -> track name
+}
+
+// parse reads a trace in either encoding. A document whose top-level
+// object carries a traceEvents array is treated as Perfetto; anything
+// else is parsed line by line as JSONL.
+func parse(r io.Reader) (*traceData, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		TraceEvents []event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err == nil && doc.TraceEvents != nil {
+		t := &traceData{format: "perfetto", events: doc.TraceEvents, procs: map[int]string{}}
+		for i := range t.events {
+			e := &t.events[i]
+			if e.Ph == "M" && e.Name == "process_name" && e.PID != nil {
+				if name, ok := e.Args["name"].(string); ok {
+					t.procs[*e.PID] = name
+				}
+			}
+		}
+		return t, nil
+	}
+	t := &traceData{format: "jsonl"}
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" {
+			continue
+		}
+		var e event
+		if err := json.Unmarshal([]byte(s), &e); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		t.events = append(t.events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// track resolves the event's track name in either encoding.
+func (t *traceData) track(e *event) string {
+	if t.format == "jsonl" {
+		return e.Track
+	}
+	if e.PID != nil {
+		if name, ok := t.procs[*e.PID]; ok {
+			return name
+		}
+	}
+	return "?"
+}
+
+// detail resolves the free-form argument in either encoding.
+func (t *traceData) detail(e *event) string {
+	if t.format == "jsonl" {
+		return e.Arg
+	}
+	if d, ok := e.Args["detail"].(string); ok {
+		return d
+	}
+	return ""
+}
+
+// validate checks every event against the trace_event schema: known
+// phase letters, required timestamps, non-negative durations, and the
+// per-encoding identification fields. It returns one message per
+// violation (capped at 20).
+func (t *traceData) validate() []string {
+	var errs []string
+	add := func(i int, format string, args ...any) {
+		if len(errs) < 20 {
+			errs = append(errs, fmt.Sprintf("event %d: ", i)+fmt.Sprintf(format, args...))
+		}
+	}
+	for i := range t.events {
+		e := &t.events[i]
+		switch e.Ph {
+		case "X", "i", "C", "M":
+		default:
+			add(i, "unknown phase %q", e.Ph)
+			continue
+		}
+		if e.TS == nil {
+			add(i, "%s event without ts", e.Ph)
+		} else if *e.TS < 0 {
+			add(i, "negative ts %v", *e.TS)
+		}
+		if e.Ph == "X" {
+			if e.Dur == nil {
+				add(i, "complete event without dur")
+			} else if *e.Dur < 0 {
+				add(i, "negative dur %v", *e.Dur)
+			}
+		}
+		if e.Name == "" {
+			add(i, "%s event without name", e.Ph)
+		}
+		if t.format == "perfetto" {
+			if e.PID == nil || e.TID == nil {
+				add(i, "%s event without pid/tid", e.Ph)
+			}
+			if e.Ph == "i" && e.S != "t" && e.S != "p" && e.S != "g" {
+				add(i, "instant with invalid scope %q", e.S)
+			}
+			if e.Ph == "M" && e.Name == "process_name" {
+				if _, ok := e.Args["name"].(string); !ok {
+					add(i, "process_name metadata without args.name")
+				}
+			}
+		} else if e.Track == "" {
+			add(i, "%s event without track", e.Ph)
+		}
+	}
+	return errs
+}
+
+// keyTotal accumulates count and total duration per grouping key.
+type keyTotal struct {
+	key   string
+	count int
+	total float64 // microseconds
+}
+
+func topTotals(m map[string]*keyTotal, n int) []*keyTotal {
+	out := make([]*keyTotal, 0, len(m))
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].total != out[j].total {
+			return out[i].total > out[j].total
+		}
+		return out[i].key < out[j].key
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+func (t *traceData) summarize(w io.Writer, top int) {
+	var (
+		spans, instants, counters int
+		tsMax                     float64
+		byCat                     = map[string]*keyTotal{}
+		lockPages                 = map[string]*keyTotal{}
+		txns                      []*event
+	)
+	acc := func(m map[string]*keyTotal, key string, dur float64) {
+		kt := m[key]
+		if kt == nil {
+			kt = &keyTotal{key: key}
+			m[key] = kt
+		}
+		kt.count++
+		kt.total += dur
+	}
+	for i := range t.events {
+		e := &t.events[i]
+		if e.TS != nil {
+			end := *e.TS
+			if e.Dur != nil {
+				end += *e.Dur
+			}
+			if end > tsMax {
+				tsMax = end
+			}
+		}
+		switch e.Ph {
+		case "X":
+			spans++
+			dur := 0.0
+			if e.Dur != nil {
+				dur = *e.Dur
+			}
+			cat := e.Cat
+			if cat == "" {
+				cat = "?"
+			}
+			if cat == "txn" {
+				txns = append(txns, e)
+			} else {
+				acc(byCat, cat+"/"+e.Name, dur)
+			}
+			if cat == "lock" {
+				if page := t.detail(e); page != "" {
+					acc(lockPages, e.Name+" "+page, dur)
+				}
+			}
+		case "i":
+			instants++
+			acc(byCat, "instant "+e.Cat+"/"+e.Name, 0)
+		case "C":
+			counters++
+		}
+	}
+
+	fmt.Fprintf(w, "trace: %s, %d events (%d spans, %d instants, %d counter samples), %.3f s simulated\n",
+		t.format, len(t.events), spans, instants, counters, tsMax/1e6)
+
+	fmt.Fprintf(w, "\nservice totals by category:\n")
+	for _, kt := range topTotals(byCat, 0) {
+		fmt.Fprintf(w, "  %-28s %8d  %12.3f ms\n", kt.key, kt.count, kt.total/1e3)
+	}
+
+	if len(lockPages) > 0 {
+		fmt.Fprintf(w, "\ntop lock hotspots (by time):\n")
+		for _, kt := range topTotals(lockPages, top) {
+			fmt.Fprintf(w, "  %-28s %8d  %12.3f ms\n", kt.key, kt.count, kt.total/1e3)
+		}
+	}
+
+	if len(txns) > 0 {
+		sort.Slice(txns, func(i, j int) bool {
+			di, dj := 0.0, 0.0
+			if txns[i].Dur != nil {
+				di = *txns[i].Dur
+			}
+			if txns[j].Dur != nil {
+				dj = *txns[j].Dur
+			}
+			if di != dj {
+				return di > dj
+			}
+			return *txns[i].TS < *txns[j].TS
+		})
+		n := len(txns)
+		var total float64
+		for _, e := range txns {
+			if e.Dur != nil {
+				total += *e.Dur
+			}
+		}
+		fmt.Fprintf(w, "\ntransactions: %d complete, mean %.3f ms\n", n, total/float64(n)/1e3)
+		if top < n {
+			n = top
+		}
+		fmt.Fprintf(w, "slowest transactions:\n")
+		for _, e := range txns[:n] {
+			tid := int64(0)
+			if e.TID != nil {
+				tid = *e.TID
+			}
+			fmt.Fprintf(w, "  txn %-8d %-10s start %10.3f ms  dur %10.3f ms  %s\n",
+				tid, t.track(e), *e.TS/1e3, *e.Dur/1e3, t.detail(e))
+		}
+	}
+}

@@ -8,11 +8,13 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"gemsim/internal/fault"
 	"gemsim/internal/model"
 	"gemsim/internal/node"
+	"gemsim/internal/trace"
 	"gemsim/internal/workload"
 )
 
@@ -111,6 +113,26 @@ type FaultConfig struct {
 	DetectDelay time.Duration
 }
 
+// TraceConfig enables the observability layer: a per-transaction event
+// trace, a windowed time-series of system metrics, and per-transaction
+// phase accounting. All output is keyed on simulated time and fully
+// deterministic for a given configuration and seed. When Events and
+// TimeSeries are both nil, only phase accounting is enabled.
+type TraceConfig struct {
+	// Events, if non-nil, receives the event trace: transaction spans,
+	// lock waits, device service intervals, fault/recovery phases.
+	Events io.Writer
+	// Format selects the event encoding: trace.JSONL (default, one
+	// event per line) or trace.Perfetto (a Chrome trace_event JSON
+	// document loadable in ui.perfetto.dev).
+	Format trace.Format
+	// TimeSeries, if non-nil, receives windowed JSONL samples
+	// (throughput, response time, utilizations, queue depths).
+	TimeSeries io.Writer
+	// SampleInterval is the time-series window length (default 500ms).
+	SampleInterval time.Duration
+}
+
 // Config describes one simulated configuration.
 type Config struct {
 	// Nodes is the number of processing nodes (1-10 in the paper).
@@ -164,6 +186,11 @@ type Config struct {
 	// Faults, if non-nil, enables fault injection (node crashes with
 	// measured failover, message loss, disk stalls).
 	Faults *FaultConfig
+
+	// Tracing, if non-nil, enables the observability layer: event
+	// trace, time-series sampling, and per-transaction phase
+	// accounting (Report.Metrics.Phases).
+	Tracing *TraceConfig
 
 	// Tune, if set, adjusts the low-level node parameters after the
 	// defaults are applied (ablations, sensitivity studies).
@@ -229,6 +256,14 @@ func (c *Config) validate() error {
 		return fmt.Errorf("core: ClosedLoop.TerminalsPerNode must be positive")
 	case c.GlobalLogMerge && !c.LogInGEM:
 		return fmt.Errorf("core: GlobalLogMerge requires LogInGEM")
+	}
+	if tc := c.Tracing; tc != nil {
+		if tc.SampleInterval < 0 {
+			return fmt.Errorf("core: Tracing.SampleInterval must be non-negative, got %v", tc.SampleInterval)
+		}
+		if tc.Format != trace.JSONL && tc.Format != trace.Perfetto {
+			return fmt.Errorf("core: invalid Tracing.Format %v", tc.Format)
+		}
 	}
 	if f := c.Faults; f != nil {
 		switch {

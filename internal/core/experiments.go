@@ -53,6 +53,9 @@ type ExperimentOptions struct {
 	Replications int
 	// Progress, if non-nil, is called after every completed run.
 	Progress func(expID, series string, nodes int, rep *Report)
+	// Configure, if non-nil, adjusts each run's configuration just
+	// before it executes (e.g. to attach per-run tracing outputs).
+	Configure func(cfg *Config, expID, series string, nodes int)
 }
 
 // DefaultExperimentOptions returns full-length settings: windows are
@@ -425,6 +428,9 @@ func (e *Experiment) Run(opts ExperimentOptions) (*report.Table, error) {
 			baseSeed := cfg.Seed
 			for r := 0; r < reps; r++ {
 				cfg.Seed = baseSeed + int64(r)
+				if opts.Configure != nil {
+					opts.Configure(&cfg, e.ID, s.Label, n)
+				}
 				rep, err := Run(cfg)
 				if err != nil {
 					return nil, fmt.Errorf("experiment %s series %q n=%d: %w", e.ID, s.Label, n, err)

@@ -23,6 +23,9 @@ type FailoverOptions struct {
 	Seed int64
 	// Progress, if non-nil, is called after each completed run.
 	Progress func(label string, rep *Report)
+	// Configure, if non-nil, adjusts each scenario's configuration
+	// just before it runs (e.g. to attach per-run tracing outputs).
+	Configure func(label string, cfg *Config)
 }
 
 // FailoverConfig builds one crash scenario of the failover experiment:
@@ -96,7 +99,11 @@ func RunFailover(opts FailoverOptions) (*report.Table, map[string]*Report, error
 	)
 	reports := make(map[string]*Report, len(failoverScenarios))
 	for _, sc := range failoverScenarios {
-		rep, err := Run(FailoverConfig(sc.coupling, sc.logInGEM, opts))
+		cfg := FailoverConfig(sc.coupling, sc.logInGEM, opts)
+		if opts.Configure != nil {
+			opts.Configure(sc.label, &cfg)
+		}
+		rep, err := Run(cfg)
 		if err != nil {
 			return nil, nil, fmt.Errorf("failover %s: %w", sc.label, err)
 		}

@@ -10,6 +10,7 @@ import (
 	"gemsim/internal/node"
 	"gemsim/internal/routing"
 	"gemsim/internal/sim"
+	"gemsim/internal/trace"
 	"gemsim/internal/workload"
 )
 
@@ -36,6 +37,21 @@ func Run(cfg Config) (*Report, error) {
 		return nil, err
 	}
 
+	var (
+		tracer *trace.Tracer
+		tsw    *trace.TimeSeriesWriter
+	)
+	if tc := cfg.Tracing; tc != nil {
+		if tc.Events != nil {
+			tracer = trace.New(tc.Events, tc.Format)
+		}
+		if tc.TimeSeries != nil {
+			tsw = trace.NewTimeSeriesWriter(tc.TimeSeries)
+		}
+		params.Tracer = tracer
+		params.PhaseBreakdown = true
+	}
+
 	env := sim.NewEnv()
 	defer env.Stop()
 	sys, err := node.NewSystem(env, params, gen, router, gla)
@@ -59,6 +75,13 @@ func Run(cfg Config) (*Report, error) {
 	} else {
 		sys.Start(cfg.ArrivalRatePerNode)
 	}
+	if tc := cfg.Tracing; tc != nil {
+		interval := tc.SampleInterval
+		if interval == 0 {
+			interval = 500 * time.Millisecond
+		}
+		sys.StartSampler(interval, tsw)
+	}
 	if err := env.Run(cfg.Warmup); err != nil {
 		return nil, err
 	}
@@ -73,6 +96,12 @@ func Run(cfg Config) (*Report, error) {
 		return nil, err
 	}
 	metrics := sys.Snapshot()
+	if err := tracer.Close(); err != nil {
+		return nil, fmt.Errorf("core: event trace: %w", err)
+	}
+	if err := tsw.Close(); err != nil {
+		return nil, fmt.Errorf("core: time series: %w", err)
+	}
 	return &Report{Config: cfg, Metrics: metrics}, nil
 }
 

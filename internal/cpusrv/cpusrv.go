@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gemsim/internal/sim"
+	"gemsim/internal/trace"
 )
 
 // CPU is the processor pool of one node.
@@ -15,6 +16,7 @@ type CPU struct {
 	mips float64
 
 	instructions float64
+	tracer       *trace.Tracer
 }
 
 // New creates a CPU pool with the given number of processors and MIPS
@@ -32,6 +34,9 @@ func (c *CPU) ServiceTime(instructions float64) time.Duration {
 	return time.Duration(instructions / c.mips * float64(time.Microsecond))
 }
 
+// SetTracer attaches a span tracer (nil disables tracing).
+func (c *CPU) SetTracer(t *trace.Tracer) { c.tracer = t }
+
 // Exec runs the given number of instructions on one processor,
 // queueing FCFS if all processors are busy.
 func (c *CPU) Exec(p *sim.Proc, instructions float64) {
@@ -39,6 +44,12 @@ func (c *CPU) Exec(p *sim.Proc, instructions float64) {
 		return
 	}
 	c.instructions += instructions
+	if c.tracer.Enabled() {
+		start := p.Env().Now()
+		c.res.Use(p, c.ServiceTime(instructions))
+		c.tracer.Span(c.res.Name(), p.TraceID(), "cpu", "exec", start, p.Env().Now(), "")
+		return
+	}
 	c.res.Use(p, c.ServiceTime(instructions))
 }
 

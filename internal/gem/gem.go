@@ -11,10 +11,12 @@
 package gem
 
 import (
+	"strconv"
 	"time"
 
 	"gemsim/internal/model"
 	"gemsim/internal/sim"
+	"gemsim/internal/trace"
 )
 
 // Params configures the GEM device.
@@ -44,6 +46,7 @@ type GEM struct {
 	entryAccesses int64
 
 	resident map[model.FileID]bool
+	tracer   *trace.Tracer
 }
 
 // New creates a GEM device in the given environment.
@@ -64,10 +67,21 @@ func (g *GEM) AllocateFile(id model.FileID) { g.resident[id] = true }
 // Resident reports whether the file is GEM-resident.
 func (g *GEM) Resident(id model.FileID) bool { return g.resident[id] }
 
+// SetTracer attaches a span tracer (nil disables tracing). Page
+// accesses and entry-access batches are traced; lone entry accesses are
+// too short-lived to be worth an event each.
+func (g *GEM) SetTracer(t *trace.Tracer) { g.tracer = t }
+
 // AccessPage performs one synchronous page read or write. The calling
 // process is delayed by queueing plus the page access time.
 func (g *GEM) AccessPage(p *sim.Proc) {
 	g.pageAccesses++
+	if g.tracer.Enabled() {
+		start := p.Env().Now()
+		g.server.Use(p, g.params.PageAccess)
+		g.tracer.Span(g.server.Name(), p.TraceID(), "gem", "page", start, p.Env().Now(), "")
+		return
+	}
 	g.server.Use(p, g.params.PageAccess)
 }
 
@@ -81,10 +95,22 @@ func (g *GEM) AccessEntry(p *sim.Proc) {
 // AccessEntries performs n consecutive entry accesses (e.g., read the
 // lock entry, then write it back with Compare&Swap).
 func (g *GEM) AccessEntries(p *sim.Proc, n int) {
+	if g.tracer.Enabled() && n > 0 {
+		start := p.Env().Now()
+		for i := 0; i < n; i++ {
+			g.AccessEntry(p)
+		}
+		g.tracer.Span(g.server.Name(), p.TraceID(), "gem", "entries", start, p.Env().Now(), "n="+strconv.Itoa(n))
+		return
+	}
 	for i := 0; i < n; i++ {
 		g.AccessEntry(p)
 	}
 }
+
+// BusySeconds returns accumulated server-busy seconds since the last
+// ResetStats, for windowed utilization sampling.
+func (g *GEM) BusySeconds() float64 { return g.server.BusySeconds() }
 
 // Utilization returns the device utilization since the last ResetStats.
 func (g *GEM) Utilization() float64 { return g.server.Utilization() }

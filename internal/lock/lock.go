@@ -295,6 +295,10 @@ func (t *Table) HoldsLock(page model.PageID, o Owner, m model.LockMode) bool {
 // Waiting returns o's outstanding waiting request, or nil.
 func (t *Table) Waiting(o Owner) *Request { return t.waiting[o] }
 
+// WaitingCount returns the number of requests currently queued behind
+// a conflicting lock, for queue-depth sampling.
+func (t *Table) WaitingCount() int { return len(t.waiting) }
+
 // blockers returns the owners a waiting request waits for: all
 // incompatible granted holders plus incompatible requests queued ahead.
 func (t *Table) blockers(w *Request) []Owner {

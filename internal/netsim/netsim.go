@@ -7,11 +7,13 @@
 package netsim
 
 import (
+	"strconv"
 	"time"
 
 	"gemsim/internal/cpusrv"
 	"gemsim/internal/rng"
 	"gemsim/internal/sim"
+	"gemsim/internal/trace"
 )
 
 // Class distinguishes short control messages from long page-carrying
@@ -106,6 +108,7 @@ type Network struct {
 
 	lossSrc   *rng.Source
 	downCheck func(node int) bool
+	tracer    *trace.Tracer
 
 	shortSent int64
 	longSent  int64
@@ -135,6 +138,16 @@ func (n *Network) SetLossSource(src *rng.Source) { n.lossSrc = src }
 // reports the receiver down, the message is dropped (the sender has
 // already paid the send overhead).
 func (n *Network) SetDownCheck(fn func(node int) bool) { n.downCheck = fn }
+
+// SetTracer attaches a span tracer (nil disables tracing). Each
+// network message becomes one transit span on the "net" track; lost or
+// undeliverable messages become instants.
+func (n *Network) SetTracer(t *trace.Tracer) { n.tracer = t }
+
+// route formats "from>to" for trace event details.
+func route(from, to int) string {
+	return strconv.Itoa(from) + ">" + strconv.Itoa(to)
+}
 
 // transit returns the transmission delay for a message class.
 func (n *Network) transit(c Class) time.Duration {
@@ -192,12 +205,28 @@ func (n *Network) send(p *sim.Proc, from, to int, c Class, msg any, reliable boo
 	n.endpoints[from].cpu.Exec(p, n.sendInstr(c))
 	if lost {
 		n.dropped++
+		if n.tracer.Enabled() {
+			n.tracer.Instant("net", p.TraceID(), "net", "drop", n.env.Now(), route(from, to))
+		}
 		return
 	}
 	ep := n.endpoints[to]
+	traced := n.tracer.Enabled()
+	var sentAt sim.Time
+	var tid int64
+	if traced {
+		sentAt = n.env.Now()
+		tid = p.TraceID()
+	}
 	n.env.After(n.transit(c), func() {
+		if traced {
+			n.tracer.Span("net", tid, "net", c.String(), sentAt, n.env.Now(), route(from, to))
+		}
 		if n.downCheck != nil && n.downCheck(to) {
 			n.dropped++
+			if traced {
+				n.tracer.Instant("net", tid, "net", "drop-down", n.env.Now(), route(from, to))
+			}
 			return
 		}
 		n.env.Spawn("recv", func(q *sim.Proc) {

@@ -10,6 +10,7 @@ import (
 	"gemsim/internal/model"
 	"gemsim/internal/netsim"
 	"gemsim/internal/sim"
+	"gemsim/internal/trace"
 )
 
 // This file implements the failure model: node crashes injected by the
@@ -149,6 +150,9 @@ func (s *System) CrashNode(node int) {
 	}
 	s.txnsKilled += int64(len(losers))
 
+	if tr := s.tracer; tr.Enabled() {
+		tr.Instant("failover", 0, "fault", "crash", crashAt, "node="+itoa(node))
+	}
 	w := &failWindow{start: crashAt}
 	s.failWindows = append(s.failWindows, w)
 	s.env.Spawn("recovery", func(p *sim.Proc) {
@@ -169,6 +173,9 @@ func (s *System) RepairNode(node int) {
 	n.raHeld = make(map[model.PageID]bool)
 	n.logSinceCkpt = 0
 	s.down[node] = false
+	if tr := s.tracer; tr.Enabled() {
+		tr.Instant("failover", 0, "fault", "repair", s.env.Now(), "node="+itoa(node))
+	}
 }
 
 // StallDisk implements fault.Target: freeze the named disk group
@@ -217,8 +224,14 @@ func (s *System) coordinator() int {
 // — preserving the original arrival time, so the availability cost
 // shows up in the measured response time.
 func (s *System) runWithRetry(p *sim.Proc, n *Node, spec model.Txn, arrive sim.Time) {
+	var ph *trace.Phases
+	if s.breakdown != nil {
+		// One accumulator for the whole transaction: the breakdown must
+		// cover the response time, which spans crash resubmissions.
+		ph = &trace.Phases{}
+	}
 	for {
-		if n.runTxnCounted(p, spec, arrive) {
+		if n.runTxnCounted(p, spec, arrive, ph) {
 			return
 		}
 		if !s.faultsOn {
@@ -226,7 +239,9 @@ func (s *System) runWithRetry(p *sim.Proc, n *Node, spec model.Txn, arrive sim.T
 		}
 		s.txnsRetried++
 		if d := s.params.RestartDelayMean; d > 0 {
+			waitStart := s.env.Now()
 			p.Wait(time.Duration(n.src.Exp(d.Seconds()) * float64(time.Second)))
+			ph.Add(trace.PhaseBackoff, s.env.Now()-waitStart)
 		}
 		n = s.nodes[s.aliveTarget(n.id)]
 	}
@@ -288,6 +303,10 @@ func (s *System) runRecovery(p *sim.Proc, crashed int, crashAt sim.Time, losers 
 		p.Wait(params.FailureDetectDelay)
 	}
 	detectAt := s.env.Now()
+	traceArg := "node=" + itoa(crashed)
+	if tr := s.tracer; tr.Enabled() {
+		tr.Span("failover", 0, "recovery", "detect", crashAt, detectAt, traceArg)
+	}
 	coordID := s.coordinator()
 	coord := s.nodes[coordID]
 	fs := FailoverStats{
@@ -396,6 +415,9 @@ func (s *System) runRecovery(p *sim.Proc, crashed int, crashAt sim.Time, losers 
 		}
 	}
 	fs.LockRecovery = s.env.Now() - lockStart
+	if tr := s.tracer; tr.Enabled() {
+		tr.Span("failover", 0, "recovery", "lock-recovery", lockStart, s.env.Now(), traceArg)
+	}
 
 	// Phase 2: scan the failed node's log written since its last fuzzy
 	// checkpoint, plus the undo information of each loser. This is the
@@ -413,6 +435,9 @@ func (s *System) runRecovery(p *sim.Proc, crashed int, crashAt sim.Time, losers 
 		}
 	}
 	fs.LogScan = s.env.Now() - scanStart
+	if tr := s.tracer; tr.Enabled() {
+		tr.Span("failover", 0, "recovery", "log-scan", scanStart, s.env.Now(), traceArg)
+	}
 
 	// Phase 3: redo the lost pages — read the storage version, apply
 	// the log records, write the recovered version back, then drop the
@@ -467,6 +492,10 @@ func (s *System) runRecovery(p *sim.Proc, crashed int, crashAt sim.Time, losers 
 	}
 	fs.Redo = s.env.Now() - redoStart
 	fs.PagesRedone = int64(len(redo))
+	if tr := s.tracer; tr.Enabled() {
+		tr.Span("failover", 0, "recovery", "redo", redoStart, s.env.Now(), traceArg)
+		tr.Instant("failover", 0, "recovery", "recovered", s.env.Now(), traceArg)
+	}
 
 	end := s.env.Now()
 	fs.RecoveredAt = end

@@ -5,6 +5,7 @@ import (
 	"gemsim/internal/model"
 	"gemsim/internal/netsim"
 	"gemsim/internal/sim"
+	"gemsim/internal/trace"
 )
 
 // debugLockWaits, when non-nil, observes every completed lock wait
@@ -48,7 +49,9 @@ func (c *gemCC) lock(t *txn, page model.PageID, mode model.LockMode) (ccOutcome,
 		return ccOutcome{}, errKilled
 	}
 	n.localLocks++ // GLT locking is routing-independent; no messages
+	svcStart := n.sys.env.Now()
 	c.gltAccess(t.proc, 2)
+	t.phases.Add(trace.PhaseLockSvc, n.sys.env.Now()-svcStart)
 
 	wait := &remoteWait{proc: t.proc}
 	_, granted := c.glt().Request(page, t.owner, mode, wait)
@@ -59,14 +62,18 @@ func (c *gemCC) lock(t *txn, page model.PageID, mode model.LockMode) (ccOutcome,
 		err := n.sys.blockForLock(t)
 		t.waiting = nil
 		if err != nil {
+			n.lockWaitDone(t, page, start)
 			return ccOutcome{}, err
 		}
 		n.lockWaitTime.AddDuration(n.sys.env.Now() - start)
+		n.lockWaitDone(t, page, start)
 		if debugLockWaits != nil {
 			debugLockWaits(page, n.sys.env.Now()-start)
 		}
 		// Re-read the entry after the wakeup notification.
+		svcStart = n.sys.env.Now()
 		c.gltAccess(t.proc, 2)
+		t.phases.Add(trace.PhaseLockSvc, n.sys.env.Now()-svcStart)
 	}
 	t.locked[page] = &heldLock{mode: mode, kind: kindLocal}
 

@@ -5,6 +5,7 @@ import (
 	"gemsim/internal/model"
 	"gemsim/internal/netsim"
 	"gemsim/internal/sim"
+	"gemsim/internal/trace"
 )
 
 // leCC implements the centralized lock engine architecture of [Yu87],
@@ -55,7 +56,9 @@ func (c *leCC) engineAccess(p *sim.Proc, ops int) {
 func (c *leCC) lock(t *txn, page model.PageID, mode model.LockMode) (ccOutcome, error) {
 	n := c.n
 	n.localLocks++ // engine access, no inter-node messages
+	svcStart := n.sys.env.Now()
 	c.engineAccess(t.proc, 1)
+	t.phases.Add(trace.PhaseLockSvc, n.sys.env.Now()-svcStart)
 
 	wait := &remoteWait{proc: t.proc}
 	_, granted := c.table().Request(page, t.owner, mode, wait)
@@ -66,9 +69,11 @@ func (c *leCC) lock(t *txn, page model.PageID, mode model.LockMode) (ccOutcome, 
 		err := n.sys.blockForLock(t)
 		t.waiting = nil
 		if err != nil {
+			n.lockWaitDone(t, page, start)
 			return ccOutcome{}, err
 		}
 		n.lockWaitTime.AddDuration(n.sys.env.Now() - start)
+		n.lockWaitDone(t, page, start)
 	}
 	t.locked[page] = &heldLock{mode: mode, kind: kindLocal}
 

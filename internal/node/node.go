@@ -14,6 +14,7 @@ import (
 	"gemsim/internal/sim"
 	"gemsim/internal/stats"
 	"gemsim/internal/storage"
+	"gemsim/internal/trace"
 )
 
 // Node is one processing node: transaction manager, buffer manager,
@@ -22,6 +23,9 @@ import (
 type Node struct {
 	sys *System
 	id  int
+	// track is this node's track name in the event trace ("node<id>");
+	// transaction, lock-wait and abort events land on it.
+	track string
 
 	cpu      *cpusrv.CPU
 	pool     *buffer.Pool
@@ -135,6 +139,11 @@ type txn struct {
 	// undo (its frames died with the buffer) and without releasing
 	// locks (recovery does that).
 	killed bool
+
+	// phases accumulates where this transaction's response time is
+	// spent. It is shared across restart attempts (the response time
+	// spans them all) and nil when phase accounting is off.
+	phases *trace.Phases
 }
 
 // pageLess orders page ids for deterministic iteration.
@@ -182,6 +191,7 @@ func newNode(s *System, id int) *Node {
 	n := &Node{
 		sys:          s,
 		id:           id,
+		track:        "node" + itoa(id),
 		pool:         buffer.NewPool(s.params.BufferPages),
 		respHist:     stats.NewDurationHistogram(),
 		inflight:     make(map[model.PageID]uint64),
@@ -221,9 +231,9 @@ func (n *Node) submit(spec model.Txn) {
 // runTxnCounted wraps runTxn with the activation accounting used by
 // load-aware routing. It reports whether the transaction committed
 // (false only when its node crashed under it).
-func (n *Node) runTxnCounted(p *sim.Proc, spec model.Txn, arrive sim.Time) bool {
+func (n *Node) runTxnCounted(p *sim.Proc, spec model.Txn, arrive sim.Time, ph *trace.Phases) bool {
 	n.active++
-	committed := n.runTxn(p, spec, arrive)
+	committed := n.runTxn(p, spec, arrive, ph)
 	n.active--
 	return committed
 }
@@ -231,8 +241,11 @@ func (n *Node) runTxnCounted(p *sim.Proc, spec model.Txn, arrive sim.Time) bool 
 // runTxn is the transaction manager's main loop: admission, execution,
 // restart on deadlock or timeout, statistics. It returns false when
 // the transaction was killed by a node crash (the caller resubmits).
-func (n *Node) runTxn(p *sim.Proc, spec model.Txn, arrive sim.Time) bool {
+// ph, when non-nil, accumulates the per-phase response time breakdown
+// across all attempts (and across resubmissions after a crash).
+func (n *Node) runTxn(p *sim.Proc, spec model.Txn, arrive sim.Time, ph *trace.Phases) bool {
 	sys := n.sys
+	entered := sys.env.Now()
 	n.mpl.Acquire(p)
 	if sys.faultsOn && sys.down[n.id] {
 		// The node failed while the transaction queued for admission.
@@ -240,13 +253,15 @@ func (n *Node) runTxn(p *sim.Proc, spec model.Txn, arrive sim.Time) bool {
 		return false
 	}
 	n.inputWait.AddDuration(sys.env.Now() - arrive)
+	ph.Add(trace.PhaseInput, sys.env.Now()-entered)
 	timeouts := 0
+	var t *txn
 	for {
 		if sys.faultsOn && sys.down[n.id] {
 			n.mpl.Release()
 			return false
 		}
-		t := &txn{
+		t = &txn{
 			id:       sys.nextTxID(),
 			node:     n,
 			spec:     spec,
@@ -254,8 +269,10 @@ func (n *Node) runTxn(p *sim.Proc, spec model.Txn, arrive sim.Time) bool {
 			arrive:   arrive,
 			locked:   make(map[model.PageID]*heldLock, len(spec.Refs)),
 			modified: make(map[model.PageID]*modRecord, 4),
+			phases:   ph,
 		}
 		t.owner = lock.Owner{Node: n.id, Tx: t.id}
+		p.SetTraceID(int64(t.id))
 		sys.active[t.owner] = t
 		err := n.attempt(t)
 		delete(sys.active, t.owner)
@@ -265,12 +282,22 @@ func (n *Node) runTxn(p *sim.Proc, spec model.Txn, arrive sim.Time) bool {
 		if t.killed || err == errKilled {
 			// Crash kill: no local undo (the frames died with the
 			// buffer) and no lock release (recovery does that).
+			p.SetTraceID(0)
 			n.mpl.Release()
 			return false
 		}
 		// Deadlock victim or lock-wait timeout: undo, back off,
 		// restart as a younger transaction.
+		abortStart := sys.env.Now()
 		n.abortTxn(t)
+		ph.Add(trace.PhaseCommit, sys.env.Now()-abortStart)
+		if tr := sys.tracer; tr.Enabled() {
+			reason := "deadlock"
+			if err == errTimeout {
+				reason = "timeout"
+			}
+			tr.Instant(n.track, int64(t.id), "txn", "abort", sys.env.Now(), reason)
+		}
 		delay := sys.params.RestartDelayMean
 		if err == errTimeout {
 			// Exponential back-off against repeated timeouts (the
@@ -283,10 +310,17 @@ func (n *Node) runTxn(p *sim.Proc, spec model.Txn, arrive sim.Time) bool {
 			}
 			timeouts++
 		}
+		backoffStart := sys.env.Now()
 		p.Wait(time.Duration(n.src.Exp(delay.Seconds()) * float64(time.Second)))
+		ph.Add(trace.PhaseBackoff, sys.env.Now()-backoffStart)
 	}
+	p.SetTraceID(0)
 	n.mpl.Release()
 	rt := sys.env.Now() - arrive
+	sys.observeCommit(ph, rt)
+	if tr := sys.tracer; tr.Enabled() {
+		tr.Span(n.track, int64(t.id), "txn", "txn", arrive, sys.env.Now(), "type="+strconv.Itoa(spec.Type))
+	}
 	n.commits++
 	n.respRefs += int64(len(spec.Refs))
 	n.resp.AddDuration(rt)
@@ -312,7 +346,9 @@ func (n *Node) runTxn(p *sim.Proc, spec model.Txn, arrive sim.Time) bool {
 func (n *Node) attempt(t *txn) error {
 	params := &n.sys.params
 	// Begin of transaction.
+	cpuStart := n.sys.env.Now()
 	n.cpu.Exec(t.proc, n.src.Exp(params.BOTInstr))
+	t.phases.Add(trace.PhaseCPU, n.sys.env.Now()-cpuStart)
 
 	for _, ref := range t.spec.Refs {
 		if t.killed {
@@ -321,7 +357,9 @@ func (n *Node) attempt(t *txn) error {
 		ref = n.resolveRef(ref)
 		file := n.sys.db.File(ref.Page.File)
 		// CPU demand of the record access.
+		cpuStart = n.sys.env.Now()
 		n.cpu.Exec(t.proc, n.src.Exp(params.RefInstr))
+		t.phases.Add(trace.PhaseCPU, n.sys.env.Now()-cpuStart)
 
 		mode := model.LockRead
 		if ref.Write {
@@ -360,7 +398,9 @@ func (n *Node) attempt(t *txn) error {
 	}
 
 	// End of transaction.
+	cpuStart = n.sys.env.Now()
 	n.cpu.Exec(t.proc, n.src.Exp(params.EOTInstr))
+	t.phases.Add(trace.PhaseCPU, n.sys.env.Now()-cpuStart)
 	if t.killed {
 		return errKilled
 	}
@@ -405,8 +445,11 @@ func (n *Node) markModified(t *txn, frame *buffer.Frame) {
 func (n *Node) commit(t *txn) {
 	params := &n.sys.params
 	if len(t.modified) > 0 {
+		logStart := n.sys.env.Now()
 		n.writeLog(t.proc)
+		t.phases.Add(trace.PhaseLog, n.sys.env.Now()-logStart)
 		if params.Force {
+			forceStart := n.sys.env.Now()
 			for _, page := range sortedModifiedPages(t) {
 				mod := t.modified[page]
 				file := n.sys.db.File(page.File)
@@ -414,9 +457,12 @@ func (n *Node) commit(t *txn) {
 				n.forceWrites++
 				mod.frame.Dirty = false
 			}
+			t.phases.Add(trace.PhaseIOWrite, n.sys.env.Now()-forceStart)
 		}
 	}
+	relStart := n.sys.env.Now()
 	n.cc.releaseAll(t, true)
+	t.phases.Add(trace.PhaseCommit, n.sys.env.Now()-relStart)
 	for _, mod := range t.modified {
 		mod.frame.Unfix()
 	}
@@ -465,7 +511,9 @@ func (n *Node) getPage(t *txn, file *model.File, page model.PageID, write bool, 
 		// Coalesce with a concurrent fetch of the same page.
 		if waiters, pending := n.pendingReads[page]; pending {
 			n.pendingReads[page] = append(waiters, t.proc)
+			waitStart := n.sys.env.Now()
 			t.proc.Park()
+			t.phases.Add(readPhase(file), n.sys.env.Now()-waitStart)
 			continue
 		}
 		if firstTouch {
@@ -489,12 +537,16 @@ func (n *Node) fetchMiss(t *txn, file *model.File, page model.PageID, write bool
 	seq := out.seq
 	got := out.carried
 	if !got && !n.sys.params.Force && out.owner >= 0 && out.owner != n.id {
+		reqStart := n.sys.env.Now()
 		if s, ok := n.requestPage(t, page, out.owner, write); ok {
 			seq, got = s, true
 		}
+		t.phases.Add(trace.PhasePageXfer, n.sys.env.Now()-reqStart)
 	}
 	if !got {
+		ioStart := n.sys.env.Now()
 		n.readStorage(t.proc, file, page, out.seq)
+		t.phases.Add(readPhase(file), n.sys.env.Now()-ioStart)
 	}
 	fr := n.install(page, seq, false)
 	// Wake coalesced waiters.

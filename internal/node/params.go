@@ -14,6 +14,7 @@ import (
 	"gemsim/internal/gem"
 	"gemsim/internal/model"
 	"gemsim/internal/netsim"
+	"gemsim/internal/trace"
 )
 
 // Coupling selects the system architecture.
@@ -74,6 +75,16 @@ type Params struct {
 	Force bool
 	// Coupling selects GEM locking or primary copy locking.
 	Coupling Coupling
+
+	// Tracer, when non-nil, receives event spans from every simulated
+	// component (transactions, CPUs, GEM, disks, network, recovery). A
+	// nil tracer disables event tracing at zero cost; timestamps carry
+	// simulated time only, so traced runs stay deterministic.
+	Tracer *trace.Tracer
+	// PhaseBreakdown enables per-transaction response time phase
+	// accounting (trace.Breakdown). Enabled automatically whenever
+	// tracing or time-series sampling is configured through core.
+	PhaseBreakdown bool
 
 	// BOTInstr, RefInstr and EOTInstr are the mean instruction counts
 	// charged at begin-of-transaction, per record access, and at

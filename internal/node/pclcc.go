@@ -5,6 +5,7 @@ import (
 	"gemsim/internal/model"
 	"gemsim/internal/netsim"
 	"gemsim/internal/sim"
+	"gemsim/internal/trace"
 )
 
 // pclCC implements primary copy locking [Ra86]: the database is
@@ -67,7 +68,9 @@ func (c *pclCC) lockLocal(t *txn, page model.PageID, mode model.LockMode, gla in
 	sys := n.sys
 	n.localLocks++
 	if sys.params.LockInstr > 0 {
+		svcStart := sys.env.Now()
 		n.cpu.Exec(t.proc, sys.params.LockInstr)
+		t.phases.Add(trace.PhaseLockSvc, sys.env.Now()-svcStart)
 	}
 	wait := &remoteWait{proc: t.proc}
 	_, granted := c.table(gla).Request(page, t.owner, mode, wait)
@@ -78,9 +81,11 @@ func (c *pclCC) lockLocal(t *txn, page model.PageID, mode model.LockMode, gla in
 		err := sys.blockForLock(t)
 		t.waiting = nil
 		if err != nil {
+			n.lockWaitDone(t, page, start)
 			return ccOutcome{}, err
 		}
 		n.lockWaitTime.AddDuration(sys.env.Now() - start)
+		n.lockWaitDone(t, page, start)
 	}
 	if mode == model.LockWrite {
 		sys.revokeRAs(page, n.id, execCtx{node: n.id, proc: t.proc})
@@ -98,7 +103,9 @@ func (c *pclCC) lockShadowRA(t *txn, page model.PageID, gla int, copySeq uint64)
 	sys := n.sys
 	n.localLocks++
 	if sys.params.LockInstr > 0 {
+		svcStart := sys.env.Now()
 		n.cpu.Exec(t.proc, sys.params.LockInstr)
+		t.phases.Add(trace.PhaseLockSvc, sys.env.Now()-svcStart)
 	}
 	wait := &remoteWait{proc: t.proc, ra: true}
 	_, granted := c.table(gla).Request(page, t.owner, model.LockRead, wait)
@@ -111,9 +118,11 @@ func (c *pclCC) lockShadowRA(t *txn, page model.PageID, gla int, copySeq uint64)
 		err := sys.blockForLock(t)
 		t.waiting = nil
 		if err != nil {
+			n.lockWaitDone(t, page, start)
 			return ccOutcome{}, err
 		}
 		n.lockWaitTime.AddDuration(sys.env.Now() - start)
+		n.lockWaitDone(t, page, start)
 		// After the writer committed the copy may be obsolete; report
 		// the authoritative sequence number and direct refetches to
 		// the GLA node, which owns the current version under NOFORCE.
@@ -164,6 +173,12 @@ func (c *pclCC) lockRemote(t *txn, page model.PageID, mode model.LockMode, gla, 
 	}
 	t.proc.Park()
 	t.waiting = nil
+	// The whole round trip — send, remote queueing and processing,
+	// grant (or timeout) — counts as lock-message time.
+	t.phases.Add(trace.PhaseLockMsg, sys.env.Now()-start)
+	if tr := sys.tracer; tr.Enabled() {
+		tr.Span(n.track, int64(t.id), "lock", "remote", start, sys.env.Now(), page.String())
+	}
 	if t.killed {
 		wait.abandoned = true
 		return ccOutcome{}, errKilled

@@ -13,6 +13,7 @@ import (
 	"gemsim/internal/sim"
 	"gemsim/internal/stats"
 	"gemsim/internal/storage"
+	"gemsim/internal/trace"
 	"gemsim/internal/workload"
 )
 
@@ -101,6 +102,17 @@ type System struct {
 	respPre     stats.Series
 	respDuring  stats.Series
 	respPost    stats.Series
+
+	// Observability (see observe.go). tracer fans spans out to the
+	// configured sink (nil when tracing is off); breakdown aggregates
+	// per-phase response time; the remaining fields are the windowed
+	// time-series sampler state.
+	tracer    *trace.Tracer
+	breakdown *trace.Breakdown
+	sampling  bool
+	winRT     stats.Series
+	winHist   *stats.Histogram
+	prevWin   winCounters
 }
 
 // pageMeta is the per-page coherency control information.
@@ -238,6 +250,21 @@ func NewSystem(env *sim.Env, params Params, gen workload.Generator, router routi
 			ShortInstr: params.GEMMsgShortInstr,
 			LongInstr:  params.GEMMsgLongInstr,
 		})
+	}
+	s.tracer = params.Tracer
+	if s.tracer.Enabled() || params.PhaseBreakdown {
+		s.breakdown = &trace.Breakdown{}
+	}
+	if s.tracer != nil {
+		s.gemDev.SetTracer(s.tracer)
+		s.net.SetTracer(s.tracer)
+		for _, g := range s.groups {
+			g.SetTracer(s.tracer)
+		}
+		for _, n := range s.nodes {
+			n.cpu.SetTracer(s.tracer)
+			n.logGroup.SetTracer(s.tracer)
+		}
 	}
 	if lr, ok := router.(*LoadAwareRouter); ok {
 		lr.attach(s)
@@ -549,6 +576,12 @@ func (s *System) ResetStats() {
 	s.respPre.Reset()
 	s.respDuring.Reset()
 	s.respPost.Reset()
+	s.breakdown.Reset()
+	if s.sampling {
+		// Restart the sampling window so the first post-warm-up sample
+		// does not see negative counter deltas.
+		s.resetWindow()
+	}
 }
 
 // Metrics is the measurement snapshot of one simulation run.
@@ -649,6 +682,11 @@ type Metrics struct {
 	MeanRTPreFailure     time.Duration
 	MeanRTDuringRecovery time.Duration
 	MeanRTPostRecovery   time.Duration
+
+	// Phases is the per-phase response time breakdown of committed
+	// transactions; nil unless tracing or PhaseBreakdown was enabled.
+	// The phase means sum to MeanResponseTime by construction.
+	Phases *trace.Breakdown
 }
 
 // Snapshot collects the metrics accumulated since the last ResetStats.
@@ -797,6 +835,10 @@ func (s *System) Snapshot() Metrics {
 	m.LockTimeouts = s.lockTimeouts
 	m.MessagesDropped = s.net.Dropped()
 	m.Failovers = append([]FailoverStats(nil), s.failovers...)
+	if s.breakdown != nil {
+		b := *s.breakdown
+		m.Phases = &b
+	}
 	m.MeanRTPreFailure = s.respPre.MeanDuration()
 	m.MeanRTDuringRecovery = s.respDuring.MeanDuration()
 	m.MeanRTPostRecovery = s.respPost.MeanDuration()

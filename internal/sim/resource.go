@@ -189,6 +189,10 @@ func (s *Semaphore) Release() {
 // MaxQueue returns the largest observed queue length.
 func (s *Semaphore) MaxQueue() int { return s.maxQ }
 
+// QueueLen returns the number of processes currently waiting for a
+// token.
+func (s *Semaphore) QueueLen() int { return len(s.waiters) }
+
 // MeanWait returns the mean admission wait over all Acquire calls.
 func (s *Semaphore) MeanWait() Time {
 	if s.entries == 0 {

@@ -154,6 +154,7 @@ type Proc struct {
 	gen     int64         // incremented at every resume; stale wake events are dropped
 	done    bool
 	joiner  *Proc
+	traceID int64 // transaction id for the trace layer; 0 outside transactions
 }
 
 // Env returns the environment the process runs in.
@@ -164,6 +165,14 @@ func (p *Proc) Name() string { return p.name }
 
 // Done reports whether the process function has returned.
 func (p *Proc) Done() bool { return p.done }
+
+// SetTraceID tags the process with the transaction id it is currently
+// executing, so device models can attribute trace spans to it. Zero
+// means no transaction context.
+func (p *Proc) SetTraceID(id int64) { p.traceID = id }
+
+// TraceID returns the transaction id set by SetTraceID, or zero.
+func (p *Proc) TraceID() int64 { return p.traceID }
 
 // Spawn creates a new process executing fn and schedules it to start at
 // the current simulated time.

@@ -1,0 +1,61 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSeriesMerge checks the parallel-merge identity against a single
+// series fed with all observations, including min/max propagation.
+func TestSeriesMerge(t *testing.T) {
+	a, b, all := Series{}, Series{}, Series{}
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	for i, x := range xs {
+		if i < 3 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+		all.Add(x)
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() {
+		t.Fatalf("merged n = %d, want %d", a.Count(), all.Count())
+	}
+	if math.Abs(a.Mean()-all.Mean()) > 1e-12 {
+		t.Errorf("merged mean = %v, want %v", a.Mean(), all.Mean())
+	}
+	if math.Abs(a.StdDev()-all.StdDev()) > 1e-12 {
+		t.Errorf("merged stddev = %v, want %v", a.StdDev(), all.StdDev())
+	}
+	if a.Min() != 1 || a.Max() != 9 {
+		t.Errorf("merged min/max = %v/%v, want 1/9", a.Min(), a.Max())
+	}
+
+	// Merging into or from an empty series keeps the populated side.
+	var empty Series
+	c := all
+	c.Merge(&empty)
+	if c.Count() != all.Count() || c.Min() != all.Min() || c.Max() != all.Max() {
+		t.Error("merge with empty right side changed the series")
+	}
+	var d Series
+	d.Merge(&all)
+	if d.Count() != all.Count() || d.Mean() != all.Mean() {
+		t.Error("merge into empty left side did not copy")
+	}
+}
+
+// TestHistogramPercentileEmpty checks that Percentile signals an empty
+// histogram with NaN instead of a misleading zero (Quantile's legacy
+// behavior, kept for callers that want a defined zero).
+func TestHistogramPercentileEmpty(t *testing.T) {
+	h := NewHistogram(1e-6, 1.1)
+	if got := h.Percentile(0.95); !math.IsNaN(got) {
+		t.Errorf("empty Percentile = %v, want NaN", got)
+	}
+	h.Add(0.5)
+	if got := h.Percentile(0.95); math.IsNaN(got) || got <= 0 {
+		t.Errorf("non-empty Percentile = %v, want positive", got)
+	}
+}

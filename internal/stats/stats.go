@@ -187,6 +187,16 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.lo * math.Pow(h.growth, float64(len(h.buckets)))
 }
 
+// Percentile returns the same upper-bound estimate as Quantile, but
+// returns NaN on an empty histogram so windowed samplers can
+// distinguish "no observations" from an estimate of zero.
+func (h *Histogram) Percentile(q float64) float64 {
+	if h.total == 0 {
+		return math.NaN()
+	}
+	return h.Quantile(q)
+}
+
 // QuantileDuration returns Quantile interpreted as seconds.
 func (h *Histogram) QuantileDuration(q float64) time.Duration {
 	return time.Duration(h.Quantile(q) * float64(time.Second))

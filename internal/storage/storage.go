@@ -15,6 +15,7 @@ import (
 	"gemsim/internal/model"
 	"gemsim/internal/sim"
 	"gemsim/internal/stats"
+	"gemsim/internal/trace"
 )
 
 // Params configures one disk group.
@@ -95,6 +96,7 @@ type Group struct {
 	destages     int64
 	readLatency  stats.Series
 	writeLatency stats.Series
+	tracer       *trace.Tracer
 }
 
 // NewGroup creates a disk group.
@@ -120,6 +122,19 @@ func NewGroup(env *sim.Env, name string, params Params) *Group {
 
 // Name returns the group name.
 func (g *Group) Name() string { return g.name }
+
+// SetTracer attaches a span tracer (nil disables tracing).
+func (g *Group) SetTracer(t *trace.Tracer) { g.tracer = t }
+
+// traceIO emits one read/write span, with the cache-hit flag folded
+// into the event name so timeline rows distinguish hits from disk
+// accesses.
+func (g *Group) traceIO(p *sim.Proc, name string, start sim.Time, page model.PageID, hit bool) {
+	if hit {
+		name += "-hit"
+	}
+	g.tracer.Span(g.name, p.TraceID(), "io", name, start, g.env.Now(), page.String())
+}
 
 // Cache returns the attached shared disk cache, or nil.
 func (g *Group) Cache() *Cache { return g.cache }
@@ -151,6 +166,9 @@ func (g *Group) Read(p *sim.Proc, page model.PageID) (cacheHit bool) {
 		g.controllers.Use(p, g.params.ControllerTime)
 		p.Wait(g.params.TransferTime)
 		g.readLatency.AddDuration(g.env.Now() - start)
+		if g.tracer.Enabled() {
+			g.traceIO(p, "read", start, page, true)
+		}
 		return true
 	}
 	g.controllers.Use(p, g.params.ControllerTime)
@@ -160,6 +178,9 @@ func (g *Group) Read(p *sim.Proc, page model.PageID) (cacheHit bool) {
 		g.insert(page, false)
 	}
 	g.readLatency.AddDuration(g.env.Now() - start)
+	if g.tracer.Enabled() {
+		g.traceIO(p, "read", start, page, false)
+	}
 	return false
 }
 
@@ -178,6 +199,9 @@ func (g *Group) Write(p *sim.Proc, page model.PageID) (absorbed bool) {
 		g.insert(page, true)
 		g.writesAbsorb++
 		g.writeLatency.AddDuration(g.env.Now() - start)
+		if g.tracer.Enabled() {
+			g.traceIO(p, "write", start, page, true)
+		}
 		return true
 	}
 	g.controllers.Use(p, g.params.ControllerTime)
@@ -188,6 +212,9 @@ func (g *Group) Write(p *sim.Proc, page model.PageID) (absorbed bool) {
 		g.insert(page, false)
 	}
 	g.writeLatency.AddDuration(g.env.Now() - start)
+	if g.tracer.Enabled() {
+		g.traceIO(p, "write", start, page, false)
+	}
 	return false
 }
 
@@ -214,6 +241,13 @@ func (g *Group) scheduleDestage(page model.PageID) {
 
 // DiskUtilization returns the utilization of the disk servers.
 func (g *Group) DiskUtilization() float64 { return g.disks.Utilization() }
+
+// DiskBusySeconds returns accumulated disk-server busy seconds since
+// the last ResetStats, for windowed utilization sampling.
+func (g *Group) DiskBusySeconds() float64 { return g.disks.BusySeconds() }
+
+// Disks returns the number of disk servers in the group.
+func (g *Group) Disks() int { return g.params.Disks }
 
 // ControllerUtilization returns the utilization of the controllers.
 func (g *Group) ControllerUtilization() float64 { return g.controllers.Utilization() }

@@ -1,0 +1,229 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestJSONLGolden pins the exact JSONL encoding: field order, integer
+// microsecond timestamps, omitted zero/empty fields, NaN counters as
+// null.
+func TestJSONLGolden(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf, JSONL)
+	tr.Span("cpu0", 7, "cpu", "exec", time.Millisecond, time.Millisecond+1500*time.Microsecond, "")
+	tr.Span("gem", 0, "gem", "entries", 2*time.Millisecond+100*time.Nanosecond, 2*time.Millisecond+4100*time.Nanosecond, "n=2")
+	tr.Instant("net", 3, "fault", "drop", 2*time.Millisecond, `sz="big"`)
+	tr.Counter("metrics", "tput", 3*time.Millisecond, 123.5)
+	tr.Counter("metrics", "rt_mean_ms", 3*time.Millisecond, math.NaN())
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"ph":"X","ts":1000,"dur":1500,"track":"cpu0","tid":7,"cat":"cpu","name":"exec"}
+{"ph":"X","ts":2000.100,"dur":4,"track":"gem","cat":"gem","name":"entries","arg":"n=2"}
+{"ph":"i","ts":2000,"track":"net","tid":3,"cat":"fault","name":"drop","arg":"sz=\"big\""}
+{"ph":"C","ts":3000,"track":"metrics","name":"tput","value":123.5}
+{"ph":"C","ts":3000,"track":"metrics","name":"rt_mean_ms","value":null}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("JSONL output mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if tr.Events() != 5 {
+		t.Errorf("Events() = %d, want 5", tr.Events())
+	}
+}
+
+// TestPerfettoGolden pins the Perfetto document shape: traceEvents
+// array, lazily emitted process_name metadata, pid/tid identification.
+func TestPerfettoGolden(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf, Perfetto)
+	tr.Span("cpu0", 7, "cpu", "exec", time.Millisecond, 2500*time.Microsecond, "")
+	tr.Instant("cpu0", 0, "fault", "crash", 3*time.Millisecond, "node=1")
+	tr.Counter("metrics", "tput", 4*time.Millisecond, 200)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"traceEvents":[
+{"ph":"M","pid":1,"tid":0,"ts":0,"name":"process_name","args":{"name":"cpu0"}},
+{"ph":"X","pid":1,"tid":7,"ts":1000,"dur":1500,"cat":"cpu","name":"exec"},
+{"ph":"i","pid":1,"tid":0,"ts":3000,"s":"t","cat":"fault","name":"crash","args":{"detail":"node=1"}},
+{"ph":"M","pid":2,"tid":0,"ts":0,"name":"process_name","args":{"name":"metrics"}},
+{"ph":"C","pid":2,"tid":0,"ts":4000,"name":"tput","args":{"tput":200}}
+]}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("Perfetto output mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// The document must be well-formed JSON.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("Perfetto output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 5 {
+		t.Errorf("traceEvents length = %d, want 5", len(doc.TraceEvents))
+	}
+}
+
+// TestPerfettoEmpty checks that a tracer with no events still closes
+// into a valid, empty document.
+func TestPerfettoEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf, Perfetto)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty Perfetto document invalid: %v", err)
+	}
+}
+
+// TestNilTracer checks the zero-cost disabled path: every method of a
+// nil tracer is a safe no-op.
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer reports Enabled")
+	}
+	tr.Span("x", 1, "c", "n", 0, time.Second, "")
+	tr.Instant("x", 1, "c", "n", 0, "")
+	tr.Counter("x", "n", 0, 1)
+	if err := tr.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+	if tr.Events() != 0 || tr.Err() != nil {
+		t.Error("nil tracer accumulated state")
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Format
+		ok   bool
+	}{
+		{"jsonl", JSONL, true},
+		{"perfetto", Perfetto, true},
+		{"chrome", Perfetto, true},
+		{"json", Perfetto, true},
+		{"xml", 0, false},
+	} {
+		got, ok := ParseFormat(tc.in)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("ParseFormat(%q) = %v,%v want %v,%v", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+// TestPhasesBreakdown checks the invariant the report table relies on:
+// per-phase means plus the residual sum exactly to the mean response
+// time.
+func TestPhasesBreakdown(t *testing.T) {
+	var b Breakdown
+	p1 := &Phases{}
+	p1.Add(PhaseCPU, 10*time.Millisecond)
+	p1.Add(PhaseIORead, 5*time.Millisecond)
+	b.Observe(p1, 20*time.Millisecond) // 5ms residual
+	p2 := &Phases{}
+	p2.Add(PhaseCPU, 30*time.Millisecond)
+	b.Observe(p2, 30*time.Millisecond) // no residual
+
+	if b.N != 2 {
+		t.Fatalf("N = %d, want 2", b.N)
+	}
+	if got, want := b.MeanRT(), 25*time.Millisecond; got != want {
+		t.Errorf("MeanRT = %v, want %v", got, want)
+	}
+	var sum time.Duration
+	var share float64
+	for p := Phase(0); p < NumPhases; p++ {
+		sum += b.Mean(p)
+		share += b.Share(p)
+	}
+	if sum != b.MeanRT() {
+		t.Errorf("phase means sum to %v, want MeanRT %v", sum, b.MeanRT())
+	}
+	if math.Abs(share-1) > 1e-12 {
+		t.Errorf("phase shares sum to %v, want 1", share)
+	}
+	if got, want := b.Mean(PhaseOther), 2500*time.Microsecond; got != want {
+		t.Errorf("Mean(other) = %v, want %v", got, want)
+	}
+
+	// Residuals are clamped: over-attributed phases never go negative.
+	var c Breakdown
+	p3 := &Phases{}
+	p3.Add(PhaseCPU, 10*time.Millisecond)
+	c.Observe(p3, 5*time.Millisecond)
+	if c.Sum[PhaseOther] != 0 {
+		t.Errorf("negative residual not clamped: %v", c.Sum[PhaseOther])
+	}
+
+	// Nil receivers and nil phases are safe no-ops.
+	var nb *Breakdown
+	nb.Observe(p1, time.Second)
+	nb.Merge(&b)
+	nb.Reset()
+	b.Observe(nil, time.Second)
+	var np *Phases
+	np.Add(PhaseCPU, time.Second)
+	if np.Sum() != 0 {
+		t.Error("nil Phases accumulated time")
+	}
+}
+
+// TestTimeSeriesWriter pins the JSONL sample encoding, including NaN
+// gauges emitted as null.
+func TestTimeSeriesWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewTimeSeriesWriter(&buf)
+	w.Write(&Sample{
+		T: 500 * time.Millisecond, Commits: 10, Aborts: 1,
+		Throughput: 20, RTMean: 0.05, RTP95: 0.1,
+		CPUUtil: 0.5, GEMUtil: 0.01, DiskUtil: 0.2,
+		LockWaitQ: 2, Active: 5, BufferHit: 0.75,
+	})
+	w.Write(&Sample{
+		T: time.Second, RTMean: math.NaN(), RTP95: math.NaN(),
+		BufferHit: math.NaN(), Dropped: 3, NodesDown: 1,
+	})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	for i, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d invalid JSON: %v", i, err)
+		}
+	}
+	if !strings.Contains(lines[1], `"rt_mean":null`) {
+		t.Errorf("NaN gauge not emitted as null: %s", lines[1])
+	}
+	if !strings.Contains(lines[0], `"t":500000`) {
+		t.Errorf("window end not in microseconds: %s", lines[0])
+	}
+	if w.Samples() != 2 {
+		t.Errorf("Samples() = %d, want 2", w.Samples())
+	}
+
+	// Nil writer is a safe no-op.
+	var nw *TimeSeriesWriter
+	if nw.Enabled() {
+		t.Error("nil writer reports Enabled")
+	}
+	nw.Write(&Sample{})
+	if err := nw.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+}
