@@ -12,12 +12,14 @@ package gemsim_bench
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
 	"gemsim/internal/core"
 	"gemsim/internal/model"
 	"gemsim/internal/node"
+	"gemsim/internal/sweep"
 	"gemsim/internal/workload"
 )
 
@@ -33,7 +35,8 @@ func benchOptions() core.ExperimentOptions {
 }
 
 // runExperiment executes one paper experiment per benchmark iteration
-// and logs the resulting table once.
+// through the sweep engine (single worker, so op cost stays comparable
+// across machines) and logs the resulting table once.
 func runExperiment(b *testing.B, id string) {
 	b.Helper()
 	exp, err := core.ExperimentByID(id, 1)
@@ -50,17 +53,53 @@ func runExperiment(b *testing.B, id string) {
 	var runs int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tbl, err := exp.Run(opts)
+		tbl, sum, err := sweep.RunFigure(exp, opts, sweep.Engine{Jobs: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
+		if sum.Failed > 0 {
+			b.Fatalf("%d runs failed: %v", sum.Failed, sum.Failures[0])
+		}
 		rendered = tbl.Render()
-		runs = len(opts.Nodes) * len(exp.Series)
+		runs = sum.Total
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(runs), "simruns/op")
 	if rendered != "" {
 		b.Logf("\n%s", rendered)
+	}
+}
+
+// BenchmarkSweepScaling measures the parallel sweep engine against its
+// single-worker baseline on the same run list (Fig. 4.1, reduced
+// windows) and reports the speedup. On an N-core machine the parallel
+// pass should approach min(N, runs) times the sequential throughput;
+// the tables are byte-identical either way.
+func BenchmarkSweepScaling(b *testing.B) {
+	for _, jobs := range []int{1, runtime.NumCPU()} {
+		jobs := jobs
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			exp, err := core.ExperimentByID("4.1", 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			start := time.Now()
+			var wall time.Duration
+			for i := 0; i < b.N; i++ {
+				_, sum, err := sweep.RunFigure(exp, benchOptions(), sweep.Engine{Jobs: jobs})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sum.Failed > 0 {
+					b.Fatalf("%d runs failed: %v", sum.Failed, sum.Failures[0])
+				}
+				wall += sum.Wall
+			}
+			b.StopTimer()
+			if elapsed := time.Since(start); elapsed > 0 && b.N > 0 {
+				b.ReportMetric(wall.Seconds()/float64(b.N), "sweep_s/op")
+			}
+		})
 	}
 }
 

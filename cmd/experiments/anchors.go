@@ -5,12 +5,72 @@ import (
 	"time"
 
 	"gemsim/internal/core"
+	"gemsim/internal/sweep"
 )
 
 // runAnchors reproduces the quantitative anchors the paper states in
 // its running text and prints them next to the published values (the
-// same checks run automatically in internal/core/paper_test.go).
-func runAnchors(seed int64) error {
+// same checks run automatically in internal/core/paper_test.go). The
+// anchor runs execute on the sweep engine's worker pool but keep their
+// explicit seed — the published anchor bands were recorded with it, so
+// the values must not shift with the run key.
+func runAnchors(seed int64, jobs int) error {
+	base := func(mut func(*core.Config)) core.Config {
+		cfg := core.DefaultDebitCreditConfig(1)
+		cfg.Warmup = 3 * time.Second
+		cfg.Measure = 12 * time.Second
+		cfg.Seed = seed
+		mut(&cfg)
+		return cfg
+	}
+	var runs []sweep.Run
+	add := func(name string, mut func(*core.Config)) {
+		runs = append(runs, sweep.Run{Key: "anchors/" + name, Group: "anchors", Config: base(mut)})
+	}
+
+	// B/T hit ratios, random routing, buffer 200. The N=10 run also
+	// serves the GEM-utilization anchor (identical configuration and
+	// seed give an identical report).
+	for _, n := range []int{1, 5, 10} {
+		n := n
+		add(fmt.Sprintf("hit-n%d", n), func(c *core.Config) { c.Nodes = n; c.Routing = core.RoutingRandom })
+	}
+	// PCL local lock shares, random routing.
+	for _, n := range []int{2, 10} {
+		n := n
+		add(fmt.Sprintf("share-n%d", n), func(c *core.Config) {
+			c.Nodes = n
+			c.Coupling = core.CouplingPCL
+			c.Routing = core.RoutingRandom
+		})
+	}
+	// Remote locks per txn, PCL affinity.
+	add("remote-affinity", func(c *core.Config) { c.Nodes = 4; c.Coupling = core.CouplingPCL })
+	// Page request delay.
+	add("pagedelay", func(c *core.Config) {
+		c.Nodes = 10
+		c.Routing = core.RoutingRandom
+		c.BufferPages = 1000
+	})
+	// PCL throughput penalty at 80% CPU, random routing.
+	add("penalty-gem", func(c *core.Config) { c.Nodes = 8; c.Routing = core.RoutingRandom; c.BufferPages = 1000 })
+	add("penalty-pcl", func(c *core.Config) {
+		c.Nodes = 8
+		c.Coupling = core.CouplingPCL
+		c.Routing = core.RoutingRandom
+		c.BufferPages = 1000
+	})
+
+	results, sum, err := sweep.Execute(runs, sweep.Engine{Jobs: jobs})
+	if err != nil {
+		return err
+	}
+	if sum.Failed > 0 {
+		f := sum.Failures[0]
+		return fmt.Errorf("anchor run %s failed: %s", f.Key, firstLine(f.Err))
+	}
+	rep := func(name string) *core.Report { return results["anchors/"+name].Report }
+
 	fmt.Println("paper anchors (running text of section 4) vs this reproduction")
 	fmt.Println()
 	row := func(anchor, paper, measured string) {
@@ -19,90 +79,32 @@ func runAnchors(seed int64) error {
 	row("anchor", "paper", "measured")
 	row("------", "-----", "--------")
 
-	run := func(mut func(*core.Config)) (*core.Report, error) {
-		cfg := core.DefaultDebitCreditConfig(1)
-		cfg.Warmup = 3 * time.Second
-		cfg.Measure = 12 * time.Second
-		cfg.Seed = seed
-		mut(&cfg)
-		return core.Run(cfg)
-	}
-
-	// B/T hit ratios, random routing, buffer 200.
 	var hits []float64
 	for _, n := range []int{1, 5, 10} {
-		n := n
-		rep, err := run(func(c *core.Config) { c.Nodes = n; c.Routing = core.RoutingRandom })
-		if err != nil {
-			return err
-		}
-		hits = append(hits, rep.Metrics.BufferHitRatio["BRANCH/TELLER"])
+		hits = append(hits, rep(fmt.Sprintf("hit-n%d", n)).Metrics.BufferHitRatio["BRANCH/TELLER"])
 	}
 	row("B/T hit ratio, random (N=1/5/10)", "71% / 13% / 7%",
 		fmt.Sprintf("%.0f%% / %.0f%% / %.0f%%", hits[0]*100, hits[1]*100, hits[2]*100))
 
-	// GEM utilization at 1000 TPS.
-	rep, err := run(func(c *core.Config) { c.Nodes = 10; c.Routing = core.RoutingRandom })
-	if err != nil {
-		return err
-	}
 	row("GEM utilization at 1000 TPS", "< 2%",
-		fmt.Sprintf("%.1f%%", rep.Metrics.GEMUtilization*100))
+		fmt.Sprintf("%.1f%%", rep("hit-n10").Metrics.GEMUtilization*100))
 
-	// PCL local lock shares, random routing.
 	var shares []float64
 	for _, n := range []int{2, 10} {
-		n := n
-		rep, err := run(func(c *core.Config) {
-			c.Nodes = n
-			c.Coupling = core.CouplingPCL
-			c.Routing = core.RoutingRandom
-		})
-		if err != nil {
-			return err
-		}
-		shares = append(shares, rep.Metrics.LocalLockShare)
+		shares = append(shares, rep(fmt.Sprintf("share-n%d", n)).Metrics.LocalLockShare)
 	}
 	row("PCL local lock share, random (N=2/10)", "50% / 10%",
 		fmt.Sprintf("%.0f%% / %.0f%%", shares[0]*100, shares[1]*100))
 
-	// Remote locks per txn, PCL affinity.
-	rep, err = run(func(c *core.Config) { c.Nodes = 4; c.Coupling = core.CouplingPCL })
-	if err != nil {
-		return err
-	}
-	m := &rep.Metrics
+	m := &rep("remote-affinity").Metrics
 	remotePerTxn := float64(m.LockRequests) * (1 - m.LocalLockShare) / float64(m.Commits)
 	row("remote lock requests per txn, PCL affinity", "<= 0.15",
 		fmt.Sprintf("%.3f", remotePerTxn))
 
-	// Page request delay.
-	rep, err = run(func(c *core.Config) {
-		c.Nodes = 10
-		c.Routing = core.RoutingRandom
-		c.BufferPages = 1000
-	})
-	if err != nil {
-		return err
-	}
 	row("page request delay vs disk access", "~6.5 ms vs >=16.4 ms",
-		fmt.Sprintf("%.1f ms vs 16.4+ ms", float64(rep.Metrics.MeanPageReqDelay)/1e6))
+		fmt.Sprintf("%.1f ms vs 16.4+ ms", float64(rep("pagedelay").Metrics.MeanPageReqDelay)/1e6))
 
-	// PCL throughput penalty at 80% CPU, random routing.
-	gem, err := run(func(c *core.Config) { c.Nodes = 8; c.Routing = core.RoutingRandom; c.BufferPages = 1000 })
-	if err != nil {
-		return err
-	}
-	pcl, err := run(func(c *core.Config) {
-		c.Nodes = 8
-		c.Coupling = core.CouplingPCL
-		c.Routing = core.RoutingRandom
-		c.BufferPages = 1000
-	})
-	if err != nil {
-		return err
-	}
-	penalty := 1 - pcl.ThroughputPerNodeAt(0.8)/gem.ThroughputPerNodeAt(0.8)
+	penalty := 1 - rep("penalty-pcl").ThroughputPerNodeAt(0.8)/rep("penalty-gem").ThroughputPerNodeAt(0.8)
 	row("PCL max-throughput penalty, random routing", "~15%",
 		fmt.Sprintf("%.0f%%", penalty*100))
 

@@ -1,5 +1,7 @@
 // Command experiments regenerates the tables and figures of the
-// paper's evaluation section (section 4).
+// paper's evaluation section (section 4). Every figure is a sweep:
+// its runs expand into one list and execute on a multi-core worker
+// pool (-jobs); results are byte-identical for any worker count.
 //
 // Examples:
 //
@@ -9,19 +11,25 @@
 //	experiments -fig 4.1              # regenerate one figure
 //	experiments -all                  # regenerate every figure
 //	experiments -fig 4.5-NOFORCE-buf200 -csv -plot
-//	experiments -all -quick           # shorter simulation windows
+//	experiments -all -quick -jobs 8   # short windows, eight workers
+//	experiments -all -store sweep.jsonl            # persist results
+//	experiments -all -store sweep.jsonl -resume    # finish a killed sweep
+//	experiments -sweep spec.json -reps 5           # declarative matrix, 95% CIs
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"gemsim/internal/core"
 	"gemsim/internal/node"
+	"gemsim/internal/sweep"
 	"gemsim/internal/trace"
 )
 
@@ -44,8 +52,16 @@ func run(args []string) error {
 		csvOut  = fs.Bool("csv", false, "additionally print CSV")
 		mdOut   = fs.Bool("markdown", false, "additionally print a markdown table")
 		plotOut = fs.Bool("plot", false, "additionally print an ASCII plot")
-		seed    = fs.Int64("seed", 1, "random seed")
+		seed    = fs.Int64("seed", 1, "base random seed (per-run seeds derive from it)")
 		verbose = fs.Bool("v", false, "print per-run progress")
+
+		jobs       = fs.Int("jobs", runtime.NumCPU(), "parallel workers (tables are identical for any value)")
+		reps       = fs.Int("reps", 1, "replications per point; 2 or more add 95% confidence half-widths")
+		sweepSpec  = fs.String("sweep", "", "run a declarative sweep spec (JSON file)")
+		storePath  = fs.String("store", "", "persistent JSONL result store")
+		resume     = fs.Bool("resume", false, "skip runs already completed in -store")
+		retries    = fs.Int("retries", 0, "re-attempts after a failed run")
+		runTimeout = fs.Duration("run-timeout", 0, "per-run wall-clock timeout (0 = none)")
 
 		traceOut = fs.String("trace-out", "", "per-run event trace files (run label inserted before the extension)")
 		traceFmt = fs.String("trace-format", "jsonl", "event trace encoding: jsonl or perfetto")
@@ -54,6 +70,9 @@ func run(args []string) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resume && *storePath == "" {
+		return fmt.Errorf("-resume needs -store (there is nothing to resume from)")
 	}
 
 	sink := &traceSink{events: *traceOut, timeseries: *tsOut, interval: *sampleIv}
@@ -74,7 +93,57 @@ func run(args []string) error {
 		return fmt.Errorf("unknown table %q (only 4.1 is a parameter table)", *table)
 	}
 	if *anchors {
-		return runAnchors(*seed)
+		return runAnchors(*seed, *jobs)
+	}
+
+	eng := sweep.Engine{Jobs: *jobs, Timeout: *runTimeout, Retries: *retries, Resume: *resume}
+	if *storePath != "" {
+		st, err := sweep.OpenStore(*storePath)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		eng.Store = st
+	}
+	if *verbose {
+		eng.Progress = func(run *sweep.Run, res sweep.Result, done, total int) {
+			if res.Err != "" {
+				fmt.Fprintf(os.Stderr, "  [%d/%d] %s: FAILED: %s\n", done, total, run.Key, firstLine(res.Err))
+				return
+			}
+			fmt.Fprintf(os.Stderr, "  [%d/%d] %s: %v\n", done, total, run.Key, res.Report)
+		}
+	}
+	// SIGINT stops the sweep gracefully: in-flight runs finish and
+	// reach the store, so `-store ... -resume` picks up where the
+	// interrupted invocation left off.
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	defer signal.Stop(sig)
+	go func() {
+		if _, ok := <-sig; ok {
+			close(stop)
+		}
+	}()
+	eng.Stop = stop
+
+	if *sweepSpec != "" {
+		spec, err := sweep.LoadSpec(*sweepSpec)
+		if err != nil {
+			return err
+		}
+		if *seed != 1 {
+			spec.Seed = *seed
+		}
+		if *reps > 1 && spec.Replications < *reps {
+			spec.Replications = *reps
+		}
+		runs, err := spec.Runs()
+		if err != nil {
+			return err
+		}
+		return executeAndPrint(runs, eng, sink, *csvOut, *mdOut, *plotOut, *storePath)
 	}
 
 	exps, err := core.Experiments(*seed)
@@ -94,19 +163,10 @@ func run(args []string) error {
 
 	opts := core.DefaultExperimentOptions()
 	opts.Seed = *seed
+	opts.Replications = *reps
 	if *quick {
 		opts.Warmup = time.Second
 		opts.Measure = 5 * time.Second
-	}
-	if *verbose {
-		opts.Progress = func(expID, series string, nodes int, rep *core.Report) {
-			fmt.Fprintf(os.Stderr, "  [%s] %s n=%d: %v\n", expID, series, nodes, rep)
-		}
-	}
-	if sink.enabled() {
-		opts.Configure = func(cfg *core.Config, expID, series string, nodes int) {
-			sink.attach(cfg, fmt.Sprintf("%s-%s-n%d", expID, series, nodes))
-		}
 	}
 
 	var selected []core.Experiment
@@ -126,44 +186,115 @@ func run(args []string) error {
 		}
 	default:
 		fs.Usage()
-		return fmt.Errorf("nothing to do: pass -list, -table, -fig or -all")
+		return fmt.Errorf("nothing to do: pass -list, -table, -fig, -sweep or -all")
 	}
 
+	// One combined run list: all figures share the worker pool, so
+	// small figures never serialize behind large ones.
+	var runs []sweep.Run
 	for i := range selected {
-		start := time.Now()
-		tbl, err := selected[i].Run(opts)
-		if err != nil {
-			return err
-		}
-		fmt.Println(tbl.Render())
-		if *csvOut {
-			fmt.Println(tbl.CSV())
-		}
-		if *mdOut {
-			fmt.Println(tbl.Markdown())
-		}
-		if *plotOut {
-			fmt.Println(tbl.Plot(12))
-		}
-		fmt.Printf("(completed in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		runs = append(runs, sweep.ExperimentRuns(&selected[i], opts)...)
 	}
+	figErr := executeAndPrint(runs, eng, sink, *csvOut, *mdOut, *plotOut, *storePath)
+	if figErr != nil && !isRunFailure(figErr) {
+		return figErr
+	}
+	// -all keeps going after per-run failures (figErr carries the
+	// summary) and appends the failover preset before reporting.
 	if *all {
-		return runFailoverPreset(*seed, *quick, *verbose, *csvOut, *mdOut, sink)
+		if err := runFailoverPreset(*seed, *quick, *verbose, *csvOut, *mdOut, sink); err != nil {
+			if figErr != nil {
+				return fmt.Errorf("%w; failover preset: %v", figErr, err)
+			}
+			return fmt.Errorf("failover preset: %w", err)
+		}
 	}
-	return sink.err
+	return figErr
+}
+
+// runFailure marks errors that summarize per-run failures (as opposed
+// to engine-level problems that abort the sweep).
+type runFailure struct{ error }
+
+func isRunFailure(err error) bool {
+	_, ok := err.(runFailure)
+	return ok
+}
+
+// executeAndPrint attaches tracing, executes the run list and prints
+// the aggregated tables. Per-run failures do not abort the sweep: they
+// are collected (and persisted when a store is attached), summarized on
+// stderr, and turned into a non-zero exit at the end.
+func executeAndPrint(runs []sweep.Run, eng sweep.Engine, sink *traceSink, csvOut, mdOut, plotOut bool, storePath string) error {
+	if sink.enabled() {
+		for i := range runs {
+			sink.attach(&runs[i].Config, runs[i].Key)
+		}
+		if sink.err != nil {
+			return sink.err // a filename collision must abort before anything runs
+		}
+	}
+	results, sum, err := sweep.Execute(runs, eng)
+	if err != nil {
+		return err
+	}
+	for _, f := range sweep.Tables(runs, results) {
+		fmt.Println(f.Table.Render())
+		if csvOut {
+			fmt.Println(f.Table.CSV())
+		}
+		if mdOut {
+			fmt.Println(f.Table.Markdown())
+		}
+		if plotOut {
+			fmt.Println(f.Table.Plot(12))
+		}
+	}
+	// Timing and progress live on stderr so stdout is byte-identical
+	// across -jobs values.
+	fmt.Fprintf(os.Stderr, "(%s)\n", sum.String())
+	if sum.Interrupted {
+		hint := ""
+		if storePath != "" {
+			hint = fmt.Sprintf(" — finish with -resume -store %s", storePath)
+		}
+		return fmt.Errorf("interrupted: %d of %d runs still pending%s", sum.Pending, sum.Total, hint)
+	}
+	if err := sink.closeAll(); err != nil {
+		return err
+	}
+	if sum.Failed > 0 {
+		fmt.Fprintf(os.Stderr, "failed runs:\n")
+		for _, f := range sum.Failures {
+			fmt.Fprintf(os.Stderr, "  %s: %s\n", f.Key, firstLine(f.Err))
+		}
+		return runFailure{fmt.Errorf("%d of %d runs failed (see stderr for details)", sum.Failed, sum.Total)}
+	}
+	return nil
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }
 
 // traceSink derives per-run tracing outputs from the -trace-out and
-// -timeseries filename templates: the run label is inserted before the
-// extension ("out.json" becomes "out-4.1-GEM-n4.json"). Files stay
-// open until the whole suite finishes; the first error is remembered
-// and reported at the end.
+// -timeseries filename templates: the sanitized run label is inserted
+// before the extension ("out.json" becomes
+// "out-fig-4.1-GEM-n-4-r0.json"). Labels contain characters that are
+// unsafe in filenames ("/", spaces); every rune outside [A-Za-z0-9._-]
+// becomes "-", and two labels sanitizing to the same path are an error.
+// Files stay open until the whole suite finishes; the first error is
+// remembered and reported at the end.
 type traceSink struct {
 	events     string
 	timeseries string
 	format     trace.Format
 	interval   time.Duration
 	files      []*os.File
+	paths      map[string]string // created path -> originating label
 	err        error
 }
 
@@ -188,10 +319,28 @@ func (s *traceSink) attach(cfg *core.Config, label string) {
 	cfg.Tracing = tc
 }
 
+// sanitizeLabel maps every rune outside [A-Za-z0-9._-] to '-'.
+func sanitizeLabel(label string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		default:
+			return '-'
+		}
+	}, label)
+}
+
 func (s *traceSink) create(tpl, label string) *os.File {
-	label = strings.NewReplacer("/", "-", " ", "-").Replace(label)
 	ext := filepath.Ext(tpl)
-	path := strings.TrimSuffix(tpl, ext) + "-" + label + ext
+	path := strings.TrimSuffix(tpl, ext) + "-" + sanitizeLabel(label) + ext
+	if prev, taken := s.paths[path]; taken {
+		if s.err == nil {
+			s.err = fmt.Errorf("trace output collision: run labels %q and %q both sanitize to %s", prev, label, path)
+		}
+		return nil
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		if s.err == nil {
@@ -199,6 +348,10 @@ func (s *traceSink) create(tpl, label string) *os.File {
 		}
 		return nil
 	}
+	if s.paths == nil {
+		s.paths = make(map[string]string)
+	}
+	s.paths[path] = label
 	s.files = append(s.files, f)
 	return f
 }
@@ -216,6 +369,8 @@ func (s *traceSink) closeAll() error {
 // runFailoverPreset runs the fault-injection comparison (not part of
 // the paper's figure catalog): the same mid-run node crash under GEM
 // and PCL, recovered from a disk-resident versus a GEM-resident log.
+// Failover runs are coupled through shared recovery state, so they
+// stay sequential rather than going through the sweep engine.
 func runFailoverPreset(seed int64, quick, verbose, csvOut, mdOut bool, sink *traceSink) error {
 	opts := core.FailoverOptions{Seed: seed}
 	if sink.enabled() {
@@ -247,8 +402,8 @@ func runFailoverPreset(seed int64, quick, verbose, csvOut, mdOut bool, sink *tra
 	if mdOut {
 		fmt.Println(tbl.Markdown())
 	}
-	fmt.Printf("(completed in %v)\n\n", time.Since(start).Round(time.Millisecond))
-	return sink.err
+	fmt.Fprintf(os.Stderr, "(failover completed in %v)\n", time.Since(start).Round(time.Millisecond))
+	return sink.closeAll()
 }
 
 func printTable41() {

@@ -1,6 +1,14 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"gemsim/internal/core"
+)
 
 func TestListAndTable(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
@@ -23,5 +31,92 @@ func TestUnknownFigure(t *testing.T) {
 func TestNothingToDo(t *testing.T) {
 	if err := run(nil); err == nil {
 		t.Fatal("expected usage error")
+	}
+}
+
+func TestResumeRequiresStore(t *testing.T) {
+	if err := run([]string{"-resume", "-fig", "4.1"}); err == nil || !strings.Contains(err.Error(), "-store") {
+		t.Fatalf("-resume without -store must fail, got %v", err)
+	}
+}
+
+func TestSweepSpecCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulation runs; skipped with -short")
+	}
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "spec.json")
+	body := `{
+		"name": "cli-test",
+		"metric": "tput",
+		"base": {"warmup": "250ms", "measure": "1s"},
+		"axes": [
+			{"field": "nodes", "values": [1]},
+			{"field": "coupling", "values": ["gem", "pcl"]}
+		]
+	}`
+	if err := os.WriteFile(spec, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store := filepath.Join(dir, "results.jsonl")
+	if err := run([]string{"-sweep", spec, "-jobs", "2", "-store", store}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(data), "\n"); n != 2 {
+		t.Fatalf("store holds %d lines, want 2", n)
+	}
+	// A second -resume invocation re-runs nothing and appends nothing.
+	if err := run([]string{"-sweep", spec, "-jobs", "2", "-store", store, "-resume"}); err != nil {
+		t.Fatal(err)
+	}
+	again, err := os.ReadFile(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(data) {
+		t.Fatalf("resume appended %d bytes to a complete store", len(again)-len(data))
+	}
+}
+
+func TestSweepSpecMissingFile(t *testing.T) {
+	if err := run([]string{"-sweep", filepath.Join(t.TempDir(), "nope.json")}); err == nil {
+		t.Fatal("expected error for a missing spec file")
+	}
+}
+
+func TestSanitizeLabel(t *testing.T) {
+	if got := sanitizeLabel("fig/4.1/B,T in GEM/n=4/r0"); got != "fig-4.1-B-T-in-GEM-n-4-r0" {
+		t.Fatalf("sanitized %q", got)
+	}
+	if got := sanitizeLabel("safe-label_1.x"); got != "safe-label_1.x" {
+		t.Fatalf("safe label changed: %q", got)
+	}
+}
+
+func TestTraceSinkCollision(t *testing.T) {
+	dir := t.TempDir()
+	sink := &traceSink{timeseries: filepath.Join(dir, "ts.jsonl"), interval: time.Second}
+	var cfg core.Config
+	sink.attach(&cfg, "a/b")
+	sink.attach(&cfg, "a b") // sanitizes to the same "a-b"
+	if sink.err == nil {
+		t.Fatal("colliding labels must be an error")
+	}
+	msg := sink.err.Error()
+	if !strings.Contains(msg, `"a/b"`) || !strings.Contains(msg, `"a b"`) {
+		t.Fatalf("collision error must name both labels: %s", msg)
+	}
+	sink.files = nil
+	sink.err = nil
+	sink.attach(&cfg, "a-c")
+	if sink.err != nil {
+		t.Fatalf("distinct label rejected: %v", sink.err)
+	}
+	if err := sink.closeAll(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -41,6 +41,7 @@ func run(args []string) error {
 		force    = fs.Bool("force", false, "use the FORCE update strategy (default NOFORCE)")
 		routing  = fs.String("routing", "affinity", "workload allocation: random, affinity or loadaware")
 		buffer   = fs.Int("buffer", 0, "database buffer pages per node (default 200, 1000 for traces)")
+		mpl      = fs.Int("mpl", 0, "multiprogramming level per node (default 64, 256 for traces)")
 		btMedium = fs.String("bt-medium", "", "BRANCH/TELLER medium: disk, vcache, nvcache, gem, gemwb or gemcache")
 		logGEM   = fs.Bool("log-gem", false, "allocate log files to GEM")
 		logMerge = fs.Bool("log-merge", false, "run the global log merge process (needs -log-gem)")
@@ -88,6 +89,9 @@ func run(args []string) error {
 	}
 	if *buffer > 0 {
 		cfg.BufferPages = *buffer
+	}
+	if *mpl > 0 {
+		cfg.MPL = *mpl
 	}
 	switch strings.ToLower(*coupling) {
 	case "gem":

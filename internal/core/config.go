@@ -148,6 +148,10 @@ type Config struct {
 	Routing Routing
 	// BufferPages is the database buffer size per node (200 or 1000).
 	BufferPages int
+	// MPL, when positive, overrides the multiprogramming level per
+	// node (the workload defaults are 64 for debit-credit and 256 for
+	// traces). Exposed here so sweeps can use it as an axis.
+	MPL int
 
 	// Workload selects debit-credit (default) or a trace.
 	Workload WorkloadConfig
@@ -246,6 +250,8 @@ func (c *Config) validate() error {
 		return fmt.Errorf("core: invalid routing %v", c.Routing)
 	case c.BufferPages <= 0:
 		return fmt.Errorf("core: BufferPages must be positive, got %d", c.BufferPages)
+	case c.MPL < 0:
+		return fmt.Errorf("core: MPL must be non-negative, got %d", c.MPL)
 	case c.Measure <= 0:
 		return fmt.Errorf("core: Measure must be positive, got %v", c.Measure)
 	case c.Warmup < 0:

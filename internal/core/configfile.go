@@ -22,6 +22,7 @@ type ConfigFile struct {
 	Force              bool    `json:"force,omitempty"`
 	Routing            string  `json:"routing"` // "random", "affinity"
 	BufferPages        int     `json:"bufferPages,omitempty"`
+	MPL                int     `json:"mpl,omitempty"`
 
 	// TraceFile switches to trace-driven simulation.
 	TraceFile string `json:"traceFile,omitempty"`
@@ -153,6 +154,9 @@ func (f *ConfigFile) ToConfig() (Config, error) {
 	cfg.Force = f.Force
 	if f.BufferPages > 0 {
 		cfg.BufferPages = f.BufferPages
+	}
+	if f.MPL > 0 {
+		cfg.MPL = f.MPL
 	}
 	if len(f.FileMedium) > 0 {
 		cfg.FileMedium = make(map[string]model.Medium, len(f.FileMedium))

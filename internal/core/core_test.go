@@ -166,28 +166,44 @@ func TestExperimentCatalog(t *testing.T) {
 	}
 }
 
-func TestExperimentRunSmall(t *testing.T) {
+func TestExperimentPointConfigs(t *testing.T) {
+	// End-to-end execution of experiments lives in internal/sweep;
+	// here we check the point builders the engine consumes.
 	exp, err := ExperimentByID("4.1", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tbl, err := exp.Run(ExperimentOptions{
+	opts := ExperimentOptions{
 		Warmup:  250 * time.Millisecond,
 		Measure: time.Second,
 		Nodes:   []int{1, 2},
-	})
-	if err != nil {
-		t.Fatal(err)
 	}
+	nodes := exp.PointNodes(opts)
+	if len(nodes) != 2 || nodes[0] != 1 || nodes[1] != 2 {
+		t.Fatalf("node axis %v", nodes)
+	}
+	tbl := exp.Table(opts)
 	if len(tbl.RowNames) != 2 || len(tbl.ColNames) != 4 {
 		t.Fatalf("table shape %dx%d", len(tbl.RowNames), len(tbl.ColNames))
 	}
-	for i := range tbl.RowNames {
-		for j := range tbl.ColNames {
-			if tbl.Values[i][j] <= 0 {
-				t.Fatalf("missing value at %d,%d", i, j)
-			}
+	for j := range exp.Series {
+		cfg := exp.PointConfig(j, 2, opts)
+		if cfg.Nodes != 2 {
+			t.Fatalf("series %d: nodes %d", j, cfg.Nodes)
 		}
+		if cfg.Warmup != opts.Warmup || cfg.Measure != opts.Measure {
+			t.Fatalf("series %d: windows %v/%v not overridden", j, cfg.Warmup, cfg.Measure)
+		}
+		if cfg.Seed != 1 {
+			t.Fatalf("series %d: base seed %d", j, cfg.Seed)
+		}
+	}
+	rep, err := Run(exp.PointConfig(0, 1, opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Value(rep) <= 0 {
+		t.Fatal("metric extraction failed")
 	}
 }
 
@@ -329,23 +345,19 @@ func TestGlobalLogMergeConfigRun(t *testing.T) {
 	}
 }
 
-func TestExperimentReplications(t *testing.T) {
+func TestExperimentWindowsDefault(t *testing.T) {
+	// Without option overrides a point gets the experiment's default
+	// windows (replicated execution is covered in internal/sweep).
 	exp, err := ExperimentByID("4.1", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts := ExperimentOptions{
-		Warmup:       250 * time.Millisecond,
-		Measure:      time.Second,
-		Nodes:        []int{1},
-		Replications: 2,
+	cfg := exp.PointConfig(0, 1, ExperimentOptions{Seed: 7})
+	if cfg.Warmup <= 0 || cfg.Measure <= 0 {
+		t.Fatalf("default windows %v/%v", cfg.Warmup, cfg.Measure)
 	}
-	tbl, err := exp.Run(opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if tbl.Values[0][0] <= 0 {
-		t.Fatal("replicated mean missing")
+	if cfg.Seed != 7 {
+		t.Fatalf("seed override %d", cfg.Seed)
 	}
 }
 

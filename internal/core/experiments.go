@@ -39,19 +39,25 @@ type Experiment struct {
 }
 
 // ExperimentOptions scales the experiment suite: full runs for the
-// EXPERIMENTS.md record, short runs for benchmarks and tests.
+// EXPERIMENTS.md record, short runs for benchmarks and tests. The
+// experiments themselves are executed by the parallel engine in
+// internal/sweep, which consumes these options.
 type ExperimentOptions struct {
 	// Warmup and Measure override the per-run simulation windows.
 	Warmup  time.Duration
 	Measure time.Duration
 	// Nodes overrides the node counts of every experiment.
 	Nodes []int
-	// Seed overrides the run seed.
+	// Seed is the base seed; every run derives its own seed from it
+	// and the run key (stable under reordering and parallelism).
 	Seed int64
-	// Replications runs each point with this many consecutive seeds
-	// and reports the mean (default 1).
+	// Replications runs each point with this many independently seeded
+	// replicas and reports the replica mean (default 1); with two or
+	// more replicas the tables also carry a 95% confidence half-width.
 	Replications int
-	// Progress, if non-nil, is called after every completed run.
+	// Progress, if non-nil, is called after every completed run. The
+	// sweep engine serializes calls but not their order: under
+	// parallel execution runs complete in arbitrary sequence.
 	Progress func(expID, series string, nodes int, rep *Report)
 	// Configure, if non-nil, adjusts each run's configuration just
 	// before it executes (e.g. to attach per-run tracing outputs).
@@ -384,13 +390,45 @@ func ExperimentByID(id string, traceSeed int64) (*Experiment, error) {
 	return nil, fmt.Errorf("core: unknown experiment %q", id)
 }
 
-// Run executes every run of the experiment and returns the result
-// table (rows = node counts, columns = series).
-func (e *Experiment) Run(opts ExperimentOptions) (*report.Table, error) {
-	nodes := e.Nodes
+// PointNodes returns the node axis of the experiment after applying the
+// option overrides.
+func (e *Experiment) PointNodes(opts ExperimentOptions) []int {
 	if len(opts.Nodes) > 0 {
-		nodes = opts.Nodes
+		return opts.Nodes
 	}
+	return e.Nodes
+}
+
+// PointConfig builds the configuration of one experiment point: the
+// series' base configuration at the given node count, with the
+// experiment's default windows and the option overrides applied. The
+// seed is the base seed (opts.Seed, default 1); the sweep engine
+// derives the final per-run seed from it and the run key. The Configure
+// hook is NOT applied here — the engine applies it after the seed is
+// final.
+func (e *Experiment) PointConfig(series, nodes int, opts ExperimentOptions) Config {
+	cfg := e.Series[series].Make(nodes)
+	if e.Windows != nil {
+		cfg.Warmup, cfg.Measure = e.Windows(nodes)
+	} else {
+		cfg.Warmup, cfg.Measure = 4*time.Second, 16*time.Second
+	}
+	if opts.Warmup > 0 {
+		cfg.Warmup = opts.Warmup
+	}
+	if opts.Measure > 0 {
+		cfg.Measure = opts.Measure
+	}
+	if opts.Seed != 0 {
+		cfg.Seed = opts.Seed
+	}
+	return cfg
+}
+
+// Table allocates the experiment's (still empty) result table: rows =
+// node counts, columns = series labels.
+func (e *Experiment) Table(opts ExperimentOptions) *report.Table {
+	nodes := e.PointNodes(opts)
 	rows := make([]string, len(nodes))
 	for i, n := range nodes {
 		rows[i] = fmt.Sprintf("%d", n)
@@ -399,49 +437,8 @@ func (e *Experiment) Run(opts ExperimentOptions) (*report.Table, error) {
 	for j, s := range e.Series {
 		cols[j] = s.Label
 	}
-	tbl := report.NewTable(
+	return report.NewTable(
 		fmt.Sprintf("Fig. %s: %s", e.ID, e.Title),
 		"nodes", e.Metric, rows, cols,
 	)
-	for j, s := range e.Series {
-		for i, n := range nodes {
-			cfg := s.Make(n)
-			if e.Windows != nil {
-				cfg.Warmup, cfg.Measure = e.Windows(n)
-			} else {
-				cfg.Warmup, cfg.Measure = 4*time.Second, 16*time.Second
-			}
-			if opts.Warmup > 0 {
-				cfg.Warmup = opts.Warmup
-			}
-			if opts.Measure > 0 {
-				cfg.Measure = opts.Measure
-			}
-			if opts.Seed != 0 {
-				cfg.Seed = opts.Seed
-			}
-			reps := opts.Replications
-			if reps < 1 {
-				reps = 1
-			}
-			var sum float64
-			baseSeed := cfg.Seed
-			for r := 0; r < reps; r++ {
-				cfg.Seed = baseSeed + int64(r)
-				if opts.Configure != nil {
-					opts.Configure(&cfg, e.ID, s.Label, n)
-				}
-				rep, err := Run(cfg)
-				if err != nil {
-					return nil, fmt.Errorf("experiment %s series %q n=%d: %w", e.ID, s.Label, n, err)
-				}
-				sum += e.Value(rep)
-				if opts.Progress != nil {
-					opts.Progress(e.ID, s.Label, n, rep)
-				}
-			}
-			tbl.Set(i, j, sum/float64(reps))
-		}
-	}
-	return tbl, nil
 }

@@ -227,6 +227,9 @@ func assemble(cfg *Config) (workload.Generator, routing.Router, routing.GLAMap, 
 		}
 	}
 	params.DefaultDisksPerFile = 6 * cfg.Nodes
+	if cfg.MPL > 0 {
+		params.MPL = cfg.MPL
+	}
 
 	if cfg.Tune != nil {
 		cfg.Tune(&params)

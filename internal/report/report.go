@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"unicode/utf8"
 )
 
 // Table is a labelled matrix of measured values (rows = x-axis points,
@@ -17,6 +18,11 @@ type Table struct {
 	RowNames []string
 	ColNames []string
 	Values   [][]float64 // [row][col]; NaN marks missing points
+	// HalfWidths, when non-nil, holds a 95% confidence half-width per
+	// cell (NaN marks cells without one). Cells with a half-width
+	// render as "mean±hw"; CSV adds one "<col> hw95" column per
+	// series.
+	HalfWidths [][]float64
 }
 
 // NewTable allocates a table with the given labels.
@@ -41,6 +47,30 @@ func NewTable(title, xlabel, ylabel string, rows, cols []string) *Table {
 // Set stores one value.
 func (t *Table) Set(row, col int, v float64) { t.Values[row][col] = v }
 
+// SetCI stores the 95% confidence half-width of one cell, allocating
+// (and, if rows were appended since, growing) the half-width matrix to
+// the table's current shape.
+func (t *Table) SetCI(row, col int, hw float64) {
+	for len(t.HalfWidths) < len(t.Values) {
+		r := make([]float64, len(t.ColNames))
+		for j := range r {
+			r[j] = math.NaN()
+		}
+		t.HalfWidths = append(t.HalfWidths, r)
+	}
+	t.HalfWidths[row][col] = hw
+}
+
+// cell formats one cell, appending the confidence half-width when the
+// table carries one for it.
+func (t *Table) cell(row, col int) string {
+	s := formatValue(t.Values[row][col])
+	if row < len(t.HalfWidths) && !math.IsNaN(t.HalfWidths[row][col]) && !math.IsNaN(t.Values[row][col]) {
+		s += "±" + formatValue(t.HalfWidths[row][col])
+	}
+	return s
+}
+
 // AddRow appends one named row; missing trailing values stay NaN and
 // surplus values are dropped. Useful for tables built row by row
 // (e.g. one configuration per row with a fixed metric column set).
@@ -54,7 +84,8 @@ func (t *Table) AddRow(name string, values ...float64) {
 	t.Values = append(t.Values, row)
 }
 
-// Render formats the table with aligned columns.
+// Render formats the table with aligned columns. Widths are measured
+// in runes, not bytes, so cells carrying a "±" half-width stay aligned.
 func (t *Table) Render() string {
 	var b strings.Builder
 	if t.Title != "" {
@@ -64,42 +95,58 @@ func (t *Table) Render() string {
 		fmt.Fprintf(&b, "values: %s\n", t.YLabel)
 	}
 	widths := make([]int, len(t.ColNames)+1)
-	widths[0] = len(t.XLabel)
+	widths[0] = utf8.RuneCountInString(t.XLabel)
 	for _, r := range t.RowNames {
-		if len(r) > widths[0] {
-			widths[0] = len(r)
+		if n := utf8.RuneCountInString(r); n > widths[0] {
+			widths[0] = n
 		}
 	}
 	cells := make([][]string, len(t.RowNames))
 	for i, row := range t.Values {
 		cells[i] = make([]string, len(row))
-		for j, v := range row {
-			cells[i][j] = formatValue(v)
-			if len(cells[i][j]) > widths[j+1] {
-				widths[j+1] = len(cells[i][j])
+		for j := range row {
+			cells[i][j] = t.cell(i, j)
+			if n := utf8.RuneCountInString(cells[i][j]); n > widths[j+1] {
+				widths[j+1] = n
 			}
 		}
 	}
 	for j, c := range t.ColNames {
-		if len(c) > widths[j+1] {
-			widths[j+1] = len(c)
+		if n := utf8.RuneCountInString(c); n > widths[j+1] {
+			widths[j+1] = n
 		}
 	}
 	// Header.
-	fmt.Fprintf(&b, "%-*s", widths[0], t.XLabel)
+	padRight(&b, t.XLabel, widths[0])
 	for j, c := range t.ColNames {
-		fmt.Fprintf(&b, "  %*s", widths[j+1], c)
+		b.WriteString("  ")
+		padLeft(&b, c, widths[j+1])
 	}
 	b.WriteByte('\n')
 	// Rows.
 	for i, r := range t.RowNames {
-		fmt.Fprintf(&b, "%-*s", widths[0], r)
+		padRight(&b, r, widths[0])
 		for j := range t.ColNames {
-			fmt.Fprintf(&b, "  %*s", widths[j+1], cells[i][j])
+			b.WriteString("  ")
+			padLeft(&b, cells[i][j], widths[j+1])
 		}
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+func padLeft(b *strings.Builder, s string, width int) {
+	if n := width - utf8.RuneCountInString(s); n > 0 {
+		b.WriteString(strings.Repeat(" ", n))
+	}
+	b.WriteString(s)
+}
+
+func padRight(b *strings.Builder, s string, width int) {
+	b.WriteString(s)
+	if n := width - utf8.RuneCountInString(s); n > 0 {
+		b.WriteString(strings.Repeat(" ", n))
+	}
 }
 
 // Markdown formats the table as a GitHub-style markdown table.
@@ -121,20 +168,26 @@ func (t *Table) Markdown() string {
 	for i, r := range t.RowNames {
 		b.WriteString("| " + r + " |")
 		for j := range t.ColNames {
-			b.WriteString(" " + formatValue(t.Values[i][j]) + " |")
+			b.WriteString(" " + t.cell(i, j) + " |")
 		}
 		b.WriteByte('\n')
 	}
 	return b.String()
 }
 
-// CSV formats the table as comma-separated values.
+// CSV formats the table as comma-separated values. Tables carrying
+// confidence half-widths emit one extra "<col> hw95" column per series
+// so the output stays machine-readable.
 func (t *Table) CSV() string {
 	var b strings.Builder
 	b.WriteString(csvEscape(t.XLabel))
 	for _, c := range t.ColNames {
 		b.WriteByte(',')
 		b.WriteString(csvEscape(c))
+		if t.HalfWidths != nil {
+			b.WriteByte(',')
+			b.WriteString(csvEscape(c + " hw95"))
+		}
 	}
 	b.WriteByte('\n')
 	for i, r := range t.RowNames {
@@ -143,6 +196,12 @@ func (t *Table) CSV() string {
 			b.WriteByte(',')
 			if !math.IsNaN(t.Values[i][j]) {
 				fmt.Fprintf(&b, "%g", t.Values[i][j])
+			}
+			if t.HalfWidths != nil {
+				b.WriteByte(',')
+				if i < len(t.HalfWidths) && !math.IsNaN(t.HalfWidths[i][j]) {
+					fmt.Fprintf(&b, "%g", t.HalfWidths[i][j])
+				}
 			}
 		}
 		b.WriteByte('\n')

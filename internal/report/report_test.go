@@ -114,3 +114,70 @@ func TestMarkdown(t *testing.T) {
 		}
 	}
 }
+
+func ciSample() *Table {
+	t := sample()
+	t.SetCI(0, 0, 2.5)
+	t.SetCI(0, 1, 0.75)
+	t.SetCI(1, 0, 12.125)
+	return t
+}
+
+func TestRenderConfidenceCells(t *testing.T) {
+	out := ciSample().Render()
+	for _, want := range []string{"61.5±2.50", "71.2±0.75", "62.0±12.1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render output missing %q:\n%s", want, out)
+		}
+	}
+	// "±" is multi-byte UTF-8; the columns must still align by rune
+	// count, so every data row keeps the same rune width.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	width := -1
+	for _, l := range lines {
+		if strings.HasPrefix(l, "1 ") || strings.HasPrefix(l, "2 ") {
+			n := len([]rune(l))
+			if width == -1 {
+				width = n
+			} else if n != width {
+				t.Fatalf("data rows have rune widths %d and %d:\n%s", width, n, out)
+			}
+		}
+	}
+	if width == -1 {
+		t.Fatal("no data rows found")
+	}
+}
+
+func TestCSVConfidenceColumns(t *testing.T) {
+	out := ciSample().CSV()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "nodes,a,a hw95,b,b hw95" {
+		t.Fatalf("csv header %q", lines[0])
+	}
+	if lines[1] != "1,61.5,2.5,71.25,0.75" {
+		t.Fatalf("csv row %q", lines[1])
+	}
+	// The NaN cell and its half-width stay empty.
+	if lines[2] != "2,62.01,12.125,," {
+		t.Fatalf("csv row %q", lines[2])
+	}
+}
+
+func TestMarkdownConfidenceCells(t *testing.T) {
+	out := ciSample().Markdown()
+	if !strings.Contains(out, "61.5±2.5") {
+		t.Fatalf("markdown missing CI cell:\n%s", out)
+	}
+}
+
+func TestSetCIOnNaNValue(t *testing.T) {
+	tbl := NewTable("t", "x", "y", []string{"r"}, []string{"c"})
+	tbl.SetCI(0, 0, 1)
+	if out := tbl.Render(); !strings.Contains(out, "-") {
+		t.Fatalf("NaN cell with CI must still render as '-':\n%s", out)
+	}
+	if math.IsNaN(tbl.HalfWidths[0][0]) {
+		t.Fatal("half-width not recorded")
+	}
+}

@@ -5,6 +5,7 @@
 package rng
 
 import (
+	"encoding/binary"
 	"hash/fnv"
 	"math"
 	"math/rand"
@@ -44,6 +45,25 @@ func (sp *Splitter) Stream(name string) *Source {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(name))
 	return New(sp.seed ^ int64(h.Sum64())) //nolint:gosec // wraparound fine
+}
+
+// DeriveSeed maps a base seed and a run key to a stable per-run seed
+// (FNV-1a over the base seed's bytes followed by the key). The result
+// depends only on (base, key) — never on execution order — so a sweep
+// of runs produces identical results whether the runs execute
+// sequentially or on any number of workers. The returned seed is always
+// positive (the simulator treats seed 0 as "use the default").
+func DeriveSeed(base int64, key string) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(base)) //nolint:gosec // bit pattern only
+	_, _ = h.Write(b[:])
+	_, _ = h.Write([]byte(key))
+	s := int64(h.Sum64() & (1<<63 - 1)) //nolint:gosec // masked to int63
+	if s == 0 {
+		s = 1
+	}
+	return s
 }
 
 // Float64 returns a uniform draw in [0, 1).

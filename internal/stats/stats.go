@@ -316,6 +316,19 @@ func (b *BatchMeans) HalfWidth95() float64 {
 	return 1.96 * sd / math.Sqrt(float64(n))
 }
 
+// ReplicateCI aggregates independently seeded replica measurements of
+// the same experiment point into a mean and a 95% confidence
+// half-width. Each replica is one batch of the batch-means machinery
+// (replicas are independent runs, so batch size 1 is exact); the
+// half-width is zero with fewer than two replicas.
+func ReplicateCI(values []float64) (mean, halfWidth float64) {
+	bm := NewBatchMeans(1)
+	for _, v := range values {
+		bm.Add(v)
+	}
+	return bm.Mean(), bm.HalfWidth95()
+}
+
 // Quantiles computes exact quantiles of a sample slice (used by tests
 // and offline analysis). The input is not modified.
 func Quantiles(sample []float64, qs ...float64) []float64 {

@@ -254,3 +254,19 @@ func TestMSERCutoffShortSeries(t *testing.T) {
 		t.Fatal("empty series must return zero cutoff")
 	}
 }
+
+func TestReplicateCI(t *testing.T) {
+	mean, hw := ReplicateCI([]float64{10, 12, 14})
+	if math.Abs(mean-12) > 1e-9 {
+		t.Fatalf("mean %v", mean)
+	}
+	// sd = 2, hw = 1.96 * 2 / sqrt(3)
+	if want := 1.96 * 2 / math.Sqrt(3); math.Abs(hw-want) > 1e-9 {
+		t.Fatalf("half width %v, want %v", hw, want)
+	}
+	// A single replica has no spread estimate.
+	mean, hw = ReplicateCI([]float64{7})
+	if mean != 7 || hw != 0 {
+		t.Fatalf("single replica: mean %v hw %v", mean, hw)
+	}
+}

@@ -1,0 +1,87 @@
+package sweep
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"gemsim/internal/core"
+)
+
+// metricFuncs maps metric names (usable as a Spec's "metric" and stored
+// with every result) to their extractors.
+var metricFuncs = map[string]func(*core.Report) float64{
+	"rt_ms":       func(r *core.Report) float64 { return ms(r.Metrics.MeanResponseTime) },
+	"norm_rt_ms":  func(r *core.Report) float64 { return ms(r.Metrics.NormalizedResponseTime) },
+	"p95_rt_ms":   func(r *core.Report) float64 { return ms(r.Metrics.P95ResponseTime) },
+	"tput":        func(r *core.Report) float64 { return r.Metrics.Throughput },
+	"tput80":      func(r *core.Report) float64 { return r.ThroughputPerNodeAt(0.8) },
+	"cpu_util":    func(r *core.Report) float64 { return r.Metrics.MeanCPUUtilization },
+	"gem_util":    func(r *core.Report) float64 { return r.Metrics.GEMUtilization },
+	"msgs_txn":    func(r *core.Report) float64 { return r.Metrics.MessagesPerTxn },
+	"inval_txn":   func(r *core.Report) float64 { return r.Metrics.InvalidationsPerTxn },
+	"local_locks": func(r *core.Report) float64 { return r.Metrics.LocalLockShare },
+	"commits":     func(r *core.Report) float64 { return float64(r.Metrics.Commits) },
+	"aborts":      func(r *core.Report) float64 { return float64(r.Metrics.Aborts) },
+	"deadlocks":   func(r *core.Report) float64 { return float64(r.Metrics.Deadlocks) },
+}
+
+// metricLabels names each metric's table axis.
+var metricLabels = map[string]string{
+	"rt_ms":       "mean response time [ms]",
+	"norm_rt_ms":  "normalized response time [ms]",
+	"p95_rt_ms":   "p95 response time [ms]",
+	"tput":        "throughput [TPS]",
+	"tput80":      "TPS per node at 80% CPU",
+	"cpu_util":    "mean CPU utilization",
+	"gem_util":    "GEM utilization",
+	"msgs_txn":    "messages per txn",
+	"inval_txn":   "invalidations per txn",
+	"local_locks": "local lock share",
+	"commits":     "committed transactions",
+	"aborts":      "aborted transactions",
+	"deadlocks":   "deadlocks",
+}
+
+// Metric resolves a metric name to its extractor.
+func Metric(name string) (func(*core.Report) float64, bool) {
+	f, ok := metricFuncs[name]
+	return f, ok
+}
+
+// MetricLabel returns the axis label of a metric name.
+func MetricLabel(name string) string {
+	if l, ok := metricLabels[name]; ok {
+		return l
+	}
+	return name
+}
+
+// MetricNames lists the available metric names, sorted.
+func MetricNames() []string {
+	names := make([]string, 0, len(metricFuncs))
+	for name := range metricFuncs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Extract computes the full standard metric set of a finished run; the
+// store persists it so resumed sweeps can aggregate any metric without
+// re-running.
+func Extract(rep *core.Report) map[string]float64 {
+	vals := make(map[string]float64, len(metricFuncs)+1)
+	for name, f := range metricFuncs {
+		vals[name] = f(rep)
+	}
+	return vals
+}
+
+// ms converts a duration to float milliseconds.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// unknownMetricError spells out the alternatives.
+func unknownMetricError(name string) error {
+	return fmt.Errorf("sweep: unknown metric %q (available: %v)", name, MetricNames())
+}

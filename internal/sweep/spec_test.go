@@ -1,0 +1,154 @@
+package sweep
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gemsim/internal/core"
+)
+
+func writeSpec(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadSpecExample(t *testing.T) {
+	// The shipped example must stay loadable and expand as documented.
+	s, err := LoadSpec(filepath.Join("..", "..", "examples", "sweep", "buffer-coupling.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := s.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 4*2*2*3 {
+		t.Fatalf("%d runs, want 48", len(runs))
+	}
+}
+
+func TestSpecExpansion(t *testing.T) {
+	s := &Spec{
+		Name:         "m",
+		Base:         core.ConfigFile{Routing: "random"},
+		Axes:         []Axis{{Field: "coupling", Values: rawValues(t, `"gem"`, `"pcl"`)}, {Field: "nodes", Values: rawValues(t, "1", "4")}},
+		Replications: 2,
+	}
+	runs, err := s.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 8 {
+		t.Fatalf("%d runs", len(runs))
+	}
+	// "nodes" becomes the row axis even though it is declared second.
+	first := runs[0]
+	if first.Row != "n=1" || first.Col != "gem" {
+		t.Fatalf("first run row=%q col=%q", first.Row, first.Col)
+	}
+	if first.Key != "m/gem/n=1/r0" {
+		t.Fatalf("key %q", first.Key)
+	}
+	if first.Config.Coupling != core.CouplingGEM || first.Config.Routing != core.RoutingRandom {
+		t.Fatal("axis/base values not applied")
+	}
+	if first.Config.Seed == runs[1].Config.Seed {
+		t.Fatal("replicas must have distinct derived seeds")
+	}
+	seen := make(map[string]bool)
+	for _, r := range runs {
+		if seen[r.Key] {
+			t.Fatalf("duplicate key %s", r.Key)
+		}
+		seen[r.Key] = true
+	}
+}
+
+func TestSpecMediumAxis(t *testing.T) {
+	s := &Spec{
+		Name: "med",
+		Axes: []Axis{{Field: "medium.BRANCH/TELLER", Values: rawValues(t, `"disk"`, `"gem"`)}},
+	}
+	runs, err := s.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("%d runs", len(runs))
+	}
+	if len(runs[1].Config.FileMedium) != 1 {
+		t.Fatal("medium axis not applied")
+	}
+	if runs[0].Row != "BRANCH/TELLER=disk" {
+		t.Fatalf("row %q", runs[0].Row)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	for name, body := range map[string]string{
+		"unknown-field":  `{"name":"x","axes":[{"field":"warp","values":[1]}]}`,
+		"unknown-metric": `{"name":"x","metric":"bogus","axes":[{"field":"nodes","values":[1]}]}`,
+		"no-name":        `{"axes":[{"field":"nodes","values":[1]}]}`,
+		"no-axes":        `{"name":"x"}`,
+		"empty-values":   `{"name":"x","axes":[{"field":"nodes","values":[]}]}`,
+		"dup-axis":       `{"name":"x","axes":[{"field":"nodes","values":[1]},{"field":"nodes","values":[2]}]}`,
+		"bad-rowaxis":    `{"name":"x","rowAxis":"coupling","axes":[{"field":"nodes","values":[1]}]}`,
+		"wrong-type":     `{"name":"x","axes":[{"field":"nodes","values":["four"]}]}`,
+		"unknown-json":   `{"name":"x","surprise":1,"axes":[{"field":"nodes","values":[1]}]}`,
+	} {
+		path := writeSpec(t, body)
+		s, err := LoadSpec(path)
+		if err == nil {
+			// Type errors only surface during expansion.
+			_, err = s.Runs()
+		}
+		if err == nil {
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+}
+
+func TestRunSpecDeterministicAcrossJobs(t *testing.T) {
+	s := &Spec{
+		Name:         "det",
+		Metric:       "tput",
+		Replications: 2,
+		Axes: []Axis{
+			{Field: "nodes", Values: rawValues(t, "1", "2")},
+			{Field: "force", Values: rawValues(t, "false", "true")},
+		},
+	}
+	var outputs []string
+	for _, jobs := range []int{1, 8} {
+		tbl, sum, err := RunSpec(s, Engine{Jobs: jobs, exec: fakeExec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Failed != 0 || sum.Total != 8 {
+			t.Fatal(sum.String())
+		}
+		outputs = append(outputs, tbl.Render()+tbl.CSV())
+	}
+	if outputs[0] != outputs[1] {
+		t.Fatalf("spec tables differ across jobs:\n%s\n--- vs ---\n%s", outputs[0], outputs[1])
+	}
+	if !strings.Contains(outputs[0], "FORCE") || !strings.Contains(outputs[0], "NOFORCE") {
+		t.Fatalf("column labels missing:\n%s", outputs[0])
+	}
+}
+
+func rawValues(t *testing.T, vals ...string) []json.RawMessage {
+	t.Helper()
+	out := make([]json.RawMessage, len(vals))
+	for i, v := range vals {
+		out[i] = json.RawMessage(v)
+	}
+	return out
+}

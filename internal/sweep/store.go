@@ -1,0 +1,116 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Store is the persistent result store: one JSON line per finished run,
+// appended and flushed as runs complete so a killed sweep loses at most
+// the line being written. Lines are keyed by run fingerprint; on
+// conflict the latest line wins (a re-run after a failure appends a
+// fresh line rather than editing the old one).
+type Store struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	w    *bufio.Writer
+}
+
+// OpenStore opens (creating if necessary) the store at path for
+// appending.
+func OpenStore(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: open store: %w", err)
+	}
+	return &Store{path: path, f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Path returns the store's file path.
+func (s *Store) Path() string { return s.path }
+
+// Append persists one result and flushes it to the file.
+func (s *Store) Append(res Result) error {
+	b, err := json.Marshal(&res)
+	if err != nil {
+		return fmt.Errorf("sweep: encode result: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.w.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("sweep: append result: %w", err)
+	}
+	return s.w.Flush()
+}
+
+// Load reads every stored result, keyed by fingerprint; later lines
+// shadow earlier ones. A truncated final line (the footprint of a
+// killed writer) is tolerated and skipped; corruption anywhere else is
+// an error.
+func (s *Store) Load() (map[string]Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, err := os.ReadFile(s.path)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: read store: %w", err)
+	}
+	return parseStore(string(data))
+}
+
+// LoadStore reads a result store without opening it for writing.
+func LoadStore(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: read store: %w", err)
+	}
+	return parseStore(string(data))
+}
+
+func parseStore(data string) (map[string]Result, error) {
+	results := make(map[string]Result)
+	lines := strings.Split(data, "\n")
+	for i, line := range lines {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var res Result
+		if err := json.Unmarshal([]byte(line), &res); err != nil {
+			if i == len(lines)-1 {
+				// Truncated tail from a killed writer: drop it.
+				continue
+			}
+			return nil, fmt.Errorf("sweep: store line %d: %w", i+1, err)
+		}
+		if res.Fingerprint == "" {
+			return nil, fmt.Errorf("sweep: store line %d: missing fingerprint", i+1)
+		}
+		results[res.Fingerprint] = res
+	}
+	return results, nil
+}
+
+// Close flushes and closes the store file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var err error
+	if s.w != nil {
+		err = s.w.Flush()
+	}
+	if s.f != nil {
+		if cerr := s.f.Close(); err == nil {
+			err = cerr
+		}
+		s.f = nil
+		s.w = nil
+	}
+	return err
+}
+
+var _ io.Closer = (*Store)(nil)
