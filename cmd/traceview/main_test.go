@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenTrace is the JSONL event trace checked into the core package's
+// golden-output tests; it doubles here as a known-valid input.
+const goldenTrace = "../../internal/core/testdata/tiny_trace.jsonl"
+
+func TestValidateGoldenTrace(t *testing.T) {
+	if err := run([]string{"-validate", goldenTrace}); err != nil {
+		t.Fatalf("golden trace failed validation: %v", err)
+	}
+}
+
+func TestSummarizeGoldenTrace(t *testing.T) {
+	if err := run([]string{"-top", "3", goldenTrace}); err != nil {
+		t.Fatalf("summarize failed on golden trace: %v", err)
+	}
+}
+
+func TestValidateRejectsSchemaViolations(t *testing.T) {
+	// One unknown phase, one span without ts, one span without name:
+	// three violations the validator must report.
+	bad := strings.Join([]string{
+		`{"ph":"Z","ts":1,"name":"x","track":"t"}`,
+		`{"ph":"X","dur":5,"name":"x","track":"t"}`,
+		`{"ph":"X","ts":1,"dur":5,"track":"t"}`,
+	}, "\n")
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-validate", path})
+	if err == nil {
+		t.Fatal("validate accepted a trace with schema violations")
+	}
+	if !strings.Contains(err.Error(), "3 schema violation(s)") {
+		t.Fatalf("error %q, want 3 schema violations reported", err)
+	}
+}
+
+func TestParseErrorOnMalformedJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.jsonl")
+	if err := os.WriteFile(path, []byte("{\"ph\":\"X\"\nnot json at all\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-validate", path})
+	if err == nil {
+		t.Fatal("parse accepted malformed JSON")
+	}
+	if !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("error %q, want the offending line number", err)
+	}
+}
+
+func TestMissingFileIsAnError(t *testing.T) {
+	if err := run([]string{filepath.Join(t.TempDir(), "nope.jsonl")}); err == nil {
+		t.Fatal("run succeeded on a missing file")
+	}
+}

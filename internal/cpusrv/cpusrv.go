@@ -53,11 +53,38 @@ func (c *CPU) Exec(p *sim.Proc, instructions float64) {
 	c.res.Use(p, c.ServiceTime(instructions))
 }
 
+// RequestExec runs instructions on one processor on the callback tier:
+// done fires in kernel context when the burst completes (immediately
+// for a non-positive demand). Used for message handlers that need no
+// process.
+func (c *CPU) RequestExec(instructions float64, done func()) {
+	if instructions <= 0 {
+		done()
+		return
+	}
+	c.instructions += instructions
+	if c.tracer.Enabled() {
+		env := c.res.Env()
+		start := env.Now()
+		inner := done
+		done = func() {
+			c.tracer.Span(c.res.Name(), 0, "cpu", "exec", start, env.Now(), "")
+			inner()
+		}
+	}
+	c.res.Request(c.ServiceTime(instructions), done)
+}
+
 // Acquire claims one processor without releasing it; used for
 // synchronous GEM accesses during which the CPU stays busy.
 func (c *CPU) Acquire(p *sim.Proc) { c.res.Acquire(p) }
 
-// Release frees a processor claimed with Acquire.
+// AcquireFn claims one processor on the callback tier: granted runs
+// once a processor is free (synchronously if one is free now). Pair
+// with Release from the continuation.
+func (c *CPU) AcquireFn(granted func()) { c.res.AcquireFn(granted) }
+
+// Release frees a processor claimed with Acquire or AcquireFn.
 func (c *CPU) Release() { c.res.Release() }
 
 // ExecHolding charges instructions while a processor is already held
@@ -68,6 +95,18 @@ func (c *CPU) ExecHolding(p *sim.Proc, instructions float64) {
 	}
 	c.instructions += instructions
 	p.Wait(c.ServiceTime(instructions))
+}
+
+// HoldFn charges instructions while a processor is already held — the
+// callback-tier analog of ExecHolding. done fires after the service
+// time elapses, or synchronously for a non-positive demand.
+func (c *CPU) HoldFn(instructions float64, done func()) {
+	if instructions <= 0 {
+		done()
+		return
+	}
+	c.instructions += instructions
+	c.res.Env().After(c.ServiceTime(instructions), done)
 }
 
 // Utilization returns mean processor utilization since the last

@@ -108,6 +108,96 @@ func (g *GEM) AccessEntries(p *sim.Proc, n int) {
 	}
 }
 
+// AccessPageFn performs one page access on the callback tier for a
+// parked process: when the access completes, the server is released,
+// fin runs in kernel context and the process resumes — all in one
+// calendar slot. The caller parks after setting up the chain.
+func (g *GEM) AccessPageFn(c sim.Continuation, fin func()) {
+	g.pageAccesses++
+	if g.tracer.Enabled() {
+		env := g.server.Env()
+		start := env.Now()
+		tid := c.TraceID()
+		inner := fin
+		fin = func() {
+			g.tracer.Span(g.server.Name(), tid, "gem", "page", start, env.Now(), "")
+			if inner != nil {
+				inner()
+			}
+		}
+	}
+	g.server.RequestResume(c, g.params.PageAccess, fin)
+}
+
+// AccessEntryFn performs one entry access on the callback tier for a
+// parked process (untraced, like AccessEntry): when it completes, fin
+// runs and the process resumes in the same calendar slot.
+func (g *GEM) AccessEntryFn(c sim.Continuation, fin func()) {
+	g.entryAccesses++
+	g.server.RequestResume(c, g.params.EntryAccess, fin)
+}
+
+// AccessEntriesFn performs n consecutive entry accesses on the callback
+// tier for a parked process; after the last one completes (and its
+// server is released), fin runs and the process resumes, in the same
+// calendar slot. n must be at least 1; the caller parks after setting
+// up the chain.
+func (g *GEM) AccessEntriesFn(c sim.Continuation, n int, fin func()) {
+	if g.tracer.Enabled() {
+		env := g.server.Env()
+		start := env.Now()
+		tid := c.TraceID()
+		count := n
+		inner := fin
+		fin = func() {
+			g.tracer.Span(g.server.Name(), tid, "gem", "entries", start, env.Now(), "n="+strconv.Itoa(count))
+			if inner != nil {
+				inner()
+			}
+		}
+	}
+	g.entryChain(c, n, fin)
+}
+
+// entryChain runs the remaining accesses of an AccessEntriesFn batch:
+// each completion starts the next access, the last one carries the
+// combined release+fin+resume event.
+func (g *GEM) entryChain(c sim.Continuation, left int, fin func()) {
+	g.entryAccesses++
+	if left <= 1 {
+		g.server.RequestResume(c, g.params.EntryAccess, fin)
+		return
+	}
+	g.server.Request(g.params.EntryAccess, func() {
+		g.entryChain(c, left-1, fin)
+	})
+}
+
+// RequestEntry performs one entry access entirely on the callback tier
+// (no process involved); done fires when it completes.
+func (g *GEM) RequestEntry(done func()) {
+	g.entryAccesses++
+	g.server.Request(g.params.EntryAccess, done)
+}
+
+// RequestPage performs one page access entirely on the callback tier;
+// done fires when it completes.
+func (g *GEM) RequestPage(done func()) {
+	g.pageAccesses++
+	if g.tracer.Enabled() {
+		env := g.server.Env()
+		start := env.Now()
+		inner := done
+		done = func() {
+			g.tracer.Span(g.server.Name(), 0, "gem", "page", start, env.Now(), "")
+			if inner != nil {
+				inner()
+			}
+		}
+	}
+	g.server.Request(g.params.PageAccess, done)
+}
+
 // BusySeconds returns accumulated server-busy seconds since the last
 // ResetStats, for windowed utilization sampling.
 func (g *GEM) BusySeconds() float64 { return g.server.BusySeconds() }

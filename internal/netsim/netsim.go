@@ -69,8 +69,11 @@ func DefaultParams() Params {
 	}
 }
 
-// Handler processes a delivered message at the receiving node. It runs
-// in a dedicated process after the receive CPU overhead was charged.
+// Handler processes a delivered message at the receiving node, after
+// the receive CPU overhead was charged. For messages the receiver
+// classified as inline (RegisterInline) it runs in kernel context with
+// p == nil and must not block; for all other messages it runs in a
+// dedicated process.
 type Handler func(p *sim.Proc, from int, msg any)
 
 // SyncStore is a synchronously accessible shared store (GEM) through
@@ -80,6 +83,18 @@ type Handler func(p *sim.Proc, from int, msg any)
 type SyncStore interface {
 	AccessEntry(p *sim.Proc)
 	AccessPage(p *sim.Proc)
+}
+
+// ChainStore is optionally implemented by a SyncStore whose accesses
+// can run on the kernel's callback tier: the Fn forms serve a parked
+// process through a continuation, the Request forms need no process at
+// all. When the store supports it, store-based message exchange runs
+// without helper processes.
+type ChainStore interface {
+	AccessEntryFn(c sim.Continuation, fin func())
+	AccessPageFn(c sim.Continuation, fin func())
+	RequestEntry(done func())
+	RequestPage(done func())
 }
 
 // StoreTransport configures storage-based message exchange.
@@ -97,6 +112,9 @@ type StoreTransport struct {
 type endpoint struct {
 	cpu     *cpusrv.CPU
 	handler Handler
+	// inline classifies messages whose handler runs on the callback
+	// tier (nil: every message gets a handler process).
+	inline func(msg any) bool
 }
 
 // Network connects the nodes.
@@ -124,6 +142,14 @@ func New(env *sim.Env, params Params, nodes int) *Network {
 // Register attaches a node's CPU and message handler.
 func (n *Network) Register(node int, cpu *cpusrv.CPU, h Handler) {
 	n.endpoints[node] = endpoint{cpu: cpu, handler: h}
+}
+
+// RegisterInline installs a classifier for messages whose handler does
+// not block: those are delivered on the callback tier (the handler
+// receives p == nil) instead of spawning a receive process per
+// message.
+func (n *Network) RegisterInline(node int, classify func(msg any) bool) {
+	n.endpoints[node].inline = classify
 }
 
 // UseStore switches the network to storage-based message exchange
@@ -229,6 +255,17 @@ func (n *Network) send(p *sim.Proc, from, to int, c Class, msg any, reliable boo
 			}
 			return
 		}
+		if ep.inline != nil && ep.inline(msg) {
+			// Callback-tier delivery: the extra hop takes the calendar
+			// slot the receive process used to start in, then the
+			// receive overhead and the handler run without a process.
+			n.env.After(0, func() {
+				ep.cpu.RequestExec(n.sendInstr(c), func() {
+					ep.handler(nil, from, msg)
+				})
+			})
+			return
+		}
 		n.env.Spawn("recv", func(q *sim.Proc) {
 			ep.cpu.Exec(q, n.sendInstr(c))
 			ep.handler(q, from, msg)
@@ -247,15 +284,51 @@ func (n *Network) sendViaStore(p *sim.Proc, from, to int, c Class, msg any) {
 	if c == Long {
 		instr = t.LongInstr
 	}
+	cs, chained := t.Store.(ChainStore)
 	sender := n.endpoints[from].cpu
-	sender.Acquire(p)
-	sender.ExecHolding(p, instr)
-	n.storeAccess(p, c)
-	sender.Release()
+	if chained {
+		// Deposit as one callback chain: cpu, held burst, store access,
+		// release — the sender parks once for the whole composite.
+		cont := p.Continuation()
+		sender.AcquireFn(func() {
+			sender.HoldFn(instr, func() {
+				if c == Long {
+					cs.AccessPageFn(cont, sender.Release)
+				} else {
+					cs.AccessEntryFn(cont, sender.Release)
+				}
+			})
+		})
+		p.Park()
+	} else {
+		sender.Acquire(p)
+		sender.ExecHolding(p, instr)
+		n.storeAccess(p, c)
+		sender.Release()
+	}
 	ep := n.endpoints[to]
 	n.env.After(0, func() {
 		if n.downCheck != nil && n.downCheck(to) {
 			n.dropped++
+			return
+		}
+		if chained && ep.inline != nil && ep.inline(msg) {
+			// Callback-tier pickup: the extra hop takes the slot the
+			// receive process used to start in.
+			n.env.After(0, func() {
+				ep.cpu.AcquireFn(func() {
+					ep.cpu.HoldFn(instr, func() {
+						access := cs.RequestEntry
+						if c == Long {
+							access = cs.RequestPage
+						}
+						access(func() {
+							ep.cpu.Release()
+							ep.handler(nil, from, msg)
+						})
+					})
+				})
+			})
 			return
 		}
 		n.env.Spawn("recv", func(q *sim.Proc) {

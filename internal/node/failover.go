@@ -343,12 +343,7 @@ func (s *System) runRecovery(p *sim.Proc, crashed int, crashAt sim.Time, losers 
 		owned := s.gemOwnedPages(crashed)
 		entries += len(owned)
 		if entries > 0 {
-			coord.cpu.Acquire(p)
-			if params.RecoveryEntryInstr > 0 {
-				coord.cpu.ExecHolding(p, float64(entries)*params.RecoveryEntryInstr)
-			}
-			s.gemDev.AccessEntries(p, entries)
-			coord.cpu.Release()
+			coord.gemEntryOp(p, float64(entries)*params.RecoveryEntryInstr, entries)
 		}
 		fs.LocksRecovered = int64(entries)
 		for _, pg := range owned {
@@ -378,9 +373,7 @@ func (s *System) runRecovery(p *sim.Proc, crashed int, crashAt sim.Time, losers 
 				coord.cpu.Exec(p, params.RecoveryEntryInstr)
 			}
 		} else {
-			coord.cpu.Acquire(p)
-			s.gemDev.AccessEntries(p, 1)
-			coord.cpu.Release()
+			coord.gemEntryOp(p, 0, 1)
 		}
 		s.tables[r.tbl].Request(r.page, r.fence, model.LockWrite, fenceTag{})
 		r.fenced = true
@@ -398,9 +391,7 @@ func (s *System) runRecovery(p *sim.Proc, crashed int, crashAt sim.Time, losers 
 					coord.cpu.Exec(p, float64(held)*params.RecoveryEntryInstr)
 				}
 			} else if held > 0 {
-				coord.cpu.Acquire(p)
-				s.gemDev.AccessEntries(p, 2*held)
-				coord.cpu.Release()
+				coord.gemEntryOp(p, 0, 2*held)
 			}
 			granted := tbl.ReleaseAll(o)
 			home := coordID
@@ -464,9 +455,7 @@ func (s *System) runRecovery(p *sim.Proc, crashed int, crashAt sim.Time, losers 
 				if meta.owner == crashed {
 					meta.owner = -1
 				}
-				coord.cpu.Acquire(p)
-				s.gemDev.AccessEntries(p, 1)
-				coord.cpu.Release()
+				coord.gemEntryOp(p, 0, 1)
 			}
 		}
 		if r.fenced {

@@ -31,15 +31,10 @@ func (c *gemCC) glt() *lock.Table { return c.n.sys.tables[0] }
 
 // gltAccess charges the synchronous GEM entry accesses of one GLT
 // operation: the CPU stays busy while the entry is read and written
-// back with Compare&Swap.
+// back with Compare&Swap. The composite runs as a callback chain with
+// a single park.
 func (c *gemCC) gltAccess(p *sim.Proc, entries int) {
-	n := c.n
-	n.cpu.Acquire(p)
-	if n.sys.params.LockInstr > 0 {
-		n.cpu.ExecHolding(p, n.sys.params.LockInstr)
-	}
-	n.sys.gemDev.AccessEntries(p, entries)
-	n.cpu.Release()
+	c.n.gemEntryOp(p, c.n.sys.params.LockInstr, entries)
 }
 
 // lock processes one lock request against the GLT.

@@ -7,9 +7,24 @@ import (
 	"gemsim/internal/sim"
 )
 
-// handleMessage dispatches an arriving message. It runs in a dedicated
-// process at this node after the receive CPU overhead was charged by
-// the communication subsystem.
+// inlineMessage classifies the messages whose handlers only mutate
+// local state and unpark a waiter: the communication subsystem
+// delivers those on the kernel's callback tier (handleMessage then
+// runs with p == nil) instead of spawning a receive process. Every
+// other message type gets a handler process because its handler blocks
+// (device access or a reply send).
+func inlineMessage(msg any) bool {
+	switch msg.(type) {
+	case lockGrantMsg, pageReplyMsg, wakeupMsg, rebuildReplyMsg, revokeRAMsg, invalidateAckMsg:
+		return true
+	}
+	return false
+}
+
+// handleMessage dispatches an arriving message after the receive CPU
+// overhead was charged by the communication subsystem. For inline
+// message types (see inlineMessage) it runs in kernel context with
+// p == nil; for the rest it runs in a dedicated process at this node.
 func (n *Node) handleMessage(p *sim.Proc, from int, msg any) {
 	switch m := msg.(type) {
 	case lockRequestMsg:
@@ -86,10 +101,7 @@ func (n *Node) handlePageRequest(p *sim.Proc, m pageRequestMsg) {
 		if n.sys.params.GEMPageTransfer {
 			// Deposit the page in GEM; the requester reads it from
 			// there (synchronous page accesses on both sides).
-			n.cpu.Acquire(p)
-			n.cpu.ExecHolding(p, n.sys.params.GEMIOInstr)
-			n.sys.gemDev.AccessPage(p)
-			n.cpu.Release()
+			n.gemPageIO(p)
 		} else {
 			class = netsim.Long
 		}

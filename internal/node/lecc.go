@@ -41,15 +41,31 @@ type invalidateAckMsg struct {
 
 func (c *leCC) table() *lock.Table { return c.n.sys.tables[0] }
 
-// engineAccess charges one synchronous lock engine operation: the CPU
-// is held while the request queues at and is served by the engine.
+// engineAccess charges ops synchronous lock engine operations: the CPU
+// is held while the requests queue at and are served by the engine.
+// The whole composite runs as a callback chain; the process parks once.
 func (c *leCC) engineAccess(p *sim.Proc, ops int) {
 	n := c.n
-	n.cpu.Acquire(p)
-	for i := 0; i < ops; i++ {
-		n.sys.engine.Use(p, n.sys.params.LockEngine.ServiceTime)
+	cont := p.Continuation()
+	n.cpu.AcquireFn(func() {
+		c.engineChain(cont, ops)
+	})
+	p.Park()
+}
+
+// engineChain runs the remaining engine operations of an engineAccess
+// composite; the last one releases the CPU and resumes the process in
+// its completion slot.
+func (c *leCC) engineChain(cont sim.Continuation, left int) {
+	n := c.n
+	svc := n.sys.params.LockEngine.ServiceTime
+	if left <= 1 {
+		n.sys.engine.RequestResume(cont, svc, n.cpu.Release)
+		return
 	}
-	n.cpu.Release()
+	n.sys.engine.Request(svc, func() {
+		c.engineChain(cont, left-1)
+	})
 }
 
 // lock processes one lock request at the central lock engine.

@@ -579,9 +579,7 @@ func (n *Node) writeBack(v buffer.Victim) {
 			// Check ownership with the GLT (one entry read): if a
 			// newer version exists elsewhere the stale copy must not
 			// reach the disk.
-			n.cpu.Acquire(p)
-			n.sys.gemDev.AccessEntries(p, 1)
-			n.cpu.Release()
+			n.gemEntryOp(p, 0, 1)
 			meta := n.sys.gltMetaOf(v.Page)
 			if meta.owner != n.id || meta.seq != v.SeqNo {
 				if cur, ok := n.inflight[v.Page]; ok && cur == v.SeqNo {
@@ -592,9 +590,7 @@ func (n *Node) writeBack(v buffer.Victim) {
 			n.writeStorage(p, file, v.Page, v.SeqNo)
 			// Adapt the entry with one Compare&Swap write so future
 			// misses read from the permanent database.
-			n.cpu.Acquire(p)
-			n.sys.gemDev.AccessEntries(p, 1)
-			n.cpu.Release()
+			n.gemEntryOp(p, 0, 1)
 			if meta.owner == n.id && meta.seq == v.SeqNo {
 				meta.owner = -1
 			}
@@ -608,12 +604,32 @@ func (n *Node) writeBack(v buffer.Victim) {
 }
 
 // gemPageIO performs one synchronous GEM page access (the CPU stays
-// busy throughout) including the reduced initialization overhead.
+// busy throughout) including the reduced initialization overhead. The
+// whole composite — CPU grant, held instruction burst, GEM access, CPU
+// release — runs as a callback chain; the process parks once.
 func (n *Node) gemPageIO(p *sim.Proc) {
-	n.cpu.Acquire(p)
-	n.cpu.ExecHolding(p, n.sys.params.GEMIOInstr)
-	n.sys.gemDev.AccessPage(p)
-	n.cpu.Release()
+	cont := p.Continuation()
+	n.cpu.AcquireFn(func() {
+		n.cpu.HoldFn(n.sys.params.GEMIOInstr, func() {
+			n.sys.gemDev.AccessPageFn(cont, n.cpu.Release)
+		})
+	})
+	p.Park()
+}
+
+// gemEntryOp charges one CPU-held GEM entry-access composite on the
+// callback tier: the CPU is acquired, instr instructions are charged
+// while holding it (skipped when non-positive), the entries accesses
+// queue at the GEM device, and the CPU is released. The process parks
+// once for the whole composite.
+func (n *Node) gemEntryOp(p *sim.Proc, instr float64, entries int) {
+	cont := p.Continuation()
+	n.cpu.AcquireFn(func() {
+		n.cpu.HoldFn(instr, func() {
+			n.sys.gemDev.AccessEntriesFn(cont, entries, n.cpu.Release)
+		})
+	})
+	p.Park()
 }
 
 // readStorage performs one page read from the file's storage medium,
@@ -711,10 +727,7 @@ func (n *Node) writeLog(p *sim.Proc) {
 	n.logWrites++
 	n.logSinceCkpt++
 	if n.sys.params.LogInGEM {
-		n.cpu.Acquire(p)
-		n.cpu.ExecHolding(p, n.sys.params.GEMIOInstr)
-		n.sys.gemDev.AccessPage(p)
-		n.cpu.Release()
+		n.gemPageIO(p)
 		if n.sys.params.GlobalLogMerge {
 			n.sys.unmergedLogPages++
 		}
@@ -757,10 +770,7 @@ func (n *Node) requestPage(t *txn, page model.PageID, owner int, write bool) (ui
 	if n.sys.params.GEMPageTransfer && wait.found {
 		// Exchange across GEM: the owner deposited the page in GEM
 		// (modelled at the owner); read it back synchronously.
-		n.cpu.Acquire(t.proc)
-		n.cpu.ExecHolding(t.proc, n.sys.params.GEMIOInstr)
-		n.sys.gemDev.AccessPage(t.proc)
-		n.cpu.Release()
+		n.gemPageIO(t.proc)
 	}
 	if !wait.found {
 		n.pageReqMiss++

@@ -38,12 +38,14 @@ type winCounters struct {
 // collected since the last ResetStats, or nil when disabled.
 func (s *System) PhaseBreakdown() *trace.Breakdown { return s.breakdown }
 
-// StartSampler spawns the windowed metrics sampler: every interval it
+// StartSampler starts the windowed metrics sampler: every interval it
 // emits one Sample covering the window that just ended — to w as a
 // JSONL row, and, when event tracing is on, as counter tracks in the
-// event trace. Sampling is driven by simulated time only, so sampled
-// runs remain deterministic and do not perturb the simulation (the
-// sampler process touches no shared resources).
+// event trace. The sampler never blocks, so it runs as a
+// self-rescheduling callback event on the kernel tier. Sampling is
+// driven by simulated time only, so sampled runs remain deterministic
+// and do not perturb the simulation (the sampler touches no shared
+// resources).
 func (s *System) StartSampler(interval time.Duration, w *trace.TimeSeriesWriter) {
 	if interval <= 0 || s.sampling || (!w.Enabled() && !s.tracer.Enabled()) {
 		return
@@ -51,16 +53,16 @@ func (s *System) StartSampler(interval time.Duration, w *trace.TimeSeriesWriter)
 	s.sampling = true
 	s.winHist = stats.NewDurationHistogram()
 	s.resetWindow()
-	s.env.Spawn("sampler", func(p *sim.Proc) {
-		for {
-			p.Wait(interval)
-			smp := s.windowSample(interval)
-			w.Write(smp)
-			s.traceCounters(smp)
-			s.winRT.Reset()
-			s.winHist.Reset()
-		}
-	})
+	var tick func()
+	tick = func() {
+		smp := s.windowSample(interval)
+		w.Write(smp)
+		s.traceCounters(smp)
+		s.winRT.Reset()
+		s.winHist.Reset()
+		s.env.After(interval, tick)
+	}
+	s.env.After(interval, tick)
 }
 
 // observeCommit feeds a committed transaction into the phase breakdown

@@ -243,6 +243,7 @@ func NewSystem(env *sim.Env, params Params, gen workload.Generator, router routi
 	}
 	for i, n := range s.nodes {
 		s.net.Register(i, n.cpu, n.handleMessage)
+		s.net.RegisterInline(i, inlineMessage)
 	}
 	if params.GEMMessaging {
 		s.net.UseStore(&netsim.StoreTransport{

@@ -46,6 +46,85 @@ func BenchmarkResourceUse(b *testing.B) {
 	}
 }
 
+// BenchmarkEventDispatch measures one schedule/dispatch cycle on the
+// callback tier — the Tier-1 analog of BenchmarkProcessHandoff. A
+// single self-rescheduling callback keeps exactly one event live, so
+// the event record is recycled from the pool on every cycle.
+func BenchmarkEventDispatch(b *testing.B) {
+	env := NewEnv()
+	defer env.Stop()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < b.N {
+			env.After(time.Microsecond, tick)
+		}
+	}
+	env.After(time.Microsecond, tick)
+	b.ResetTimer()
+	if err := env.RunUntilIdle(); err != nil {
+		b.Fatal(err)
+	}
+	if count != b.N {
+		b.Fatalf("fired %d of %d", count, b.N)
+	}
+}
+
+// BenchmarkResourceRequest measures a contended service cycle on the
+// callback tier — the Tier-1 analog of BenchmarkResourceUse: same
+// station (2 servers), same offered load (8 clients), but each client
+// is a callback chain instead of a parked process.
+func BenchmarkResourceRequest(b *testing.B) {
+	env := NewEnv()
+	defer env.Stop()
+	r := NewResource(env, "r", 2)
+	const workers = 8
+	per := b.N/workers + 1
+	served := 0
+	for w := 0; w < workers; w++ {
+		var next func()
+		left := per
+		next = func() {
+			served++
+			left--
+			if left > 0 {
+				r.Request(time.Microsecond, next)
+			}
+		}
+		r.Request(time.Microsecond, next)
+	}
+	b.ResetTimer()
+	if err := env.RunUntilIdle(); err != nil {
+		b.Fatal(err)
+	}
+	if served < b.N {
+		b.Fatalf("served %d of %d", served, b.N)
+	}
+}
+
+// BenchmarkServiceCompletion measures the hot path the refactor moved
+// to the callback tier: a client process issues a request to a station
+// and parks once; service, queueing, and release bookkeeping all run
+// as callbacks, and the process is resumed in the completion slot
+// (RequestResume). This is the shape of every device access in the
+// node layer.
+func BenchmarkServiceCompletion(b *testing.B) {
+	env := NewEnv()
+	defer env.Stop()
+	r := NewResource(env, "r", 1)
+	env.Spawn("client", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			r.RequestResume(p.Continuation(), time.Microsecond, nil)
+			p.Park()
+		}
+	})
+	b.ResetTimer()
+	if err := env.RunUntilIdle(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkEventScheduling measures raw calendar insert/dispatch.
 func BenchmarkEventScheduling(b *testing.B) {
 	env := NewEnv()

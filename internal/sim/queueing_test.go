@@ -54,6 +54,65 @@ func TestMM1MeanWait(t *testing.T) {
 	}
 }
 
+// driveStationFn is driveStation on the callback tier: the same
+// Poisson arrivals and exponential service, but the source is a
+// self-rescheduling kernel callback and every job is a Resource.Request
+// chain — no process is ever spawned. Validates that the Tier-1 queue
+// discipline reproduces the same queueing behaviour as parked
+// processes.
+func driveStationFn(t *testing.T, servers int, lambda, mu float64, jobs int) float64 {
+	t.Helper()
+	env := NewEnv()
+	defer env.Stop()
+	r := NewResource(env, "station", servers)
+	split := rng.NewSplitter(42)
+	arr := split.Stream("arrivals")
+	svc := split.Stream("service")
+
+	left := jobs
+	var next func()
+	next = func() {
+		r.Request(time.Duration(svc.Exp(1/mu)*float64(time.Second)), nil)
+		left--
+		if left > 0 {
+			env.After(time.Duration(arr.Exp(1/lambda)*float64(time.Second)), next)
+		}
+	}
+	env.After(time.Duration(arr.Exp(1/lambda)*float64(time.Second)), next)
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	return r.MeanWait().Seconds()
+}
+
+func TestMM1MeanWaitCallbackTier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical validation")
+	}
+	const lambda, mu = 50.0, 100.0
+	want := (lambda / mu) / (mu - lambda)
+	got := driveStationFn(t, 1, lambda, mu, 200000)
+	t.Logf("M/M/1 (callback tier) Wq: measured %.5fs, analytic %.5fs", got, want)
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("M/M/1 callback-tier mean wait %.5fs, analytic %.5fs (>5%% off)", got, want)
+	}
+}
+
+func TestMMcMeanWaitCallbackTier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical validation")
+	}
+	const c = 4
+	const lambda, mu = 280.0, 100.0
+	a := lambda / mu
+	want := erlangC(c, a) / (c*mu - lambda)
+	got := driveStationFn(t, c, lambda, mu, 300000)
+	t.Logf("M/M/%d (callback tier) Wq: measured %.6fs, analytic %.6fs", c, got, want)
+	if math.Abs(got-want)/want > 0.07 {
+		t.Fatalf("M/M/%d callback-tier mean wait %.6fs, analytic %.6fs (>7%% off)", c, got, want)
+	}
+}
+
 // erlangC returns the probability that an arrival must queue in an
 // M/M/c system.
 func erlangC(c int, a float64) float64 {

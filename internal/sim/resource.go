@@ -1,14 +1,30 @@
 package sim
 
+// rwaiter is one queued request for a server: a parked process
+// (process tier) or a grant continuation (callback tier). Both kinds
+// share one FCFS queue in arrival order.
+type rwaiter struct {
+	proc  *Proc
+	grant func()
+	at    Time // enqueue time, for waiting-time accounting
+}
+
 // Resource is a k-server FCFS queueing station with utilization and
 // waiting-time accounting. It models CPUs, disks, controllers and the
 // GEM server.
+//
+// The station serves both execution tiers: processes use Acquire /
+// Release / Use, kernel callbacks use AcquireFn / Request /
+// RequestResume. Requests of either kind queue in one FCFS line with
+// identical hand-off timing, so mixing tiers does not change the
+// served order or the statistics.
 type Resource struct {
-	env     *Env
-	name    string
-	servers int
-	busy    int
-	waiters []*Proc
+	env       *Env
+	name      string
+	servers   int
+	busy      int
+	queue     []rwaiter
+	releaseFn func() // cached, to avoid a closure per service cycle
 
 	// Statistics, resettable at the end of a warm-up phase.
 	statStart Time
@@ -25,11 +41,16 @@ func NewResource(env *Env, name string, servers int) *Resource {
 	if servers <= 0 {
 		panic("sim: resource " + name + " needs at least one server")
 	}
-	return &Resource{env: env, name: name, servers: servers}
+	r := &Resource{env: env, name: name, servers: servers}
+	r.releaseFn = r.Release
+	return r
 }
 
 // Name returns the resource name.
 func (r *Resource) Name() string { return r.name }
+
+// Env returns the environment the resource belongs to.
+func (r *Resource) Env() *Env { return r.env }
 
 // Servers returns the number of parallel servers.
 func (r *Resource) Servers() int { return r.servers }
@@ -37,8 +58,8 @@ func (r *Resource) Servers() int { return r.servers }
 // Busy returns the number of currently occupied servers.
 func (r *Resource) Busy() int { return r.busy }
 
-// QueueLen returns the number of waiting processes.
-func (r *Resource) QueueLen() int { return len(r.waiters) }
+// QueueLen returns the number of waiting requests.
+func (r *Resource) QueueLen() int { return len(r.queue) }
 
 // accumulate integrates server-busy time up to the current instant.
 func (r *Resource) accumulate() {
@@ -58,22 +79,48 @@ func (r *Resource) Acquire(p *Proc) {
 	}
 	r.queued++
 	enqueuedAt := r.env.Now()
-	r.waiters = append(r.waiters, p)
+	r.queue = append(r.queue, rwaiter{proc: p, at: enqueuedAt})
 	p.park()
 	r.waitSum += r.env.Now() - enqueuedAt
-	// The releasing process transferred its server to us; busy stays
+	// The releasing caller transferred its server to us; busy stays
 	// unchanged across the hand-off.
 }
 
-// Release frees one server, handing it to the longest-waiting process if
-// any.
+// AcquireFn obtains one server on the callback tier: granted runs
+// synchronously when a server is free, or in a later calendar slot (at
+// the hand-off) after queueing FCFS. It must be paired with Release,
+// called from the continuation once the composite operation completes.
+func (r *Resource) AcquireFn(granted func()) {
+	r.requests++
+	if r.busy < r.servers {
+		r.accumulate()
+		r.busy++
+		granted()
+		return
+	}
+	r.queued++
+	r.queue = append(r.queue, rwaiter{grant: granted, at: r.env.Now()})
+}
+
+// Release frees one server, handing it to the longest-waiting request
+// if any.
 func (r *Resource) Release() {
-	if len(r.waiters) > 0 {
-		next := r.waiters[0]
-		copy(r.waiters, r.waiters[1:])
-		r.waiters[len(r.waiters)-1] = nil
-		r.waiters = r.waiters[:len(r.waiters)-1]
-		next.Unpark()
+	if len(r.queue) > 0 {
+		w := r.queue[0]
+		copy(r.queue, r.queue[1:])
+		r.queue[len(r.queue)-1] = rwaiter{}
+		r.queue = r.queue[:len(r.queue)-1]
+		if w.proc != nil {
+			w.proc.Unpark()
+			return
+		}
+		// Callback-tier waiter: the hand-off happens one calendar slot
+		// later, exactly where an unparked process would have resumed,
+		// so both waiter kinds leave the queue with identical timing.
+		r.env.schedule(r.env.now, nil, func() {
+			r.waitSum += r.env.Now() - w.at
+			w.grant()
+		})
 		return
 	}
 	r.accumulate()
@@ -81,10 +128,66 @@ func (r *Resource) Release() {
 }
 
 // Use acquires a server, holds it for service time d, and releases it.
+// The process parks once for the whole cycle; the release happens in
+// the completion event, in the same calendar slot the process resumes
+// in.
 func (r *Resource) Use(p *Proc, d Time) {
-	r.Acquire(p)
-	p.Wait(d)
-	r.Release()
+	r.serveResume(p.Continuation(), d, r.releaseFn)
+	p.park()
+}
+
+// Request runs one full service cycle on the callback tier: acquire a
+// server (queueing FCFS), hold it for service time d, release it, then
+// run done in kernel context — release and done share the completion
+// event's calendar slot.
+func (r *Resource) Request(d Time, done func()) {
+	fn := r.releaseFn
+	if done != nil {
+		fn = func() { r.Release(); done() }
+	}
+	r.requests++
+	if r.busy < r.servers {
+		r.accumulate()
+		r.busy++
+		r.env.schedule(r.env.now+d, nil, fn)
+		return
+	}
+	r.queued++
+	r.queue = append(r.queue, rwaiter{at: r.env.Now(), grant: func() {
+		r.env.schedule(r.env.now+d, nil, fn)
+	}})
+}
+
+// RequestResume runs one service cycle for a parked process: when the
+// service completes, the server is released, fin (if non-nil) runs in
+// kernel context, and the process resumes — all within one calendar
+// slot. It is the terminator of a service chain executed on the
+// process's behalf. If the process was killed and moved on while the
+// request was queued, the cycle still completes and releases the
+// server, but the final resume is dropped as stale.
+func (r *Resource) RequestResume(c Continuation, d Time, fin func()) {
+	fn := r.releaseFn
+	if fin != nil {
+		fn = func() { r.Release(); fin() }
+	}
+	r.serveResume(c, d, fn)
+}
+
+// serveResume claims a server (or queues for one) and schedules the
+// combined completion event: completeFn runs in kernel context, then
+// the continuation's process resumes, in the same slot.
+func (r *Resource) serveResume(c Continuation, d Time, completeFn func()) {
+	r.requests++
+	if r.busy < r.servers {
+		r.accumulate()
+		r.busy++
+		c.ResumeAfter(d, completeFn)
+		return
+	}
+	r.queued++
+	r.queue = append(r.queue, rwaiter{at: r.env.Now(), grant: func() {
+		c.ResumeAfter(d, completeFn)
+	}})
 }
 
 // ResetStats discards accumulated statistics (typically at the end of a

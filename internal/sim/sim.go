@@ -1,18 +1,34 @@
-// Package sim implements a process-oriented discrete event simulation
-// kernel in the style of DeNet [Li89], the simulation language used by
-// the original study.
+// Package sim implements a discrete event simulation kernel in the
+// style of DeNet [Li89], the simulation language used by the original
+// study, with a two-tier execution model.
 //
-// Simulation processes are goroutines, but the kernel guarantees that at
-// most one process runs at any instant: the kernel and the processes
-// hand control to each other over unbuffered channels, so model code
-// needs no locking and runs deterministically (event ties are broken by
-// insertion order).
+// Tier 1 — callback events — runs in kernel context: a scheduled
+// function fires at its calendar slot and must not block. Memoryless
+// work (service completions, queue hand-offs, message deliveries) lives
+// here; it costs one pooled calendar entry and a function call. The
+// entry points are Env.After/Env.At, Timer, and the callback side of
+// Resource (AcquireFn, Request, RequestResume).
 //
-// The primitives are the classic DES set: Spawn to create a process,
-// Proc.Wait to let simulated time pass, Resource for k-server FCFS
-// queueing stations with utilization accounting, Semaphore for counted
-// admission control, Mailbox for process communication, and Park/Unpark
-// for building condition-style waits (lock tables, page transfers).
+// Tier 2 — processes — are goroutines for model code that genuinely
+// blocks with state (transaction logic, recovery sequences). The kernel
+// guarantees that at most one process runs at any instant: kernel and
+// processes hand control to each other over unbuffered channels, so
+// model code needs no locking and runs deterministically.
+//
+// Both tiers share one event calendar ordered by (at, seq) with ties
+// broken by insertion order, so mixing them preserves determinism. A
+// single event may carry both a callback and a process resume: the
+// callback runs first, then the process resumes — within the same
+// calendar slot. Service chains use this to do their completion
+// bookkeeping and unpark the waiting transaction process exactly once,
+// instead of bouncing through helper processes.
+//
+// The process-tier primitives are the classic DES set: Spawn to create
+// a process, Proc.Wait to let simulated time pass, Resource for
+// k-server FCFS queueing stations with utilization accounting,
+// Semaphore for counted admission control, Mailbox for process
+// communication, and Park/Unpark for building condition-style waits
+// (lock tables, page transfers).
 package sim
 
 import (
@@ -25,8 +41,9 @@ import (
 // Time is a point in simulated time, measured from the start of the run.
 type Time = time.Duration
 
-// event is a scheduled occurrence: either resume a parked process or run
-// a kernel-context callback (which must not block).
+// event is a scheduled occurrence: run a kernel-context callback (which
+// must not block), resume a parked process, or both — the callback
+// first, then the resume, within one calendar slot.
 type event struct {
 	at   Time
 	seq  int64
@@ -67,6 +84,7 @@ type Env struct {
 	now      Time
 	seq      int64
 	events   eventHeap
+	free     []*event // recycled event records
 	live     map[*Proc]struct{}
 	stopping bool
 	panicked any
@@ -127,7 +145,15 @@ func (e *Env) schedule(at Time, p *Proc, fn func()) *event {
 		at = e.now
 	}
 	e.seq++
-	ev := &event{at: at, seq: e.seq, proc: p, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.proc, ev.gen, ev.fn = at, e.seq, p, 0, fn
+	} else {
+		ev = &event{at: at, seq: e.seq, proc: p, fn: fn}
+	}
 	if p != nil {
 		ev.gen = p.gen
 	}
@@ -135,10 +161,32 @@ func (e *Env) schedule(at Time, p *Proc, fn func()) *event {
 	return ev
 }
 
+// maxFreeEvents caps the event record pool: a burst that schedules far
+// more events than the steady-state live set should not pin all of
+// them in memory forever.
+const maxFreeEvents = 4096
+
+// recycle returns a dispatched event record to the free list.
+func (e *Env) recycle(ev *event) {
+	if len(e.free) >= maxFreeEvents {
+		return
+	}
+	ev.proc = nil
+	ev.fn = nil
+	e.free = append(e.free, ev)
+}
+
 // After schedules fn to run in kernel context after delay d. fn must not
 // call blocking process primitives.
 func (e *Env) After(d Time, fn func()) {
 	e.schedule(e.now+d, nil, fn)
+}
+
+// At schedules fn to run in kernel context at absolute time at (clamped
+// to now when in the past). fn must not call blocking process
+// primitives.
+func (e *Env) At(at Time, fn func()) {
+	e.schedule(at, nil, fn)
 }
 
 // stopSignal is panicked inside a process to unwind it during Stop.
@@ -250,6 +298,42 @@ func (p *Proc) Wait(d Time) {
 	p.park()
 }
 
+// Continuation is a handle for resuming a parked process from a
+// callback-tier service chain acting on its behalf. It pins the
+// process's generation at creation time: if the process is killed and
+// moves on while the chain is still in flight, the chain's final
+// resume is dropped as stale instead of waking the process in whatever
+// it is doing now — but the chain's bookkeeping callbacks still run,
+// so stations are released exactly once.
+type Continuation struct {
+	p   *Proc
+	gen int64
+}
+
+// Continuation captures the calling process's current generation. Take
+// it before parking, then hand it to the service chain.
+func (p *Proc) Continuation() Continuation {
+	return Continuation{p: p, gen: p.gen}
+}
+
+// Proc returns the process the continuation belongs to.
+func (c Continuation) Proc() *Proc { return c.p }
+
+// TraceID returns the pinned process's current transaction id.
+func (c Continuation) TraceID() int64 { return c.p.traceID }
+
+// ResumeAfter schedules a combined event after delay d: fn runs in
+// kernel context and then the process resumes — both within the same
+// calendar slot, exactly where a plain Wait(d) resume would have
+// fired. It is the terminator of callback-tier service chains: the
+// final completion does its bookkeeping in fn and hands control back
+// to the parked process without an extra calendar hop.
+func (c Continuation) ResumeAfter(d Time, fn func()) {
+	env := c.p.env
+	ev := env.schedule(env.now+d, c.p, fn)
+	ev.gen = c.gen
+}
+
 // Join blocks the calling process until other has finished. At most one
 // process may join another.
 func (p *Proc) Join(other *Proc) {
@@ -288,6 +372,7 @@ func (e *Env) Run(until Time) error {
 		ev := heap.Pop(&e.events).(*event)
 		e.now = ev.at
 		e.dispatch(ev)
+		e.recycle(ev)
 		if e.panicked != nil {
 			return fmt.Errorf("sim: %v", e.panicked)
 		}
@@ -304,6 +389,7 @@ func (e *Env) RunUntilIdle() error {
 		ev := heap.Pop(&e.events).(*event)
 		e.now = ev.at
 		e.dispatch(ev)
+		e.recycle(ev)
 		if e.panicked != nil {
 			return fmt.Errorf("sim: %v", e.panicked)
 		}
@@ -311,12 +397,14 @@ func (e *Env) RunUntilIdle() error {
 	return nil
 }
 
-// dispatch fires one event: run a kernel callback or hand control to a
-// process and wait for it to yield.
+// dispatch fires one event: the kernel callback runs first (if any),
+// then control is handed to the process (if any and still at the
+// scheduled generation) until it yields. Running both halves in one
+// slot lets a service chain's final completion release its station and
+// resume the waiting process without an extra calendar hop.
 func (e *Env) dispatch(ev *event) {
 	if ev.fn != nil {
 		ev.fn()
-		return
 	}
 	if ev.proc != nil {
 		if ev.proc.done || ev.gen != ev.proc.gen {

@@ -1,0 +1,45 @@
+package sim
+
+// Timer is a cancellable one-shot callback on the kernel tier, for
+// timeouts that are usually cancelled before they fire. Stopping a
+// timer does not remove its calendar entry; the entry fires later and
+// finds the timer disarmed. Reset re-arms the timer, superseding any
+// entry still in flight.
+type Timer struct {
+	env   *Env
+	gen   int64 // bumped on Stop/Reset; older in-flight entries are ignored
+	armed bool
+	fn    func()
+}
+
+// NewTimer returns a disarmed timer that runs fn (in kernel context)
+// when it fires.
+func (e *Env) NewTimer(fn func()) *Timer {
+	return &Timer{env: e, fn: fn}
+}
+
+// Reset (re-)arms the timer to fire after delay d, superseding any
+// earlier arming.
+func (t *Timer) Reset(d Time) {
+	t.gen++
+	t.armed = true
+	gen := t.gen
+	t.env.After(d, func() {
+		if t.armed && t.gen == gen {
+			t.armed = false
+			t.fn()
+		}
+	})
+}
+
+// Stop disarms the timer, dropping a pending fire. It reports whether
+// the timer was armed.
+func (t *Timer) Stop() bool {
+	was := t.armed
+	t.armed = false
+	t.gen++
+	return was
+}
+
+// Armed reports whether the timer is waiting to fire.
+func (t *Timer) Armed() bool { return t.armed }

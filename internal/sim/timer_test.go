@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAtSchedulesAbsolute(t *testing.T) {
+	env := NewEnv()
+	defer env.Stop()
+	var fired []Time
+	env.At(3*time.Millisecond, func() { fired = append(fired, env.Now()) })
+	env.At(time.Millisecond, func() { fired = append(fired, env.Now()) })
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || fired[0] != time.Millisecond || fired[1] != 3*time.Millisecond {
+		t.Fatalf("fired at %v, want [1ms 3ms]", fired)
+	}
+}
+
+func TestAtInThePastFiresNow(t *testing.T) {
+	env := NewEnv()
+	defer env.Stop()
+	var at Time = -1
+	env.After(5*time.Millisecond, func() {
+		env.At(time.Millisecond, func() { at = env.Now() })
+	})
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 5*time.Millisecond {
+		t.Fatalf("past At fired at %v, want clamped to 5ms", at)
+	}
+}
+
+func TestTimerFiresOnce(t *testing.T) {
+	env := NewEnv()
+	defer env.Stop()
+	fires := 0
+	tm := env.NewTimer(func() { fires++ })
+	tm.Reset(2 * time.Millisecond)
+	if !tm.Armed() {
+		t.Fatal("timer not armed after Reset")
+	}
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if fires != 1 || tm.Armed() {
+		t.Fatalf("fires=%d armed=%v, want one fire and disarmed", fires, tm.Armed())
+	}
+}
+
+func TestTimerStopDropsPendingFire(t *testing.T) {
+	env := NewEnv()
+	defer env.Stop()
+	fires := 0
+	tm := env.NewTimer(func() { fires++ })
+	tm.Reset(2 * time.Millisecond)
+	env.After(time.Millisecond, func() {
+		if !tm.Stop() {
+			t.Error("Stop on an armed timer reported false")
+		}
+	})
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if fires != 0 {
+		t.Fatalf("stopped timer fired %d times", fires)
+	}
+	if tm.Stop() {
+		t.Error("Stop on a disarmed timer reported true")
+	}
+}
+
+func TestTimerResetSupersedesEarlierArm(t *testing.T) {
+	env := NewEnv()
+	defer env.Stop()
+	var fired []Time
+	tm := env.NewTimer(func() { fired = append(fired, env.Now()) })
+	tm.Reset(2 * time.Millisecond)
+	env.After(time.Millisecond, func() { tm.Reset(4 * time.Millisecond) })
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	// Only the re-armed entry fires: 1ms + 4ms = 5ms.
+	if len(fired) != 1 || fired[0] != 5*time.Millisecond {
+		t.Fatalf("fired at %v, want [5ms]", fired)
+	}
+}

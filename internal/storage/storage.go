@@ -156,66 +156,87 @@ func (g *Group) waitStall(p *sim.Proc) {
 }
 
 // Read performs one page read through the group and reports whether it
-// was satisfied by the shared disk cache.
+// was satisfied by the shared disk cache. The device chain (controller,
+// disk, transfer) runs on the callback tier; the calling process parks
+// once and resumes when the page has been transferred.
 func (g *Group) Read(p *sim.Proc, page model.PageID) (cacheHit bool) {
 	g.waitStall(p)
 	start := g.env.Now()
 	g.reads++
-	if g.cache != nil && g.cache.Touch(page) {
+	cont := p.Continuation()
+	hit := g.cache != nil && g.cache.Touch(page)
+	if hit {
 		g.readHits++
-		g.controllers.Use(p, g.params.ControllerTime)
-		p.Wait(g.params.TransferTime)
-		g.readLatency.AddDuration(g.env.Now() - start)
-		if g.tracer.Enabled() {
-			g.traceIO(p, "read", start, page, true)
-		}
-		return true
+		g.controllers.Request(g.params.ControllerTime, func() {
+			cont.ResumeAfter(g.params.TransferTime, func() {
+				g.readLatency.AddDuration(g.env.Now() - start)
+				if g.tracer.Enabled() {
+					g.traceIO(p, "read", start, page, true)
+				}
+			})
+		})
+	} else {
+		g.controllers.Request(g.params.ControllerTime, func() {
+			g.disks.Request(g.params.DiskTime, func() {
+				cont.ResumeAfter(g.params.TransferTime, func() {
+					if g.cache != nil {
+						g.insert(page, false)
+					}
+					g.readLatency.AddDuration(g.env.Now() - start)
+					if g.tracer.Enabled() {
+						g.traceIO(p, "read", start, page, false)
+					}
+				})
+			})
+		})
 	}
-	g.controllers.Use(p, g.params.ControllerTime)
-	g.disks.Use(p, g.params.DiskTime)
-	p.Wait(g.params.TransferTime)
-	if g.cache != nil {
-		g.insert(page, false)
-	}
-	g.readLatency.AddDuration(g.env.Now() - start)
-	if g.tracer.Enabled() {
-		g.traceIO(p, "read", start, page, false)
-	}
-	return false
+	p.Park()
+	return hit
 }
 
 // Write performs one page write through the group and reports whether a
 // non-volatile cache absorbed it (updating the disk asynchronously).
+// Like Read, the device chain runs on the callback tier with a single
+// park.
 func (g *Group) Write(p *sim.Proc, page model.PageID) (absorbed bool) {
 	g.waitStall(p)
 	start := g.env.Now()
+	cont := p.Continuation()
 	g.writes++
-	if g.cache != nil && !g.cache.Volatile() {
+	absorbed = g.cache != nil && !g.cache.Volatile()
+	if absorbed {
 		// Write-behind: the cache absorbs the write; the disk copy is
 		// updated lazily when the dirty entry reaches the LRU end
 		// (asynchronous destage, so requesters never see disk delay).
-		g.controllers.Use(p, g.params.ControllerTime)
-		p.Wait(g.params.TransferTime)
-		g.insert(page, true)
-		g.writesAbsorb++
-		g.writeLatency.AddDuration(g.env.Now() - start)
-		if g.tracer.Enabled() {
-			g.traceIO(p, "write", start, page, true)
-		}
-		return true
+		g.controllers.Request(g.params.ControllerTime, func() {
+			cont.ResumeAfter(g.params.TransferTime, func() {
+				g.insert(page, true)
+				g.writesAbsorb++
+				g.writeLatency.AddDuration(g.env.Now() - start)
+				if g.tracer.Enabled() {
+					g.traceIO(p, "write", start, page, true)
+				}
+			})
+		})
+	} else {
+		g.controllers.Request(g.params.ControllerTime, func() {
+			g.disks.Request(g.params.DiskTime, func() {
+				cont.ResumeAfter(g.params.TransferTime, func() {
+					if g.cache != nil {
+						// Volatile cache: write-through, keep the copy
+						// readable.
+						g.insert(page, false)
+					}
+					g.writeLatency.AddDuration(g.env.Now() - start)
+					if g.tracer.Enabled() {
+						g.traceIO(p, "write", start, page, false)
+					}
+				})
+			})
+		})
 	}
-	g.controllers.Use(p, g.params.ControllerTime)
-	g.disks.Use(p, g.params.DiskTime)
-	p.Wait(g.params.TransferTime)
-	if g.cache != nil {
-		// Volatile cache: write-through, keep the copy readable.
-		g.insert(page, false)
-	}
-	g.writeLatency.AddDuration(g.env.Now() - start)
-	if g.tracer.Enabled() {
-		g.traceIO(p, "write", start, page, false)
-	}
-	return false
+	p.Park()
+	return absorbed
 }
 
 // insert adds a page to the cache, destaging a dirty LRU victim in the
@@ -230,12 +251,14 @@ func (g *Group) insert(page model.PageID, dirty bool) {
 
 // scheduleDestage writes a cached dirty page back to disk in the
 // background and cleans the cache entry afterwards (unless it was
-// re-dirtied, in which case its own destage has been scheduled).
+// re-dirtied, in which case its own destage has been scheduled). Pure
+// callback-tier work: no process is involved.
 func (g *Group) scheduleDestage(page model.PageID) {
 	g.destages++
-	g.env.Spawn(g.name+"/destage", func(p *sim.Proc) {
-		g.disks.Use(p, g.params.DiskTime)
-		g.cache.Clean(page)
+	g.env.After(0, func() {
+		g.disks.Request(g.params.DiskTime, func() {
+			g.cache.Clean(page)
+		})
 	})
 }
 
