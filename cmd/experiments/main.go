@@ -158,6 +158,8 @@ func run(args []string) error {
 		}
 		fmt.Printf("%-20s %s\n", "failover",
 			"node crash mid-run: disk-log vs GEM-log recovery (4 configs; recovery time and degradation)")
+		fmt.Printf("%-20s %s\n", "adaptive",
+			"skewed drifting workload: static allocation vs closed-loop load control (4 configs; throughput, RT, controller actions)")
 		return nil
 	}
 
@@ -175,6 +177,8 @@ func run(args []string) error {
 		selected = exps
 	case *fig == "failover":
 		return runFailoverPreset(*seed, *quick, *verbose, *csvOut, *mdOut, sink)
+	case *fig == "adaptive":
+		return runAdaptivePreset(*seed, *quick, *verbose, *csvOut, *mdOut, sink)
 	case *fig != "":
 		for i := range exps {
 			if exps[i].ID == *fig {
@@ -200,13 +204,20 @@ func run(args []string) error {
 		return figErr
 	}
 	// -all keeps going after per-run failures (figErr carries the
-	// summary) and appends the failover preset before reporting.
+	// summary) and appends the failover and adaptive presets before
+	// reporting.
 	if *all {
 		if err := runFailoverPreset(*seed, *quick, *verbose, *csvOut, *mdOut, sink); err != nil {
 			if figErr != nil {
 				return fmt.Errorf("%w; failover preset: %v", figErr, err)
 			}
 			return fmt.Errorf("failover preset: %w", err)
+		}
+		if err := runAdaptivePreset(*seed, *quick, *verbose, *csvOut, *mdOut, sink); err != nil {
+			if figErr != nil {
+				return fmt.Errorf("%w; adaptive preset: %v", figErr, err)
+			}
+			return fmt.Errorf("adaptive preset: %w", err)
 		}
 	}
 	return figErr
@@ -403,6 +414,45 @@ func runFailoverPreset(seed int64, quick, verbose, csvOut, mdOut bool, sink *tra
 		fmt.Println(tbl.Markdown())
 	}
 	fmt.Fprintf(os.Stderr, "(failover completed in %v)\n", time.Since(start).Round(time.Millisecond))
+	return sink.closeAll()
+}
+
+// runAdaptivePreset runs the adaptive load control comparison: the same
+// skewed, drifting debit-credit workload under static allocation versus
+// the closed-loop controller, for GEM and PCL. The scenarios stay
+// sequential (a four-row preset gains nothing from the worker pool and
+// keeps stdout deterministic trivially).
+func runAdaptivePreset(seed int64, quick, verbose, csvOut, mdOut bool, sink *traceSink) error {
+	opts := core.AdaptiveOptions{Seed: seed}
+	if sink.enabled() {
+		opts.Configure = func(label string, cfg *core.Config) {
+			sink.attach(cfg, "adaptive-"+label)
+		}
+	}
+	if quick {
+		// The window must still contain the mid-run drift step plus a
+		// few controller periods on either side of it.
+		opts.Warmup = 2 * time.Second
+		opts.Measure = 10 * time.Second
+	}
+	if verbose {
+		opts.Progress = func(label string, rep *core.Report) {
+			fmt.Fprintf(os.Stderr, "  [adaptive] %s: %v\n", label, rep)
+		}
+	}
+	start := time.Now()
+	tbl, _, err := core.RunAdaptive(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(tbl.Render())
+	if csvOut {
+		fmt.Println(tbl.CSV())
+	}
+	if mdOut {
+		fmt.Println(tbl.Markdown())
+	}
+	fmt.Fprintf(os.Stderr, "(adaptive completed in %v)\n", time.Since(start).Round(time.Millisecond))
 	return sink.closeAll()
 }
 

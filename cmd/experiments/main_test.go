@@ -120,3 +120,37 @@ func TestTraceSinkCollision(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFigAdaptiveQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulation runs; skipped with -short")
+	}
+	if err := run([]string{"-fig", "adaptive", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveSweepAxes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulation runs; skipped with -short")
+	}
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "spec.json")
+	body := `{
+		"name": "adaptive-axes",
+		"metric": "tput",
+		"base": {"warmup": "250ms", "measure": "1s"},
+		"axes": [
+			{"field": "nodes", "values": [2]},
+			{"field": "skew", "values": [0.8]},
+			{"field": "drift", "values": [true]},
+			{"field": "control", "values": [false, true]}
+		]
+	}`
+	if err := os.WriteFile(spec, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-sweep", spec, "-jobs", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}

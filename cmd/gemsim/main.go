@@ -19,6 +19,7 @@ import (
 
 	"gemsim/internal/core"
 	"gemsim/internal/model"
+	"gemsim/internal/node"
 	"gemsim/internal/report"
 	"gemsim/internal/trace"
 	"gemsim/internal/workload"
@@ -46,6 +47,9 @@ func run(args []string) error {
 		logGEM   = fs.Bool("log-gem", false, "allocate log files to GEM")
 		logMerge = fs.Bool("log-merge", false, "run the global log merge process (needs -log-gem)")
 		gemMsg   = fs.Bool("gem-messaging", false, "exchange all messages across GEM")
+		skewT    = fs.Float64("skew", 0, "branch Zipf skew theta in [0,1) (debit-credit only; 0 = uniform)")
+		acctSkew = fs.Float64("account-skew", 0, "account Zipf skew theta in [0,1) within the chosen branch")
+		adaptive = fs.Bool("adaptive", false, "enable the closed-loop load controller (feedback admission and re-routing)")
 		term     = fs.Int("terminals", 0, "closed-loop mode: terminals per node (0 = open model)")
 		think    = fs.Duration("think", time.Second, "closed-loop mean think time")
 		tracePth = fs.String("trace", "", "trace file for trace-driven simulation")
@@ -66,6 +70,20 @@ func run(args []string) error {
 	}
 	if *quiet && *verbose {
 		return fmt.Errorf("-quiet and -v are mutually exclusive")
+	}
+	// Reject contradictory flag combinations up front, with errors that
+	// name the fix, instead of letting them surface as confusing
+	// behaviour deep in a run.
+	explicit := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if explicit["mpl"] && *mpl <= 0 {
+		return fmt.Errorf("-mpl must be positive, got %d (omit the flag for the workload default)", *mpl)
+	}
+	if *traceOut != "" && *traceOut == *tsOut {
+		return fmt.Errorf("-trace-out and -timeseries both write to %q; give them distinct paths", *traceOut)
+	}
+	if (*skewT > 0 || *acctSkew > 0) && *tracePth != "" {
+		return fmt.Errorf("-skew and -account-skew shape the debit-credit workload and cannot be combined with -trace")
 	}
 
 	if *cfgPath != "" {
@@ -126,6 +144,14 @@ func run(args []string) error {
 	cfg.GEMMessaging = *gemMsg
 	if *term > 0 {
 		cfg.ClosedLoop = &core.ClosedLoopConfig{TerminalsPerNode: *term, ThinkTime: *think}
+	}
+	if *skewT > 0 || *acctSkew > 0 {
+		dc := workload.DefaultDebitCreditParams(cfg.ArrivalRatePerNode * float64(*nodes))
+		dc.Skew = &workload.Skew{BranchTheta: *skewT, AccountTheta: *acctSkew}
+		cfg.Workload.DebitCredit = &dc
+	}
+	if *adaptive {
+		cfg.Control = node.DefaultControlConfig()
 	}
 	cfg.Warmup = *warmup
 	cfg.Measure = *measure

@@ -79,3 +79,26 @@ func TestParseMediumNames(t *testing.T) {
 		t.Error("expected error for unknown medium")
 	}
 }
+
+func TestRunRejectsContradictoryFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-mpl", "0"},
+		{"-mpl", "-8"},
+		{"-trace-out", "out.jsonl", "-timeseries", "out.jsonl"},
+		{"-skew", "0.8", "-trace", "/nonexistent.trc"},
+		{"-skew", "1.5"},
+		{"-quiet", "-v"},
+	} {
+		if err := run(append(args, "-warmup", "100ms", "-measure", "200ms")); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}
+
+func TestRunSkewedAdaptive(t *testing.T) {
+	args := []string{"-nodes", "2", "-skew", "0.8", "-account-skew", "0.4",
+		"-adaptive", "-warmup", "300ms", "-measure", "900ms", "-quiet"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,6 +5,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"gemsim/internal/core"
 )
 
 // goldenTrace is the JSONL event trace checked into the core package's
@@ -61,5 +64,51 @@ func TestParseErrorOnMalformedJSON(t *testing.T) {
 func TestMissingFileIsAnError(t *testing.T) {
 	if err := run([]string{filepath.Join(t.TempDir(), "nope.jsonl")}); err == nil {
 		t.Fatal("run succeeded on a missing file")
+	}
+}
+
+// TestValidateControllerTrace runs a small adaptive simulation and
+// checks that the controller's trace output (throttle/probe/reroute
+// instants, MPL counters, all on the "control" track) conforms to the
+// trace_event schema the validator enforces.
+func TestValidateControllerTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "adaptive.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.AdaptiveConfig(core.CouplingGEM, true, core.AdaptiveOptions{
+		Warmup:  time.Second,
+		Measure: 6 * time.Second,
+	})
+	cfg.Tracing = &core.TraceConfig{Events: f}
+	if _, err := core.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-validate", path}); err != nil {
+		t.Fatalf("controller trace failed schema validation: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := string(data)
+	if !strings.Contains(trace, `"track":"control"`) {
+		t.Error("trace has no events on the control track")
+	}
+	actions := 0
+	for _, name := range []string{`"name":"throttle"`, `"name":"probe"`, `"name":"reroute"`} {
+		if strings.Contains(trace, name) {
+			actions++
+		}
+	}
+	if actions == 0 {
+		t.Error("trace records no controller actions (throttle/probe/reroute)")
+	}
+	if !strings.Contains(trace, `"name":"mpl`) && !strings.Contains(trace, `"name":"overrides"`) {
+		t.Error("trace records no controller counters")
 	}
 }

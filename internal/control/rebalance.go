@@ -1,0 +1,218 @@
+package control
+
+import "sort"
+
+// Unit is one movable allocation unit (a branch of the routing table,
+// or a GLA partition) with its current node and observed load weight.
+type Unit struct {
+	ID     int
+	Node   int
+	Weight float64
+}
+
+// Move reassigns one unit to a new node.
+type Move struct {
+	ID   int
+	From int
+	To   int
+}
+
+// Imbalance returns the max/mean ratio of the per-node weights (1 is
+// perfectly balanced; 0 when there is no load at all).
+func Imbalance(perNode map[int]float64) float64 {
+	if len(perNode) == 0 {
+		return 0
+	}
+	var sum, max float64
+	for _, w := range perNode {
+		sum += w
+		if w > max {
+			max = w
+		}
+	}
+	if sum <= 0 {
+		return 0
+	}
+	mean := sum / float64(len(perNode))
+	return max / mean
+}
+
+// Rebalance evens the observed per-node load by moving units from
+// overloaded to underloaded nodes. It is a deterministic local search:
+// each step moves the heaviest movable unit of the currently
+// most-loaded node to the least-loaded node, but only when the move
+// strictly narrows the spread; it stops when no improving move exists,
+// the imbalance dropped to the threshold, or maxMoves is reached. Ties
+// break toward lower ids everywhere, so the same inputs always produce
+// the same moves.
+//
+// nodeIDs lists the eligible destination nodes (crashed nodes are
+// excluded by the caller). Units currently on ineligible nodes are
+// treated as movable load with no home weight.
+func Rebalance(units []Unit, nodeIDs []int, threshold float64, maxMoves int) []Move {
+	if len(nodeIDs) < 2 || len(units) == 0 || maxMoves <= 0 {
+		return nil
+	}
+	eligible := make(map[int]bool, len(nodeIDs))
+	perNode := make(map[int]float64, len(nodeIDs))
+	for _, id := range nodeIDs {
+		eligible[id] = true
+		perNode[id] = 0
+	}
+	// Sorted copy: heaviest first, ties toward the lower unit id.
+	us := append([]Unit(nil), units...)
+	sort.Slice(us, func(i, j int) bool {
+		if us[i].Weight != us[j].Weight {
+			return us[i].Weight > us[j].Weight
+		}
+		return us[i].ID < us[j].ID
+	})
+	byNode := make(map[int][]int, len(nodeIDs)) // node -> indexes into us, heaviest first
+	orphans := []int{}                          // units on ineligible nodes: moved unconditionally
+	for i, u := range us {
+		if eligible[u.Node] {
+			perNode[u.Node] += u.Weight
+			byNode[u.Node] = append(byNode[u.Node], i)
+		} else {
+			orphans = append(orphans, i)
+		}
+	}
+	if threshold < 1 {
+		threshold = 1
+	}
+	var moves []Move
+	apply := func(i, to int) {
+		u := &us[i]
+		moves = append(moves, Move{ID: u.ID, From: u.Node, To: to})
+		perNode[to] += u.Weight
+		byNode[to] = append(byNode[to], i)
+		u.Node = to
+	}
+	// First adopt orphans onto the least-loaded eligible nodes.
+	for _, i := range orphans {
+		if len(moves) >= maxMoves {
+			return moves
+		}
+		apply(i, argminNode(perNode, nodeIDs))
+	}
+	for len(moves) < maxMoves {
+		src := argmaxNode(perNode, nodeIDs)
+		dst := argminNode(perNode, nodeIDs)
+		if src == dst || Imbalance(perNode) <= threshold {
+			break
+		}
+		gap := perNode[src] - perNode[dst]
+		// Heaviest unit on src whose move strictly narrows the spread
+		// (weight below the gap, so src stays above dst afterwards).
+		moved := false
+		for k, i := range byNode[src] {
+			u := us[i]
+			if u.Weight <= 0 || u.Weight >= gap {
+				continue
+			}
+			byNode[src] = append(byNode[src][:k], byNode[src][k+1:]...)
+			perNode[src] -= u.Weight
+			apply(i, dst)
+			moved = true
+			break
+		}
+		if !moved {
+			break
+		}
+	}
+	return moves
+}
+
+// argmaxNode returns the id of the most loaded node (ties: lowest id).
+func argmaxNode(perNode map[int]float64, ids []int) int {
+	best, bestW := -1, 0.0
+	for _, id := range ids {
+		if w := perNode[id]; best < 0 || w > bestW {
+			best, bestW = id, w
+		}
+	}
+	return best
+}
+
+// argminNode returns the id of the least loaded node (ties: lowest id).
+func argminNode(perNode map[int]float64, ids []int) int {
+	best, bestW := -1, 0.0
+	for _, id := range ids {
+		if w := perNode[id]; best < 0 || w < bestW {
+			best, bestW = id, w
+		}
+	}
+	return best
+}
+
+// PartitionUse is the observed lock traffic of one GLA partition,
+// broken down by requesting node.
+type PartitionUse struct {
+	Partition int
+	Home      int
+	ByNode    map[int]float64
+}
+
+// Migrations selects GLA partitions worth migrating: the partition's
+// dominant requester differs from its current home and issued at least
+// minShare of the partition's lock traffic (with at least minTotal
+// requests observed, so a quiet partition is never moved on noise). At
+// most maxMoves migrations are returned, heaviest partitions first,
+// ties toward the lower partition id.
+func Migrations(use []PartitionUse, minShare, minTotal float64, maxMoves int, eligible func(node int) bool) []Move {
+	if maxMoves <= 0 {
+		return nil
+	}
+	type cand struct {
+		move  Move
+		total float64
+	}
+	var cands []cand
+	for _, pu := range use {
+		var total float64
+		for _, w := range pu.ByNode {
+			total += w
+		}
+		if total < minTotal {
+			continue
+		}
+		top, topW := -1, 0.0
+		for _, node := range sortedNodes(pu.ByNode) {
+			if w := pu.ByNode[node]; w > topW {
+				top, topW = node, w
+			}
+		}
+		if top < 0 || top == pu.Home || topW/total < minShare {
+			continue
+		}
+		if eligible != nil && !eligible(top) {
+			continue
+		}
+		cands = append(cands, cand{move: Move{ID: pu.Partition, From: pu.Home, To: top}, total: total})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].total != cands[j].total {
+			return cands[i].total > cands[j].total
+		}
+		return cands[i].move.ID < cands[j].move.ID
+	})
+	if len(cands) > maxMoves {
+		cands = cands[:maxMoves]
+	}
+	moves := make([]Move, len(cands))
+	for i, c := range cands {
+		moves[i] = c.move
+	}
+	return moves
+}
+
+// sortedNodes returns the keys of a node-weight map in ascending order,
+// so the dominant-requester scan is deterministic.
+func sortedNodes(m map[int]float64) []int {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}

@@ -196,6 +196,15 @@ type Config struct {
 	// accounting (Report.Metrics.Phases).
 	Tracing *TraceConfig
 
+	// Control, if non-nil, enables the adaptive load-control subsystem:
+	// feedback-driven admission control per node (the effective MPL
+	// follows the measured conflict rate instead of the static limit)
+	// and periodic re-routing of hot branches away from overloaded
+	// nodes, with GLA partition migration under PCL. Nil keeps the
+	// static allocation; the results are then bit-identical to runs
+	// built before the controller existed.
+	Control *node.ControlConfig
+
 	// Tune, if set, adjusts the low-level node parameters after the
 	// defaults are applied (ablations, sensitivity studies).
 	Tune func(*node.Params)
@@ -269,6 +278,17 @@ func (c *Config) validate() error {
 		}
 		if tc.Format != trace.JSONL && tc.Format != trace.Perfetto {
 			return fmt.Errorf("core: invalid Tracing.Format %v", tc.Format)
+		}
+	}
+	if ctl := c.Control; ctl != nil {
+		if err := ctl.Validate(); err != nil {
+			return err
+		}
+		if c.Coupling == CouplingLockEngine {
+			return fmt.Errorf("core: adaptive control is not supported for the lock engine baseline")
+		}
+		if ctl.Reroute && c.Workload.Trace != nil {
+			return fmt.Errorf("core: Control.Reroute requires the debit-credit workload (trace routing tables are precomputed)")
 		}
 	}
 	if f := c.Faults; f != nil {

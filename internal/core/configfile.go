@@ -9,6 +9,7 @@ import (
 
 	"gemsim/internal/fault"
 	"gemsim/internal/model"
+	"gemsim/internal/node"
 	"gemsim/internal/workload"
 )
 
@@ -26,6 +27,14 @@ type ConfigFile struct {
 
 	// TraceFile switches to trace-driven simulation.
 	TraceFile string `json:"traceFile,omitempty"`
+
+	// Skew shapes the debit-credit reference distribution (Zipf
+	// branches/accounts, hot set, drift schedule). Incompatible with
+	// TraceFile.
+	Skew *SkewFile `json:"skew,omitempty"`
+
+	// Control enables the adaptive load controller.
+	Control *ControlFile `json:"control,omitempty"`
 
 	// FileMedium maps file names to media: "disk", "vcache",
 	// "nvcache", "gem", "gemwb".
@@ -58,6 +67,45 @@ type FaultsFile struct {
 	LockWaitTimeout    string      `json:"lockWaitTimeout,omitempty"`
 	CheckpointInterval string      `json:"checkpointInterval,omitempty"`
 	DetectDelay        string      `json:"detectDelay,omitempty"`
+}
+
+// SkewFile is the JSON representation of a workload.Skew.
+type SkewFile struct {
+	BranchTheta  float64     `json:"branchTheta,omitempty"`
+	AccountTheta float64     `json:"accountTheta,omitempty"`
+	HotFraction  float64     `json:"hotFraction,omitempty"`
+	HotProb      float64     `json:"hotProb,omitempty"`
+	Drift        []DriftFile `json:"drift,omitempty"`
+}
+
+// DriftFile is one drift schedule step: from time At on, the branch
+// popularity ranking is rotated by the given fraction of the branch
+// count (cumulative across steps).
+type DriftFile struct {
+	At     string  `json:"at"`
+	Rotate float64 `json:"rotate"`
+}
+
+// ControlFile is the JSON representation of a node.ControlConfig. Zero
+// fields fall back to the DefaultControlConfig tuning; admission and
+// reroute default to enabled.
+type ControlFile struct {
+	Admission            *bool   `json:"admission,omitempty"`
+	Reroute              *bool   `json:"reroute,omitempty"`
+	Interval             string  `json:"interval,omitempty"`
+	MinMPL               int     `json:"minMPL,omitempty"`
+	HighConflict         float64 `json:"highConflict,omitempty"`
+	LowConflict          float64 `json:"lowConflict,omitempty"`
+	Backoff              float64 `json:"backoff,omitempty"`
+	ProbeStep            int     `json:"probeStep,omitempty"`
+	Cooldown             int     `json:"cooldown,omitempty"`
+	RTFactor             float64 `json:"rtFactor,omitempty"`
+	RebalanceEvery       int     `json:"rebalanceEvery,omitempty"`
+	Imbalance            float64 `json:"imbalance,omitempty"`
+	MaxMoves             int     `json:"maxMoves,omitempty"`
+	MigrateShare         float64 `json:"migrateShare,omitempty"`
+	MigrateMinLocks      float64 `json:"migrateMinLocks,omitempty"`
+	HandoffEntriesPerMsg int     `json:"handoffEntriesPerMsg,omitempty"`
 }
 
 // CrashFile schedules one node crash.
@@ -203,6 +251,25 @@ func (f *ConfigFile) ToConfig() (Config, error) {
 		cfg.Seed = f.Seed
 	}
 	cfg.CheckInvariants = f.CheckInvariants
+	if f.Skew != nil {
+		if f.TraceFile != "" {
+			return Config{}, fmt.Errorf("core: skew applies to the debit-credit workload, not to traces")
+		}
+		sk, err := f.Skew.toSkew()
+		if err != nil {
+			return Config{}, err
+		}
+		p := workload.DefaultDebitCreditParams(cfg.ArrivalRatePerNode * float64(cfg.Nodes))
+		p.Skew = sk
+		cfg.Workload.DebitCredit = &p
+	}
+	if f.Control != nil {
+		ctl, err := f.Control.toControlConfig()
+		if err != nil {
+			return Config{}, err
+		}
+		cfg.Control = ctl
+	}
 	if f.Faults != nil {
 		fc, err := f.Faults.toFaultConfig()
 		if err != nil {
@@ -211,6 +278,86 @@ func (f *ConfigFile) ToConfig() (Config, error) {
 		cfg.Faults = fc
 	}
 	return cfg, nil
+}
+
+func (f *SkewFile) toSkew() (*workload.Skew, error) {
+	sk := &workload.Skew{
+		BranchTheta:  f.BranchTheta,
+		AccountTheta: f.AccountTheta,
+		HotFraction:  f.HotFraction,
+		HotProb:      f.HotProb,
+	}
+	for i, d := range f.Drift {
+		at, err := parseOptDuration(fmt.Sprintf("skew.drift[%d].at", i), d.At)
+		if err != nil {
+			return nil, err
+		}
+		sk.Drift = append(sk.Drift, workload.DriftStep{At: at, Rotate: d.Rotate})
+	}
+	if err := sk.Validate(); err != nil {
+		return nil, err
+	}
+	return sk, nil
+}
+
+func (f *ControlFile) toControlConfig() (*node.ControlConfig, error) {
+	cc := node.DefaultControlConfig()
+	if f.Admission != nil {
+		cc.Admission = *f.Admission
+	}
+	if f.Reroute != nil {
+		cc.Reroute = *f.Reroute
+	}
+	if f.Interval != "" {
+		d, err := parseOptDuration("control.interval", f.Interval)
+		if err != nil {
+			return nil, err
+		}
+		cc.Interval = d
+	}
+	if f.MinMPL > 0 {
+		cc.MinMPL = f.MinMPL
+	}
+	if f.HighConflict > 0 {
+		cc.HighConflict = f.HighConflict
+	}
+	if f.LowConflict > 0 {
+		cc.LowConflict = f.LowConflict
+	}
+	if f.Backoff > 0 {
+		cc.Backoff = f.Backoff
+	}
+	if f.ProbeStep > 0 {
+		cc.ProbeStep = f.ProbeStep
+	}
+	if f.Cooldown > 0 {
+		cc.Cooldown = f.Cooldown
+	}
+	if f.RTFactor > 0 {
+		cc.RTFactor = f.RTFactor
+	}
+	if f.RebalanceEvery > 0 {
+		cc.RebalanceEvery = f.RebalanceEvery
+	}
+	if f.Imbalance > 0 {
+		cc.Imbalance = f.Imbalance
+	}
+	if f.MaxMoves > 0 {
+		cc.MaxMoves = f.MaxMoves
+	}
+	if f.MigrateShare > 0 {
+		cc.MigrateShare = f.MigrateShare
+	}
+	if f.MigrateMinLocks > 0 {
+		cc.MigrateMinLocks = f.MigrateMinLocks
+	}
+	if f.HandoffEntriesPerMsg > 0 {
+		cc.HandoffEntriesPerMsg = f.HandoffEntriesPerMsg
+	}
+	if err := cc.Validate(); err != nil {
+		return nil, err
+	}
+	return cc, nil
 }
 
 func (f *FaultsFile) toFaultConfig() (*FaultConfig, error) {

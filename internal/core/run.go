@@ -70,6 +70,11 @@ func Run(cfg Config) (*Report, error) {
 		}
 		fault.NewInjector(env, plan, sys).Start()
 	}
+	if cfg.Control != nil {
+		if err := sys.StartControl(cfg.Control); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.ClosedLoop != nil {
 		sys.StartClosed(cfg.ClosedLoop.TerminalsPerNode, cfg.ClosedLoop.ThinkTime)
 	} else {
@@ -199,7 +204,15 @@ func assemble(cfg *Config) (workload.Generator, routing.Router, routing.GLAMap, 
 		gla = aff
 		switch cfg.Routing {
 		case RoutingAffinity:
-			router = aff
+			if ctl := cfg.Control; ctl != nil && ctl.Reroute {
+				// The controller rewrites branch->node assignments at
+				// run time; give it a routing table with an override
+				// layer. GLA partitioning stays on the static map (the
+				// controller migrates partitions explicitly).
+				router = routing.NewAdaptiveAffinity(aff)
+			} else {
+				router = aff
+			}
 		case RoutingLoadAware:
 			router = node.NewLoadAwareRouter()
 		default:

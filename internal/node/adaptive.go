@@ -1,0 +1,446 @@
+package node
+
+import (
+	"fmt"
+	"time"
+
+	"gemsim/internal/control"
+	"gemsim/internal/netsim"
+	"gemsim/internal/routing"
+	"gemsim/internal/sim"
+)
+
+// This file is the actuator half of the adaptive load control
+// subsystem: it samples the simulator's windowed counters, feeds them
+// to the pure policies in internal/control, and applies the decisions —
+// per-node MPL limits through the admission semaphore, branch
+// re-routing through the adaptive affinity table, and GLA partition
+// migration through a costed handoff protocol over the communication
+// subsystem. Every controller activation is a Tier-1 callback event on
+// the simulation calendar reading deterministic counters, so controlled
+// runs remain exactly reproducible and runs without a controller are
+// untouched (no extra events, draws or allocations).
+
+// ControlConfig enables and tunes the closed-loop load controller.
+type ControlConfig struct {
+	// Admission enables the per-node feedback throttle on the effective
+	// multiprogramming level.
+	Admission bool
+	// Reroute enables periodic rebalancing of the branch routing table
+	// and, under PCL, GLA partition migration.
+	Reroute bool
+	// Interval is the controller sampling period (simulated time).
+	Interval time.Duration
+	// MinMPL is the admission throttle floor.
+	MinMPL int
+	// HighConflict and LowConflict are the lock-conflict ratios that
+	// trigger a throttle cut and allow upward probing, respectively.
+	HighConflict float64
+	LowConflict  float64
+	// Backoff is the multiplicative MPL cut factor in (0, 1).
+	Backoff float64
+	// ProbeStep is the additive MPL increase per calm window.
+	ProbeStep int
+	// Cooldown is the number of windows held after a cut before probing
+	// resumes.
+	Cooldown int
+	// RTFactor, when positive, also throttles when the windowed mean
+	// response time exceeds RTFactor times the calm baseline.
+	RTFactor float64
+	// RebalanceEvery runs the rebalancer every that many controller
+	// windows.
+	RebalanceEvery int
+	// Imbalance is the max/mean per-node load ratio that triggers
+	// re-routing.
+	Imbalance float64
+	// MaxMoves bounds the branch moves (and GLA migrations) per
+	// rebalance pass.
+	MaxMoves int
+	// MigrateShare is the lock-traffic share a remote node must have on
+	// a GLA partition before the partition migrates to it.
+	MigrateShare float64
+	// MigrateMinLocks is the minimum observed lock traffic on a
+	// partition before migration is considered (noise guard).
+	MigrateMinLocks float64
+	// HandoffEntriesPerMsg is the batch size of the migration handoff
+	// protocol (directory entries per long message).
+	HandoffEntriesPerMsg int
+}
+
+// DefaultControlConfig returns the controller tuning used by the
+// adaptive experiments.
+func DefaultControlConfig() *ControlConfig {
+	return &ControlConfig{
+		Admission:            true,
+		Reroute:              true,
+		Interval:             250 * time.Millisecond,
+		MinMPL:               4,
+		HighConflict:         0.35,
+		LowConflict:          0.15,
+		Backoff:              0.5,
+		ProbeStep:            4,
+		Cooldown:             2,
+		RTFactor:             0,
+		RebalanceEvery:       4,
+		Imbalance:            1.3,
+		MaxMoves:             16,
+		MigrateShare:         0.5,
+		MigrateMinLocks:      100,
+		HandoffEntriesPerMsg: 64,
+	}
+}
+
+// Validate checks the controller configuration.
+func (c *ControlConfig) Validate() error {
+	switch {
+	case c == nil:
+		return nil
+	case !c.Admission && !c.Reroute:
+		return errParam("control: neither admission nor re-routing enabled")
+	case c.Interval <= 0:
+		return errParam("control: sampling interval must be positive")
+	case c.MinMPL < 1:
+		return errParam("control: MinMPL must be at least 1")
+	case c.HighConflict <= 0 || c.HighConflict > 1:
+		return errParam("control: HighConflict out of (0,1]")
+	case c.LowConflict < 0 || c.LowConflict >= c.HighConflict:
+		return errParam("control: LowConflict must be in [0, HighConflict)")
+	case c.Backoff <= 0 || c.Backoff >= 1:
+		return errParam("control: Backoff must be in (0,1)")
+	case c.ProbeStep < 1:
+		return errParam("control: ProbeStep must be at least 1")
+	case c.Cooldown < 0:
+		return errParam("control: Cooldown must not be negative")
+	case c.RTFactor < 0:
+		return errParam("control: RTFactor must not be negative")
+	case c.Reroute && c.RebalanceEvery < 1:
+		return errParam("control: RebalanceEvery must be at least 1")
+	case c.Reroute && c.Imbalance < 1:
+		return errParam("control: Imbalance threshold must be at least 1")
+	case c.Reroute && c.MaxMoves < 1:
+		return errParam("control: MaxMoves must be at least 1")
+	case c.Reroute && (c.MigrateShare <= 0 || c.MigrateShare > 1):
+		return errParam("control: MigrateShare out of (0,1]")
+	case c.Reroute && c.MigrateMinLocks < 0:
+		return errParam("control: MigrateMinLocks must not be negative")
+	case c.Reroute && c.HandoffEntriesPerMsg < 1:
+		return errParam("control: HandoffEntriesPerMsg must be at least 1")
+	}
+	return nil
+}
+
+// ctlCounters is one node's cumulative counter snapshot between
+// controller windows.
+type ctlCounters struct {
+	lockReqs  int64
+	lockWaits int64
+	commits   int64
+	rtCount   int64
+	rtSum     float64
+}
+
+// controller drives the load-control loop of one system.
+type controller struct {
+	s        *System
+	cfg      ControlConfig
+	adaptive *routing.AdaptiveAffinity // nil: router not re-routable
+	adm      []*control.Admission      // nil: admission control off
+	prev     []ctlCounters
+	routeCnt map[int]int64   // branch -> submissions this rebalance window
+	partCnt  []map[int]int64 // GLA partition -> requester node -> locks (PCL)
+	ticks    int
+	// migrating marks partitions with a handoff in flight.
+	migrating map[int]bool
+	// Action counts since the last ResetStats.
+	throttles  int64
+	probes     int64
+	reroutes   int64
+	migrations int64
+}
+
+// StartControl installs and starts the load controller. It must be
+// called before the workload source starts. With a nil configuration it
+// is a no-op (static allocation, zero overhead).
+func (s *System) StartControl(cfg *ControlConfig) error {
+	if cfg == nil {
+		return nil
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	c := &controller{
+		s:         s,
+		cfg:       *cfg,
+		prev:      make([]ctlCounters, len(s.nodes)),
+		routeCnt:  make(map[int]int64),
+		migrating: make(map[int]bool),
+	}
+	if cfg.Reroute {
+		if aa, ok := s.router.(*routing.AdaptiveAffinity); ok {
+			c.adaptive = aa
+		}
+		if s.params.Coupling == CouplingPCL {
+			c.partCnt = make([]map[int]int64, len(s.tables))
+		}
+	}
+	if cfg.Admission {
+		c.adm = make([]*control.Admission, len(s.nodes))
+		for i := range c.adm {
+			c.adm[i] = control.NewAdmission(control.AdmissionParams{
+				MaxMPL:       s.params.MPL,
+				MinMPL:       cfg.MinMPL,
+				HighConflict: cfg.HighConflict,
+				LowConflict:  cfg.LowConflict,
+				Backoff:      cfg.Backoff,
+				ProbeStep:    cfg.ProbeStep,
+				Cooldown:     cfg.Cooldown,
+				RTFactor:     cfg.RTFactor,
+			})
+		}
+	}
+	s.ctl = c
+	var tick func()
+	tick = func() {
+		c.tick()
+		s.env.After(cfg.Interval, tick)
+	}
+	s.env.After(cfg.Interval, tick)
+	return nil
+}
+
+// Controller statistics accessors (diagnostics and tests).
+func (s *System) ControlActive() bool { return s.ctl != nil }
+
+// observeRoute counts one submitted transaction against its branch.
+func (c *controller) observeRoute(branch int) {
+	if c.cfg.Reroute {
+		c.routeCnt[branch]++
+	}
+}
+
+// observePart counts one lock request of a node against the partition's
+// GLA (PCL re-routing only).
+func (c *controller) observePart(gla, node int) {
+	if c.partCnt == nil {
+		return
+	}
+	m := c.partCnt[gla]
+	if m == nil {
+		m = make(map[int]int64, 4)
+		c.partCnt[gla] = m
+	}
+	m[node]++
+}
+
+// tick runs one controller window: per-node admission updates, and —
+// every RebalanceEvery windows — a rebalance pass. It runs on the
+// kernel's callback tier and never blocks.
+func (c *controller) tick() {
+	s := c.s
+	now := s.env.Now()
+	for i, n := range s.nodes {
+		cur := ctlCounters{
+			lockReqs:  n.localLocks + n.remoteLocks,
+			lockWaits: n.lockWaits,
+			commits:   n.commits,
+			rtCount:   n.resp.Count(),
+			rtSum:     n.resp.Mean() * float64(n.resp.Count()),
+		}
+		prev := c.prev[i]
+		c.prev[i] = cur
+		if cur.lockReqs < prev.lockReqs || cur.commits < prev.commits || cur.rtCount < prev.rtCount {
+			// The counters were reset under the window (end of warm-up):
+			// skip it and re-base on the fresh values.
+			continue
+		}
+		if c.adm == nil || (s.faultsOn && s.down[i]) {
+			continue
+		}
+		smp := control.Sample{Commits: cur.commits - prev.commits}
+		if dReq := cur.lockReqs - prev.lockReqs; dReq > 0 {
+			smp.Conflict = float64(cur.lockWaits-prev.lockWaits) / float64(dReq)
+		}
+		if dc := cur.rtCount - prev.rtCount; dc > 0 {
+			smp.RT = (cur.rtSum - prev.rtSum) / float64(dc)
+		}
+		dec := c.adm[i].Update(smp)
+		if !dec.Changed {
+			continue
+		}
+		n.mpl.SetLimit(dec.Limit)
+		switch dec.Action {
+		case control.Throttle:
+			c.throttles++
+		case control.Probe:
+			c.probes++
+		}
+		if tr := s.tracer; tr.Enabled() {
+			tr.Instant("control", int64(i), "control", dec.Action.String(), now,
+				fmt.Sprintf("node=%d mpl=%d", i, dec.Limit))
+			tr.Counter("control", "mpl"+itoa(i), now, float64(dec.Limit))
+		}
+	}
+	c.ticks++
+	if c.cfg.Reroute && c.cfg.RebalanceEvery > 0 && c.ticks%c.cfg.RebalanceEvery == 0 {
+		c.rebalance()
+	}
+}
+
+// aliveNodes returns the ids of nodes currently up.
+func (c *controller) aliveNodes() []int {
+	s := c.s
+	alive := make([]int, 0, len(s.nodes))
+	for i := range s.nodes {
+		if !s.faultsOn || !s.down[i] {
+			alive = append(alive, i)
+		}
+	}
+	return alive
+}
+
+// rebalance recomputes the branch routing table from the observed
+// per-branch load and, under PCL, selects GLA partitions to migrate
+// toward their dominant requesters. The observation windows restart
+// afterwards.
+func (c *controller) rebalance() {
+	s := c.s
+	now := s.env.Now()
+	alive := c.aliveNodes()
+	if c.adaptive != nil && len(alive) >= 2 && len(c.routeCnt) > 0 {
+		units := make([]control.Unit, 0, len(c.routeCnt))
+		for _, b := range sortedKeys(c.routeCnt) {
+			units = append(units, control.Unit{
+				ID:     b,
+				Node:   c.adaptive.NodeOfBranch(b),
+				Weight: float64(c.routeCnt[b]),
+			})
+		}
+		moves := control.Rebalance(units, alive, c.cfg.Imbalance, c.cfg.MaxMoves)
+		for _, mv := range moves {
+			c.adaptive.SetOverride(mv.ID, mv.To)
+			c.reroutes++
+			if tr := s.tracer; tr.Enabled() {
+				tr.Instant("control", int64(mv.ID), "control", "reroute", now,
+					fmt.Sprintf("branch=%d %d->%d", mv.ID, mv.From, mv.To))
+			}
+		}
+		if tr := s.tracer; tr.Enabled() && len(moves) > 0 {
+			tr.Counter("control", "overrides", now, float64(c.adaptive.Overrides()))
+		}
+	}
+	if c.partCnt != nil && len(alive) >= 2 {
+		use := make([]control.PartitionUse, 0, len(c.partCnt))
+		for g := range c.partCnt {
+			m := c.partCnt[g]
+			if len(m) == 0 || c.migrating[g] {
+				continue
+			}
+			by := make(map[int]float64, len(m))
+			for _, nd := range sortedKeys(m) {
+				by[nd] = float64(m[nd])
+			}
+			use = append(use, control.PartitionUse{Partition: g, Home: s.glaHomeOf(g), ByNode: by})
+		}
+		eligible := func(node int) bool { return !s.faultsOn || !s.down[node] }
+		for _, mv := range control.Migrations(use, c.cfg.MigrateShare, c.cfg.MigrateMinLocks, c.cfg.MaxMoves, eligible) {
+			c.startMigration(mv.ID, mv.From, mv.To)
+		}
+	}
+	c.routeCnt = make(map[int]int64)
+	for g := range c.partCnt {
+		c.partCnt[g] = nil
+	}
+}
+
+// startMigration hands GLA partition g from its serving node to a new
+// home with a costed handoff: the old home packs its partition
+// directory (per-entry CPU), ships it in batched long messages, and the
+// new home unpacks it (per-entry CPU on receipt) and acknowledges the
+// final batch. Only then does the authority flip; requests keep flowing
+// to the old home until the flip, so no request is ever unserved. The
+// flip is abandoned if either side crashed or a failover reassigned the
+// partition while the handoff was in flight.
+func (c *controller) startMigration(g, from, to int) {
+	s := c.s
+	if s.glaHomeOf(g) != from || from == to {
+		return
+	}
+	if s.faultsOn && (s.down[from] || s.down[to]) {
+		return
+	}
+	c.migrating[g] = true
+	src := s.nodes[from]
+	s.env.Spawn("gla-migrate", func(p *sim.Proc) {
+		start := s.env.Now()
+		entries := len(s.pclMeta[g])
+		if entries < 1 {
+			entries = 1
+		}
+		if instr := s.params.RecoveryEntryInstr; instr > 0 {
+			src.cpu.Exec(p, float64(entries)*instr)
+		}
+		per := c.cfg.HandoffEntriesPerMsg
+		if per < 1 {
+			per = 1
+		}
+		wait := &remoteWait{proc: p}
+		batches := (entries + per - 1) / per
+		aborted := false
+		for b := 0; b < batches; b++ {
+			if s.faultsOn && (s.down[from] || s.down[to]) {
+				aborted = true
+				break
+			}
+			cnt := per
+			if b == batches-1 {
+				cnt = entries - per*(b)
+			}
+			s.net.SendReliable(p, from, to, netsim.Long,
+				glaHandoffMsg{GLA: g, From: from, Entries: cnt, Final: b == batches-1, Wait: wait})
+		}
+		if !aborted {
+			p.Park() // until the new home acknowledged the final batch
+		}
+		delete(c.migrating, g)
+		wait.abandoned = true
+		if aborted || !wait.woken || s.glaHomeOf(g) != from || (s.faultsOn && s.down[to]) {
+			return
+		}
+		s.glaHome[g] = to
+		c.migrations++
+		if tr := s.tracer; tr.Enabled() {
+			tr.Span("control", int64(g), "control", "gla-migrate", start, s.env.Now(),
+				fmt.Sprintf("g=%d %d->%d entries=%d", g, from, to, entries))
+			tr.Instant("control", int64(g), "control", "migrate", s.env.Now(),
+				fmt.Sprintf("g=%d %d->%d", g, from, to))
+		}
+	})
+}
+
+// handleGLAHandoff unpacks one migration batch at the new home (CPU per
+// directory entry) and acknowledges the final one.
+func (n *Node) handleGLAHandoff(p *sim.Proc, from int, m glaHandoffMsg) {
+	sys := n.sys
+	if instr := sys.params.RecoveryEntryInstr; instr > 0 && m.Entries > 0 {
+		n.cpu.Exec(p, float64(m.Entries)*instr)
+	}
+	if m.Final {
+		sys.net.SendReliable(p, n.id, from, netsim.Short, glaHandoffAckMsg{Wait: m.Wait})
+	}
+}
+
+// noteFailover is called when a recovery completes: the routing and
+// authority allocation just changed under the controller, so a
+// rebalance pass runs immediately instead of waiting for the next
+// scheduled window.
+func (c *controller) noteFailover() {
+	if !c.cfg.Reroute {
+		return
+	}
+	c.s.env.After(0, c.rebalance)
+}
+
+// resetStats clears the controller's action counts (end of warm-up).
+func (c *controller) resetStats() {
+	c.throttles, c.probes, c.reroutes, c.migrations = 0, 0, 0, 0
+}

@@ -491,6 +491,11 @@ func (s *System) runRecovery(p *sim.Proc, crashed int, crashAt sim.Time, losers 
 	fs.RecoveryDuration = end - crashAt
 	w.end = end
 	s.failovers = append(s.failovers, fs)
+	if s.ctl != nil {
+		// The allocation just changed under the controller (partitions
+		// adopted, load redirected): rebalance right away.
+		s.ctl.noteFailover()
+	}
 }
 
 // readCrashedLog reads one page of the failed node's log: from GEM

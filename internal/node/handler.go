@@ -15,7 +15,7 @@ import (
 // (device access or a reply send).
 func inlineMessage(msg any) bool {
 	switch msg.(type) {
-	case lockGrantMsg, pageReplyMsg, wakeupMsg, rebuildReplyMsg, revokeRAMsg, invalidateAckMsg:
+	case lockGrantMsg, pageReplyMsg, wakeupMsg, rebuildReplyMsg, revokeRAMsg, invalidateAckMsg, glaHandoffAckMsg:
 		return true
 	}
 	return false
@@ -73,6 +73,14 @@ func (n *Node) handleMessage(p *sim.Proc, from int, msg any) {
 		}
 	case revokeRAMsg:
 		delete(n.raHeld, m.Page)
+	case glaHandoffMsg:
+		n.handleGLAHandoff(p, m.From, m)
+	case glaHandoffAckMsg:
+		if m.Wait.abandoned {
+			return
+		}
+		m.Wait.woken = true
+		m.Wait.proc.Unpark()
 	case invalidateMsg:
 		n.handleInvalidate(p, from, m)
 	case invalidateAckMsg:

@@ -117,6 +117,24 @@ type revokeRAMsg struct {
 	Page model.PageID
 }
 
+// glaHandoffMsg carries one batch of a GLA partition's directory during
+// a controller-initiated migration (long message: per-entry CPU is
+// charged on both sides). Final marks the last batch, which the new
+// home acknowledges.
+type glaHandoffMsg struct {
+	GLA     int
+	From    int
+	Entries int
+	Final   bool
+	Wait    *remoteWait
+}
+
+// glaHandoffAckMsg acknowledges the final handoff batch; the migration
+// process at the old home flips the partition's authority on receipt.
+type glaHandoffAckMsg struct {
+	Wait *remoteWait
+}
+
 // remoteWait is the continuation of a process waiting for a reply
 // message or a lock grant.
 type remoteWait struct {

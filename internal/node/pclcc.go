@@ -40,6 +40,9 @@ func (c *pclCC) lock(t *txn, page model.PageID, mode model.LockMode) (ccOutcome,
 	// After a failover the partition of a crashed node is served by the
 	// recovery coordinator; requests follow the indirection.
 	home := sys.glaHomeOf(gla)
+	if sys.ctl != nil {
+		sys.ctl.observePart(gla, n.id)
+	}
 
 	if home == n.id {
 		return c.lockLocal(t, page, mode, gla)

@@ -113,6 +113,10 @@ type System struct {
 	winRT     stats.Series
 	winHist   *stats.Histogram
 	prevWin   winCounters
+
+	// ctl is the adaptive load controller (StartControl); nil for
+	// static allocation, in which case no controller code runs at all.
+	ctl *controller
 }
 
 // pageMeta is the per-page coherency control information.
@@ -298,14 +302,23 @@ func (s *System) Start(ratePerNode float64) {
 	totalRate := ratePerNode * float64(s.params.Nodes)
 	arrivals := s.split.Stream("arrivals")
 	gen := s.split.Stream("workload")
+	tgen, timed := s.gen.(workload.TimedGenerator)
 	s.env.Spawn("source", func(p *sim.Proc) {
 		s.sourceProc = p
 		for {
 			p.Wait(time.Duration(arrivals.Exp(1/totalRate) * float64(time.Second)))
-			spec := s.gen.Next(gen)
+			var spec model.Txn
+			if timed {
+				spec = tgen.NextAt(gen, s.env.Now())
+			} else {
+				spec = s.gen.Next(gen)
+			}
 			target := s.router.Route(&spec)
 			if s.faultsOn {
 				target = s.aliveTarget(target)
+			}
+			if s.ctl != nil {
+				s.ctl.observeRoute(spec.Branch)
 			}
 			s.nodes[target].submit(spec)
 		}
@@ -356,6 +369,7 @@ func (s *System) StartClosed(terminals int, thinkTime time.Duration) {
 		panic("node: need at least one terminal per node")
 	}
 	gen := s.split.Stream("workload")
+	tgen, timed := s.gen.(workload.TimedGenerator)
 	for nd := 0; nd < s.params.Nodes; nd++ {
 		for term := 0; term < terminals; term++ {
 			think := s.split.Stream(fmt.Sprintf("think-%d-%d", nd, term))
@@ -364,10 +378,18 @@ func (s *System) StartClosed(terminals int, thinkTime time.Duration) {
 					if thinkTime > 0 {
 						p.Wait(time.Duration(think.Exp(thinkTime.Seconds()) * float64(time.Second)))
 					}
-					spec := s.gen.Next(gen)
+					var spec model.Txn
+					if timed {
+						spec = tgen.NextAt(gen, s.env.Now())
+					} else {
+						spec = s.gen.Next(gen)
+					}
 					target := s.router.Route(&spec)
 					if s.faultsOn {
 						target = s.aliveTarget(target)
+					}
+					if s.ctl != nil {
+						s.ctl.observeRoute(spec.Branch)
 					}
 					s.runWithRetry(p, s.nodes[target], spec, s.env.Now())
 				}
@@ -578,6 +600,9 @@ func (s *System) ResetStats() {
 	s.respDuring.Reset()
 	s.respPost.Reset()
 	s.breakdown.Reset()
+	if s.ctl != nil {
+		s.ctl.resetStats()
+	}
 	if s.sampling {
 		// Restart the sampling window so the first post-warm-up sample
 		// does not see negative counter deltas.
@@ -688,6 +713,13 @@ type Metrics struct {
 	// transactions; nil unless tracing or PhaseBreakdown was enabled.
 	// The phase means sum to MeanResponseTime by construction.
 	Phases *trace.Breakdown
+
+	// Adaptive load control action counts (StartControl runs; all zero
+	// for static allocation).
+	CtlThrottles  int64
+	CtlProbes     int64
+	CtlReroutes   int64
+	CtlMigrations int64
 }
 
 // Snapshot collects the metrics accumulated since the last ResetStats.
@@ -843,6 +875,12 @@ func (s *System) Snapshot() Metrics {
 	m.MeanRTPreFailure = s.respPre.MeanDuration()
 	m.MeanRTDuringRecovery = s.respDuring.MeanDuration()
 	m.MeanRTPostRecovery = s.respPost.MeanDuration()
+	if s.ctl != nil {
+		m.CtlThrottles = s.ctl.throttles
+		m.CtlProbes = s.ctl.probes
+		m.CtlReroutes = s.ctl.reroutes
+		m.CtlMigrations = s.ctl.migrations
+	}
 	return m
 }
 

@@ -143,11 +143,36 @@ func zeta(n int64, theta float64) float64 {
 }
 
 // Next draws the next value in [0, n); smaller values are hotter.
-func (z *Zipf) Next() int64 {
-	if z.theta == 0 {
-		return z.src.Int63n(z.n)
+func (z *Zipf) Next() int64 { return z.Draw(z.src) }
+
+// N returns the size of the sampled range.
+func (z *Zipf) N() int64 { return z.n }
+
+// Theta returns the skew parameter.
+func (z *Zipf) Theta() float64 { return z.theta }
+
+// Mass returns the analytic probability of rank r under the sampler's
+// distribution (rank 0 is the hottest). It is the reference for
+// goodness-of-fit tests of the inverse-CDF approximation.
+func (z *Zipf) Mass(r int64) float64 {
+	if r < 0 || r >= z.n {
+		return 0
 	}
-	u := z.src.Float64()
+	if z.theta == 0 {
+		return 1 / float64(z.n)
+	}
+	return 1 / (math.Pow(float64(r+1), z.theta) * z.zetan)
+}
+
+// Draw draws from the prepared distribution using the given stream
+// instead of the one bound at construction. This lets one precomputed
+// sampler (the zeta sums are O(n) to build) serve call sites that carry
+// their own source, such as the workload generator.
+func (z *Zipf) Draw(src *Source) int64 {
+	if z.theta == 0 {
+		return src.Int63n(z.n)
+	}
+	u := src.Float64()
 	uz := u * z.zetan
 	if uz < 1 {
 		return 0

@@ -1,0 +1,91 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// TestZipfMassNormalizes checks that the analytic reference distribution
+// is a proper probability mass function.
+func TestZipfMassNormalizes(t *testing.T) {
+	for _, theta := range []float64{0, 0.5, 0.8, 0.99} {
+		z := NewZipf(New(1), 100, theta)
+		var sum float64
+		for r := int64(0); r < z.N(); r++ {
+			sum += z.Mass(r)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("theta=%g: mass sums to %g, want 1", theta, sum)
+		}
+		if z.Mass(-1) != 0 || z.Mass(z.N()) != 0 {
+			t.Errorf("theta=%g: out-of-range mass must be 0", theta)
+		}
+	}
+}
+
+// TestZipfEmpiricalVsAnalytic draws a large sample at three skew levels
+// and compares the empirical rank frequencies against the analytic
+// mass. The Gray/Knuth inverse-CDF is exact for ranks 0 and 1 and an
+// approximation in the tail, so head ranks get a tight relative bound
+// and the tail a coarser aggregate one.
+func TestZipfEmpiricalVsAnalytic(t *testing.T) {
+	const (
+		n     = 100
+		draws = 400000
+	)
+	for _, theta := range []float64{0.5, 0.8, 0.99} {
+		src := New(42)
+		z := NewZipf(nil, n, theta)
+		counts := make([]int64, n)
+		for i := 0; i < draws; i++ {
+			counts[z.Draw(src)]++
+		}
+		for r := int64(0); r < 2; r++ {
+			want := z.Mass(r)
+			got := float64(counts[r]) / draws
+			if rel := math.Abs(got-want) / want; rel > 0.05 {
+				t.Errorf("theta=%g rank %d: empirical %.4f vs analytic %.4f (rel err %.1f%%)",
+					theta, r, got, want, rel*100)
+			}
+		}
+		// Tail fit: total variation distance over all ranks stays small.
+		var tv float64
+		for r := int64(0); r < n; r++ {
+			tv += math.Abs(float64(counts[r])/draws - z.Mass(r))
+		}
+		tv /= 2
+		if tv > 0.08 {
+			t.Errorf("theta=%g: total variation distance %.3f exceeds 0.08", theta, tv)
+		}
+		// The head must dominate the tail: hotter ranks strictly more
+		// popular in aggregate.
+		if counts[0] <= counts[n-1] {
+			t.Errorf("theta=%g: rank 0 (%d draws) not hotter than rank %d (%d draws)",
+				theta, counts[0], n-1, counts[n-1])
+		}
+	}
+}
+
+// TestZipfDeterminism checks that the sampler is a pure function of its
+// stream: identical seeds yield identical sequences, distinct seeds
+// diverge.
+func TestZipfDeterminism(t *testing.T) {
+	z := NewZipf(nil, 1000, 0.8)
+	a, b, c := New(7), New(7), New(8)
+	same, diff := true, false
+	for i := 0; i < 1000; i++ {
+		va, vb, vc := z.Draw(a), z.Draw(b), z.Draw(c)
+		if va != vb {
+			same = false
+		}
+		if va != vc {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("identical seeds produced diverging Zipf sequences")
+	}
+	if !diff {
+		t.Error("distinct seeds produced identical Zipf sequences")
+	}
+}

@@ -240,11 +240,15 @@ func (r *Resource) QueuedShare() float64 {
 
 // Semaphore is a counted admission gate with FCFS queueing (used for the
 // multiprogramming level of a node). Unlike Resource it keeps no
-// utilization statistics.
+// utilization statistics. The limit can be changed at run time
+// (SetLimit), which makes it the actuator for feedback-driven admission
+// control: raising the limit admits waiters immediately, lowering it
+// drains conservatively as current holders release.
 type Semaphore struct {
 	env     *Env
 	name    string
-	tokens  int
+	limit   int
+	held    int
 	waiters []*Proc
 	maxQ    int
 	queuedT Time
@@ -257,14 +261,14 @@ func NewSemaphore(env *Env, name string, tokens int) *Semaphore {
 	if tokens <= 0 {
 		panic("sim: semaphore " + name + " needs at least one token")
 	}
-	return &Semaphore{env: env, name: name, tokens: tokens}
+	return &Semaphore{env: env, name: name, limit: tokens}
 }
 
 // Acquire takes one token, blocking FCFS while none is available.
 func (s *Semaphore) Acquire(p *Proc) {
 	s.entries++
-	if s.tokens > 0 {
-		s.tokens--
+	if s.held < s.limit {
+		s.held++
 		return
 	}
 	at := s.env.Now()
@@ -278,16 +282,50 @@ func (s *Semaphore) Acquire(p *Proc) {
 
 // Release returns one token, waking the longest waiter if any.
 func (s *Semaphore) Release() {
-	if len(s.waiters) > 0 {
-		next := s.waiters[0]
-		copy(s.waiters, s.waiters[1:])
-		s.waiters[len(s.waiters)-1] = nil
-		s.waiters = s.waiters[:len(s.waiters)-1]
-		next.Unpark()
+	if s.held <= s.limit && len(s.waiters) > 0 {
+		// Hand the slot to the longest waiter; held is unchanged across
+		// the hand-off.
+		s.wakeFirst()
 		return
 	}
-	s.tokens++
+	s.held--
+	s.admit()
 }
+
+// wakeFirst pops and unparks the longest-waiting process.
+func (s *Semaphore) wakeFirst() {
+	next := s.waiters[0]
+	copy(s.waiters, s.waiters[1:])
+	s.waiters[len(s.waiters)-1] = nil
+	s.waiters = s.waiters[:len(s.waiters)-1]
+	next.Unpark()
+}
+
+// admit wakes waiters while free slots exist.
+func (s *Semaphore) admit() {
+	for s.held < s.limit && len(s.waiters) > 0 {
+		s.held++
+		s.wakeFirst()
+	}
+}
+
+// SetLimit changes the admission limit. An increase admits queued
+// waiters immediately; a decrease never preempts current holders — the
+// overshoot drains as they release (conservative throttling). The limit
+// is clamped to at least one.
+func (s *Semaphore) SetLimit(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.limit = n
+	s.admit()
+}
+
+// Limit returns the current admission limit.
+func (s *Semaphore) Limit() int { return s.limit }
+
+// InUse returns the number of currently held slots.
+func (s *Semaphore) InUse() int { return s.held }
 
 // MaxQueue returns the largest observed queue length.
 func (s *Semaphore) MaxQueue() int { return s.maxQ }

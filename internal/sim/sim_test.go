@@ -477,3 +477,85 @@ func TestSemaphoreConservation(t *testing.T) {
 		t.Fatal("negative mean wait")
 	}
 }
+
+// TestSemaphoreSetLimit exercises the dynamic admission limit: raising
+// it wakes queued waiters immediately, lowering it drains conservatively
+// (running holders finish; no new admissions until the count falls below
+// the new limit), and the floor is clamped to 1.
+func TestSemaphoreSetLimit(t *testing.T) {
+	env := NewEnv()
+	s := NewSemaphore(env, "mpl", 2)
+	active, maxActive := 0, 0
+	var order []int
+	for i := 0; i < 8; i++ {
+		i := i
+		env.Spawn("t", func(p *Proc) {
+			s.Acquire(p)
+			order = append(order, i)
+			active++
+			if active > maxActive {
+				maxActive = active
+			}
+			p.Wait(10 * time.Millisecond)
+			active--
+			s.Release()
+		})
+	}
+	// Cut the limit to 1 mid-flight, then raise it to 4 later.
+	env.After(5*time.Millisecond, func() { s.SetLimit(1) })
+	env.After(25*time.Millisecond, func() { s.SetLimit(4) })
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if maxActive != 4 {
+		t.Fatalf("max concurrency %d, want 4 after the raise", maxActive)
+	}
+	if len(order) != 8 {
+		t.Fatalf("%d holders ran, want all 8", len(order))
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("admission order %v not FCFS", order)
+		}
+	}
+	if s.InUse() != 0 {
+		t.Fatalf("%d still held at idle", s.InUse())
+	}
+	s.SetLimit(0)
+	if s.Limit() != 1 {
+		t.Fatalf("limit %d after SetLimit(0), want clamp to 1", s.Limit())
+	}
+	env.Stop()
+}
+
+// TestSemaphoreLowerLimitDrains pins the conservative-drain timing: with
+// 3 holders and the limit cut to 1, releases drain the excess without
+// admitting anyone until the held count reaches the new limit; from then
+// on each release hands its slot to the next waiter.
+func TestSemaphoreLowerLimitDrains(t *testing.T) {
+	env := NewEnv()
+	s := NewSemaphore(env, "mpl", 3)
+	var admitted []time.Duration
+	for i := 0; i < 5; i++ {
+		env.Spawn("t", func(p *Proc) {
+			s.Acquire(p)
+			admitted = append(admitted, env.Now())
+			p.Wait(10 * time.Millisecond)
+			s.Release()
+		})
+	}
+	env.After(time.Millisecond, func() { s.SetLimit(1) })
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{0, 0, 0, 10 * time.Millisecond, 20 * time.Millisecond}
+	if len(admitted) != len(want) {
+		t.Fatalf("%d admissions, want %d", len(admitted), len(want))
+	}
+	for i := range want {
+		if admitted[i] != want[i] {
+			t.Fatalf("admission times %v, want %v", admitted, want)
+		}
+	}
+	env.Stop()
+}

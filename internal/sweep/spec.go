@@ -56,8 +56,10 @@ type Spec struct {
 
 // Axis is one swept dimension: a configuration field and its values.
 // Supported fields: nodes, rate, coupling, force, routing, bufferPages,
-// mpl, logInGEM, gemMessaging, and "medium.<FILE>" (storage medium of
-// the named file, e.g. "medium.BRANCH/TELLER").
+// mpl, logInGEM, gemMessaging, skew (branch Zipf theta, 0 = uniform),
+// drift (bool: canonical mid-run hot-spot rotation), control (bool:
+// adaptive load controller on/off), and "medium.<FILE>" (storage medium
+// of the named file, e.g. "medium.BRANCH/TELLER").
 type Axis struct {
 	Field  string            `json:"field"`
 	Values []json.RawMessage `json:"values"`
@@ -339,8 +341,66 @@ func applyAxis(cf *core.ConfigFile, field string, raw json.RawMessage) (string, 
 		}
 		cf.GEMMessaging = v
 		return fmt.Sprintf("gemMsg=%v", v), nil
+	case "skew", "branchtheta":
+		v, err := decodeFloat(field, raw)
+		if err != nil {
+			return "", err
+		}
+		if v < 0 || v >= 1 {
+			return "", fmt.Errorf("sweep: axis %q: Zipf theta must be in [0,1), got %g", field, v)
+		}
+		sk := core.SkewFile{}
+		if cf.Skew != nil {
+			sk = *cf.Skew
+		}
+		sk.BranchTheta = v
+		if v == 0 && sk.AccountTheta == 0 && sk.HotFraction == 0 && len(sk.Drift) == 0 {
+			cf.Skew = nil
+			return "uniform", nil
+		}
+		cf.Skew = &sk
+		return fmt.Sprintf("skew=%g", v), nil
+	case "drift":
+		v, err := decodeBool(field, raw)
+		if err != nil {
+			return "", err
+		}
+		sk := core.SkewFile{}
+		if cf.Skew != nil {
+			sk = *cf.Skew
+		}
+		if v {
+			// Canonical drift schedule: rotate the branch popularity
+			// ranking by a quarter of the branches at 8s and again at
+			// 16s of simulated time.
+			sk.Drift = []core.DriftFile{{At: "8s", Rotate: 0.25}, {At: "16s", Rotate: 0.25}}
+			cf.Skew = &sk
+			return "drift", nil
+		}
+		sk.Drift = nil
+		if sk.BranchTheta == 0 && sk.AccountTheta == 0 && sk.HotFraction == 0 {
+			cf.Skew = nil
+		} else {
+			cf.Skew = &sk
+		}
+		return "steady", nil
+	case "control", "adaptive":
+		v, err := decodeBool(field, raw)
+		if err != nil {
+			return "", err
+		}
+		if v {
+			ctl := core.ControlFile{}
+			if cf.Control != nil {
+				ctl = *cf.Control
+			}
+			cf.Control = &ctl
+			return "adaptive", nil
+		}
+		cf.Control = nil
+		return "static", nil
 	default:
-		return "", fmt.Errorf("sweep: unknown axis field %q (want nodes, rate, coupling, force, routing, bufferPages, mpl, logInGEM, gemMessaging or medium.<FILE>)", field)
+		return "", fmt.Errorf("sweep: unknown axis field %q (want nodes, rate, coupling, force, routing, bufferPages, mpl, logInGEM, gemMessaging, skew, drift, control or medium.<FILE>)", field)
 	}
 }
 

@@ -152,3 +152,64 @@ func rawValues(t *testing.T, vals ...string) []json.RawMessage {
 	}
 	return out
 }
+
+func TestSpecAdaptiveAxes(t *testing.T) {
+	s := &Spec{
+		Name: "adapt",
+		Base: core.ConfigFile{Nodes: 2},
+		Axes: []Axis{
+			{Field: "skew", Values: rawValues(t, "0", "0.8")},
+			{Field: "drift", Values: rawValues(t, "false", "true")},
+			{Field: "control", Values: rawValues(t, "false", "true")},
+		},
+	}
+	runs, err := s.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 8 {
+		t.Fatalf("%d runs, want 8", len(runs))
+	}
+	byKey := make(map[string]Run, len(runs))
+	for _, r := range runs {
+		byKey[r.Key] = r
+	}
+	// Uniform/steady/static point: no skew, no controller.
+	base := byKey["adapt/uniform/steady/static/r0"]
+	if base.Key == "" {
+		t.Fatalf("missing baseline point; keys: %v", keysOf(byKey))
+	}
+	if base.Config.Workload.DebitCredit != nil || base.Config.Control != nil {
+		t.Fatal("baseline point must stay at the static uniform configuration")
+	}
+	// Fully adaptive point: skewed params, drift schedule, controller.
+	adapt := byKey["adapt/skew=0.8/drift/adaptive/r0"]
+	if adapt.Key == "" {
+		t.Fatalf("missing adaptive point; keys: %v", keysOf(byKey))
+	}
+	dc := adapt.Config.Workload.DebitCredit
+	if dc == nil || dc.Skew == nil || dc.Skew.BranchTheta != 0.8 || len(dc.Skew.Drift) != 2 {
+		t.Fatalf("skew+drift axes not applied: %+v", dc)
+	}
+	if adapt.Config.Control == nil || !adapt.Config.Control.Admission {
+		t.Fatal("control axis not applied")
+	}
+	// Drift without skew still yields a (rotating, uniform) skew config.
+	drift := byKey["adapt/uniform/drift/static/r0"]
+	if drift.Config.Workload.DebitCredit == nil || drift.Config.Workload.DebitCredit.Skew == nil {
+		t.Fatal("drift-only point lost its drift schedule")
+	}
+	// An out-of-range theta is rejected at expansion time.
+	bad := &Spec{Name: "bad", Axes: []Axis{{Field: "skew", Values: rawValues(t, "1.2")}}}
+	if _, err := bad.Runs(); err == nil {
+		t.Fatal("theta 1.2 accepted")
+	}
+}
+
+func keysOf(m map[string]Run) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"time"
 
 	"gemsim/internal/model"
 	"gemsim/internal/rng"
@@ -30,6 +31,10 @@ type DebitCreditParams struct {
 	// LocalBranchProb is the probability that the accessed account
 	// belongs to the transaction's branch (0.85 per TPC).
 	LocalBranchProb float64
+	// Skew optionally makes the reference string non-uniform (Zipf
+	// branch/account selection, hot-spot sets, drift). Nil keeps the
+	// uniform Table 4.1 behaviour, draw for draw.
+	Skew *Skew
 }
 
 // DefaultDebitCreditParams returns the Table 4.1 settings for the given
@@ -54,9 +59,13 @@ func DefaultDebitCreditParams(totalTPS float64) DebitCreditParams {
 type DebitCredit struct {
 	params DebitCreditParams
 	db     model.Database
+	skew   *skewState // nil when the reference string is uniform
 }
 
-var _ Generator = (*DebitCredit)(nil)
+var (
+	_ Generator      = (*DebitCredit)(nil)
+	_ TimedGenerator = (*DebitCredit)(nil)
+)
 
 // NewDebitCredit builds a generator for the given parameters.
 func NewDebitCredit(params DebitCreditParams) (*DebitCredit, error) {
@@ -72,7 +81,13 @@ func NewDebitCredit(params DebitCreditParams) (*DebitCredit, error) {
 	if params.LocalBranchProb < 0 || params.LocalBranchProb > 1 {
 		return nil, fmt.Errorf("workload: local branch probability %v out of range", params.LocalBranchProb)
 	}
+	if err := params.Skew.Validate(); err != nil {
+		return nil, err
+	}
 	g := &DebitCredit{params: params}
+	if params.Skew.Enabled() {
+		g.skew = newSkewState(params.Skew, params.Branches, params.AccountsPerBranch)
+	}
 	accountPages := int32((params.Branches*params.AccountsPerBranch + params.AccountBlocking - 1) / params.AccountBlocking)
 	if params.Clustered {
 		g.db.Files = []model.File{
@@ -147,7 +162,20 @@ func (g *DebitCredit) TellerPage(branch, teller int) model.PageID {
 // fixed (ACCOUNT, HISTORY, TELLER, BRANCH) so that no deadlocks can
 // occur and locks on the small hot records are held shortest.
 func (g *DebitCredit) Next(src *rng.Source) model.Txn {
-	branch := src.Intn(g.params.Branches)
+	return g.NextAt(src, 0)
+}
+
+// NextAt generates one transaction submitted at simulated time at. The
+// time only matters under a drift schedule, which rotates the hot
+// branch set as the run progresses; without skew the draw sequence is
+// identical to the uniform generator's.
+func (g *DebitCredit) NextAt(src *rng.Source, at time.Duration) model.Txn {
+	var branch int
+	if g.skew != nil {
+		branch = g.skew.branchAt(src, at)
+	} else {
+		branch = src.Intn(g.params.Branches)
+	}
 	teller := src.Intn(g.params.TellersPerBranch)
 	accountBranch := branch
 	if g.params.Branches > 1 && !src.Bool(g.params.LocalBranchProb) {
@@ -156,7 +184,12 @@ func (g *DebitCredit) Next(src *rng.Source) model.Txn {
 			accountBranch++
 		}
 	}
-	account := src.Intn(g.params.AccountsPerBranch)
+	var account int
+	if g.skew != nil {
+		account = g.skew.account(src, g.params.AccountsPerBranch)
+	} else {
+		account = src.Intn(g.params.AccountsPerBranch)
+	}
 
 	refs := []model.Ref{
 		{Page: g.AccountPage(accountBranch, account), Write: true},

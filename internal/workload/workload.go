@@ -5,6 +5,8 @@
 package workload
 
 import (
+	"time"
+
 	"gemsim/internal/model"
 	"gemsim/internal/rng"
 )
@@ -15,6 +17,16 @@ type Generator interface {
 	Next(src *rng.Source) model.Txn
 	// Database describes the files the workload references.
 	Database() *model.Database
+}
+
+// TimedGenerator is a Generator whose reference behaviour may depend on
+// the simulated submission time (drifting hot sets). Sources that know
+// the clock should prefer NextAt; Next is equivalent to NextAt at time
+// zero.
+type TimedGenerator interface {
+	Generator
+	// NextAt returns the next transaction as of simulated time at.
+	NextAt(src *rng.Source, at time.Duration) model.Txn
 }
 
 // File identifiers of the debit-credit database. The clustered layout
