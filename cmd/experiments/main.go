@@ -160,6 +160,8 @@ func run(args []string) error {
 			"node crash mid-run: disk-log vs GEM-log recovery (4 configs; recovery time and degradation)")
 		fmt.Printf("%-20s %s\n", "adaptive",
 			"skewed drifting workload: static allocation vs closed-loop load control (4 configs; throughput, RT, controller actions)")
+		fmt.Printf("%-20s %s\n", "availability",
+			"stochastic MTBF/MTTR crashes: offline replay vs incremental reopen (8 configs; TTFT, p99 unavailability, SLO attainment)")
 		return nil
 	}
 
@@ -179,6 +181,8 @@ func run(args []string) error {
 		return runFailoverPreset(*seed, *quick, *verbose, *csvOut, *mdOut, sink)
 	case *fig == "adaptive":
 		return runAdaptivePreset(*seed, *quick, *verbose, *csvOut, *mdOut, sink)
+	case *fig == "availability":
+		return runAvailabilityPreset(*seed, *quick, *verbose, *csvOut, *mdOut, sink)
 	case *fig != "":
 		for i := range exps {
 			if exps[i].ID == *fig {
@@ -218,6 +222,12 @@ func run(args []string) error {
 				return fmt.Errorf("%w; adaptive preset: %v", figErr, err)
 			}
 			return fmt.Errorf("adaptive preset: %w", err)
+		}
+		if err := runAvailabilityPreset(*seed, *quick, *verbose, *csvOut, *mdOut, sink); err != nil {
+			if figErr != nil {
+				return fmt.Errorf("%w; availability preset: %v", figErr, err)
+			}
+			return fmt.Errorf("availability preset: %w", err)
 		}
 	}
 	return figErr
@@ -453,6 +463,47 @@ func runAdaptivePreset(seed int64, quick, verbose, csvOut, mdOut bool, sink *tra
 		fmt.Println(tbl.Markdown())
 	}
 	fmt.Fprintf(os.Stderr, "(adaptive completed in %v)\n", time.Since(start).Round(time.Millisecond))
+	return sink.closeAll()
+}
+
+// runAvailabilityPreset runs the availability comparison: stochastic
+// MTBF/MTTR crash schedules under GEM and PCL, with the REDO replay
+// either completing offline before transactions are readmitted or
+// running concurrently with them (incremental reopen, on-demand page
+// repair). The scenarios stay sequential (shared recovery state, and
+// an eight-row preset keeps stdout deterministic trivially).
+func runAvailabilityPreset(seed int64, quick, verbose, csvOut, mdOut bool, sink *traceSink) error {
+	opts := core.AvailabilityOptions{Seed: seed}
+	if sink.enabled() {
+		opts.Configure = func(label string, cfg *core.Config) {
+			sink.attach(cfg, "availability-"+label)
+		}
+	}
+	if quick {
+		// The window must still contain at least one full crash and
+		// disk-log recovery cycle per regime, so quick mode only trims
+		// the warm-up and part of the tail.
+		opts.Warmup = 2 * time.Second
+		opts.Measure = 16 * time.Second
+	}
+	if verbose {
+		opts.Progress = func(label string, rep *core.Report) {
+			fmt.Fprintf(os.Stderr, "  [availability] %s: %v\n", label, rep)
+		}
+	}
+	start := time.Now()
+	tbl, _, err := core.RunAvailability(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(tbl.Render())
+	if csvOut {
+		fmt.Println(tbl.CSV())
+	}
+	if mdOut {
+		fmt.Println(tbl.Markdown())
+	}
+	fmt.Fprintf(os.Stderr, "(availability completed in %v)\n", time.Since(start).Round(time.Millisecond))
 	return sink.closeAll()
 }
 

@@ -20,6 +20,7 @@ import (
 	"gemsim/internal/core"
 	"gemsim/internal/model"
 	"gemsim/internal/node"
+	"gemsim/internal/recovery"
 	"gemsim/internal/report"
 	"gemsim/internal/trace"
 	"gemsim/internal/workload"
@@ -52,6 +53,10 @@ func run(args []string) error {
 		adaptive = fs.Bool("adaptive", false, "enable the closed-loop load controller (feedback admission and re-routing)")
 		term     = fs.Int("terminals", 0, "closed-loop mode: terminals per node (0 = open model)")
 		think    = fs.Duration("think", time.Second, "closed-loop mean think time")
+		mtbf     = fs.Duration("mtbf", 0, "mean time between node crashes (stochastic fault injection; set with -mttr)")
+		mttr     = fs.Duration("mttr", 0, "mean time to repair a crashed node (set with -mtbf)")
+		reopenP  = fs.String("reopen", "", "post-crash reopen policy: offline (REDO completes first) or incremental (admit during replay)")
+		recWrk   = fs.Int("recovery-workers", 0, "parallel REDO replay workers (0 or 1 = serial)")
 		tracePth = fs.String("trace", "", "trace file for trace-driven simulation")
 		warmup   = fs.Duration("warmup", 4*time.Second, "warm-up period of simulated time")
 		measure  = fs.Duration("measure", 16*time.Second, "measurement period of simulated time")
@@ -152,6 +157,21 @@ func run(args []string) error {
 	}
 	if *adaptive {
 		cfg.Control = node.DefaultControlConfig()
+	}
+	if *mtbf > 0 || *mttr > 0 || *reopenP != "" || *recWrk > 0 {
+		pol, err := recovery.ParseReopenPolicy(*reopenP)
+		if err != nil {
+			return err
+		}
+		if *recWrk < 0 {
+			return fmt.Errorf("-recovery-workers must be non-negative, got %d", *recWrk)
+		}
+		cfg.Faults = &core.FaultConfig{
+			MTBF:            *mtbf,
+			MTTR:            *mttr,
+			Reopen:          pol,
+			RecoveryWorkers: *recWrk,
+		}
 	}
 	cfg.Warmup = *warmup
 	cfg.Measure = *measure
@@ -255,10 +275,22 @@ func printDetails(rep *core.Report) {
 				f.Node, f.CrashAt, f.DetectAt, f.RecoveredAt, f.RecoveryDuration)
 			fmt.Printf("  recovery phases       locks %v (%d)  log scan %v (%d pages)  redo %v (%d pages)\n",
 				f.LockRecovery, f.LocksRecovered, f.LogScan, f.LogPagesScanned, f.Redo, f.PagesRedone)
+			if f.Workers > 1 || f.PagesRepairedOnDemand > 0 {
+				fmt.Printf("  reopen                at %v  workers %d  on-demand repairs %d\n",
+					f.ReopenAt, f.Workers, f.PagesRepairedOnDemand)
+			}
+			if f.TimeToFullThroughput > 0 {
+				fmt.Printf("  time to full tput     %v (baseline %.1f TPS)\n",
+					f.TimeToFullThroughput, f.BaselineTput)
+			}
 		}
 		if len(m.Failovers) > 0 {
 			fmt.Printf("  response time         pre %v  during recovery %v  post %v\n",
 				m.MeanRTPreFailure, m.MeanRTDuringRecovery, m.MeanRTPostRecovery)
+		}
+		if m.AvailabilityWindows > 0 {
+			fmt.Printf("availability            p99 unavailability %.3f  SLO attainment %.1f%%  (%d windows)\n",
+				m.P99Unavailability, 100*m.SLOAttainment, m.AvailabilityWindows)
 		}
 	}
 	names := make([]string, 0, len(m.BufferHitRatio))

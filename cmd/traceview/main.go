@@ -211,8 +211,39 @@ func (t *traceData) validate() []string {
 		} else if e.Track == "" {
 			add(i, "%s event without track", e.Ph)
 		}
+		// The recovery track has a closed vocabulary: the restart
+		// decomposition and downstream tooling key on these names.
+		if e.Cat == "recovery" {
+			switch e.Ph {
+			case "X":
+				if !recoverySpanNames[e.Name] {
+					add(i, "unknown recovery span %q (want detect, lock-recovery, log-scan, redo, replay, reopen or page-repair)", e.Name)
+				}
+			case "i":
+				if e.Name != "recovered" {
+					add(i, "unknown recovery instant %q (want recovered)", e.Name)
+				}
+			}
+		}
+		if e.Cat == "fault" && e.Ph == "i" && e.Name != "crash" && e.Name != "repair" {
+			add(i, "unknown fault instant %q (want crash or repair)", e.Name)
+		}
 	}
 	return errs
+}
+
+// recoverySpanNames is the complete recovery-phase vocabulary: the
+// serial path emits detect/lock-recovery/log-scan/redo, the parallel
+// replay engine emits per-worker log-scan/replay spans, and
+// incremental reopen adds reopen plus per-page page-repair spans.
+var recoverySpanNames = map[string]bool{
+	"detect":        true,
+	"lock-recovery": true,
+	"log-scan":      true,
+	"redo":          true,
+	"replay":        true,
+	"reopen":        true,
+	"page-repair":   true,
 }
 
 // keyTotal accumulates count and total duration per grouping key.
@@ -245,6 +276,7 @@ func (t *traceData) summarize(w io.Writer, top int) {
 		tsMax                     float64
 		byCat                     = map[string]*keyTotal{}
 		lockPages                 = map[string]*keyTotal{}
+		recPhases                 = map[string]*keyTotal{}
 		txns                      []*event
 	)
 	acc := func(m map[string]*keyTotal, key string, dur float64) {
@@ -288,6 +320,9 @@ func (t *traceData) summarize(w io.Writer, top int) {
 					acc(lockPages, e.Name+" "+page, dur)
 				}
 			}
+			if cat == "recovery" {
+				acc(recPhases, e.Name, dur)
+			}
 		case "i":
 			instants++
 			acc(byCat, "instant "+e.Cat+"/"+e.Name, 0)
@@ -302,6 +337,21 @@ func (t *traceData) summarize(w io.Writer, top int) {
 	fmt.Fprintf(w, "\nservice totals by category:\n")
 	for _, kt := range topTotals(byCat, 0) {
 		fmt.Fprintf(w, "  %-28s %8d  %12.3f ms\n", kt.key, kt.count, kt.total/1e3)
+	}
+
+	if len(recPhases) > 0 {
+		var recTotal float64
+		for _, kt := range recPhases {
+			recTotal += kt.total
+		}
+		fmt.Fprintf(w, "\nrestart decomposition (recovery phases):\n")
+		for _, kt := range topTotals(recPhases, 0) {
+			share := 0.0
+			if recTotal > 0 {
+				share = 100 * kt.total / recTotal
+			}
+			fmt.Fprintf(w, "  %-28s %8d  %12.3f ms  %5.1f%%\n", kt.key, kt.count, kt.total/1e3, share)
+		}
 	}
 
 	if len(lockPages) > 0 {

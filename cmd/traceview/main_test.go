@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"gemsim/internal/core"
+	"gemsim/internal/fault"
+	"gemsim/internal/recovery"
 )
 
 // goldenTrace is the JSONL event trace checked into the core package's
@@ -64,6 +66,62 @@ func TestParseErrorOnMalformedJSON(t *testing.T) {
 func TestMissingFileIsAnError(t *testing.T) {
 	if err := run([]string{filepath.Join(t.TempDir(), "nope.jsonl")}); err == nil {
 		t.Fatal("run succeeded on a missing file")
+	}
+}
+
+// TestValidateRecoveryTrace runs a small crash/recovery simulation
+// with incremental reopen and checks that the recovery track (phase
+// spans, crash/repair/recovered instants, per-worker replay spans,
+// on-demand page repairs) conforms to the schema, and that the
+// validator rejects names outside the recovery vocabulary.
+func TestValidateRecoveryTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "recovery.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashes := []fault.NodeCrash{{Node: 1, At: 2 * time.Second, Repair: 1500 * time.Millisecond}}
+	cfg := core.AvailabilityConfig(core.CouplingGEM, recovery.ReopenIncremental, crashes, core.AvailabilityOptions{
+		Nodes:   2,
+		Warmup:  time.Second,
+		Measure: 11 * time.Second,
+	})
+	cfg.Tracing = &core.TraceConfig{Events: f}
+	if _, err := core.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-validate", path}); err != nil {
+		t.Fatalf("recovery trace failed schema validation: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := string(data)
+	for _, want := range []string{
+		`"cat":"fault","name":"crash"`, `"cat":"fault","name":"repair"`,
+		`"cat":"recovery","name":"detect"`, `"cat":"recovery","name":"lock-recovery"`,
+		`"cat":"recovery","name":"log-scan"`, `"cat":"recovery","name":"replay"`,
+		`"cat":"recovery","name":"reopen"`, `"cat":"recovery","name":"page-repair"`,
+		`"cat":"recovery","name":"recovered"`,
+	} {
+		if !strings.Contains(trace, want) {
+			t.Errorf("trace missing recovery event %s", want)
+		}
+	}
+	// A span name outside the vocabulary must be a schema violation.
+	bad := filepath.Join(t.TempDir(), "badrec.jsonl")
+	line := `{"ph":"X","ts":1,"dur":5,"name":"undo","cat":"recovery","track":"failover"}`
+	if err := os.WriteFile(bad, []byte(line+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The line is schema-valid apart from its name, so the single
+	// violation is the vocabulary check.
+	if err := run([]string{"-validate", bad}); err == nil || !strings.Contains(err.Error(), "1 schema violation(s)") {
+		t.Fatalf("validator accepted an unknown recovery span: %v", err)
 	}
 }
 

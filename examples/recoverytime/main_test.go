@@ -1,0 +1,55 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSimulatedRecoveryMatchesAnalyticModel is the acceptance check of
+// the recovery model: for a serial replay, the simulated log-scan plus
+// redo time must agree with the analytic estimate for the same
+// crash-time workload within a factor of two (the simulation adds
+// device queueing and CPU contention from the surviving load, which
+// the closed-form model deliberately ignores).
+func TestSimulatedRecoveryMatchesAnalyticModel(t *testing.T) {
+	fs, est, err := simulatedRecovery(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.LogPagesScanned == 0 || fs.PagesRedone == 0 {
+		t.Fatalf("degenerate crash workload: %+v", fs)
+	}
+	sim := fs.LogScan + fs.Redo
+	ana := est.LogScan + est.Redo
+	if sim <= 0 || ana <= 0 {
+		t.Fatalf("empty phase durations: simulated %v, analytic %v", sim, ana)
+	}
+	if sim < ana/2 || sim > 2*ana {
+		t.Fatalf("simulated scan+redo %v disagrees with analytic %v beyond 2x", sim, ana)
+	}
+}
+
+// TestParallelReplayBounded checks the parallel estimate brackets the
+// simulation: ideal division is a lower bound (workers contend for the
+// single log disk in the simulator), and the serial analytic estimate
+// (doubled, same tolerance as above) is an upper bound — parallel
+// replay must not be slower than serial.
+func TestParallelReplayBounded(t *testing.T) {
+	const workers = 4
+	fs, est, err := simulatedRecovery(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Workers != workers {
+		t.Fatalf("recovery used %d workers, want %d", fs.Workers, workers)
+	}
+	sim := fs.LogScan + fs.Redo
+	ideal := est.LogScan + est.Redo
+	serial := time.Duration(workers) * ideal // ParallelEstimate divides by workers
+	if sim < ideal {
+		t.Fatalf("simulated parallel scan+redo %v beats the ideal division %v", sim, ideal)
+	}
+	if sim > 2*serial {
+		t.Fatalf("simulated parallel scan+redo %v exceeds twice the serial estimate %v", sim, serial)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"gemsim/internal/fault"
 	"gemsim/internal/model"
 	"gemsim/internal/node"
+	"gemsim/internal/recovery"
 	"gemsim/internal/trace"
 	"gemsim/internal/workload"
 )
@@ -111,6 +112,20 @@ type FaultConfig struct {
 	// DetectDelay is the failure detection latency between a crash and
 	// the start of recovery on the survivors. Default 50ms.
 	DetectDelay time.Duration
+	// Reopen selects when transactions are readmitted after a crash:
+	// recovery.ReopenOffline (default) completes the whole REDO replay
+	// first; recovery.ReopenIncremental admits transactions while
+	// replay is in flight, repairing unredone pages on first touch.
+	Reopen recovery.ReopenPolicy
+	// RecoveryWorkers is the number of parallel replay workers the
+	// recovery coordinator spawns; the REDO backlog is partitioned by
+	// GLA across them. 0 or 1 keeps the serial replay of earlier
+	// versions.
+	RecoveryWorkers int
+	// AvailabilityWindow is the sampling window of the availability
+	// tracker (time-to-full-throughput, per-window unavailability, SLO
+	// attainment). Default 250ms.
+	AvailabilityWindow time.Duration
 }
 
 // TraceConfig enables the observability layer: a per-transaction event
@@ -305,6 +320,12 @@ func (c *Config) validate() error {
 			return fmt.Errorf("core: Faults timings must be non-negative")
 		case c.Nodes < 2 && (len(f.Crashes) > 0 || f.MTBF > 0):
 			return fmt.Errorf("core: node crashes need at least 2 nodes (no survivor to recover)")
+		case f.Reopen != recovery.ReopenOffline && f.Reopen != recovery.ReopenIncremental:
+			return fmt.Errorf("core: invalid Faults.Reopen policy %d", f.Reopen)
+		case f.RecoveryWorkers < 0:
+			return fmt.Errorf("core: Faults.RecoveryWorkers must be non-negative, got %d", f.RecoveryWorkers)
+		case f.AvailabilityWindow < 0:
+			return fmt.Errorf("core: Faults.AvailabilityWindow must be non-negative, got %v", f.AvailabilityWindow)
 		}
 	}
 	return nil

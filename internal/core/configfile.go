@@ -10,6 +10,7 @@ import (
 	"gemsim/internal/fault"
 	"gemsim/internal/model"
 	"gemsim/internal/node"
+	"gemsim/internal/recovery"
 	"gemsim/internal/workload"
 )
 
@@ -67,6 +68,12 @@ type FaultsFile struct {
 	LockWaitTimeout    string      `json:"lockWaitTimeout,omitempty"`
 	CheckpointInterval string      `json:"checkpointInterval,omitempty"`
 	DetectDelay        string      `json:"detectDelay,omitempty"`
+	// Reopen is "offline" (default) or "incremental".
+	Reopen string `json:"reopen,omitempty"`
+	// RecoveryWorkers is the parallel replay width (0/1 = serial).
+	RecoveryWorkers int `json:"recoveryWorkers,omitempty"`
+	// AvailabilityWindow is the availability sampling window.
+	AvailabilityWindow string `json:"availabilityWindow,omitempty"`
 }
 
 // SkewFile is the JSON representation of a workload.Skew.
@@ -399,6 +406,24 @@ func (f *FaultsFile) toFaultConfig() (*FaultConfig, error) {
 	}
 	if fc.DetectDelay, err = parseOptDuration("faults.detectDelay", f.DetectDelay); err != nil {
 		return nil, err
+	}
+	if fc.Reopen, err = recovery.ParseReopenPolicy(f.Reopen); err != nil {
+		return nil, fmt.Errorf("core: faults.reopen: %w", err)
+	}
+	if f.RecoveryWorkers < 0 {
+		return nil, fmt.Errorf("core: faults.recoveryWorkers must be non-negative, got %d", f.RecoveryWorkers)
+	}
+	fc.RecoveryWorkers = f.RecoveryWorkers
+	if fc.AvailabilityWindow, err = parseOptDuration("faults.availabilityWindow", f.AvailabilityWindow); err != nil {
+		return nil, err
+	}
+	// Degenerate MTBF/MTTR pairs are rejected here, before a run is
+	// assembled, with the generator's descriptive errors.
+	if (fc.MTBF != 0) != (fc.MTTR != 0) {
+		return nil, fmt.Errorf("core: faults.mtbf and faults.mttr must be set together")
+	}
+	if fc.MTBF != 0 && (fc.MTBF < 0 || fc.MTTR < 0) {
+		return nil, fmt.Errorf("core: faults.mtbf and faults.mttr must be positive, got %v and %v", fc.MTBF, fc.MTTR)
 	}
 	return fc, nil
 }

@@ -63,8 +63,14 @@ func Run(cfg Config) (*Report, error) {
 			Crashes: append([]fault.NodeCrash(nil), cfg.Faults.Crashes...),
 			Stalls:  append([]fault.DiskStall(nil), cfg.Faults.DiskStalls...),
 		}
-		plan.Crashes = append(plan.Crashes, fault.GenerateCrashes(
-			cfg.Seed, cfg.Nodes, cfg.Warmup+cfg.Measure, cfg.Faults.MTBF, cfg.Faults.MTTR)...)
+		if cfg.Faults.MTBF > 0 || cfg.Faults.MTTR > 0 {
+			generated, err := fault.GenerateCrashes(
+				cfg.Seed, cfg.Nodes, cfg.Warmup+cfg.Measure, cfg.Faults.MTBF, cfg.Faults.MTTR)
+			if err != nil {
+				return nil, err
+			}
+			plan.Crashes = append(plan.Crashes, generated...)
+		}
 		if err := plan.Validate(cfg.Nodes); err != nil {
 			return nil, err
 		}
@@ -157,6 +163,9 @@ func assemble(cfg *Config) (workload.Generator, routing.Router, routing.GLAMap, 
 		params.RetryBackoffCap = 2 * time.Second
 		params.RecoveryApplyInstr = 5000
 		params.RecoveryEntryInstr = 100
+		params.Reopen = f.Reopen
+		params.RecoveryWorkers = f.RecoveryWorkers
+		params.AvailabilityWindow = f.AvailabilityWindow
 	}
 
 	var (

@@ -83,10 +83,17 @@ func (p *Plan) Validate(nodes int) error {
 // exponential inter-failure times with the given mean (MTBF, over the
 // whole complex), exponential repair with mean MTTR, uniformly chosen
 // victims. Windows never overlap (the next failure waits for the
-// previous repair), matching Plan.Validate.
-func GenerateCrashes(seed int64, nodes int, horizon, mtbf, mttr time.Duration) []NodeCrash {
-	if nodes < 2 || mtbf <= 0 || mttr <= 0 {
-		return nil
+// previous repair), matching Plan.Validate. Degenerate parameters are
+// rejected with a descriptive error instead of silently producing an
+// empty schedule.
+func GenerateCrashes(seed int64, nodes int, horizon, mtbf, mttr time.Duration) ([]NodeCrash, error) {
+	switch {
+	case nodes < 2:
+		return nil, fmt.Errorf("fault: MTBF crash generation needs at least 2 nodes, got %d (no survivor to recover)", nodes)
+	case mtbf <= 0:
+		return nil, fmt.Errorf("fault: MTBF must be positive, got %v", mtbf)
+	case mttr <= 0:
+		return nil, fmt.Errorf("fault: MTTR must be positive, got %v", mttr)
 	}
 	src := rng.New(seed).Split("fault-crashes")
 	var out []NodeCrash
@@ -96,7 +103,7 @@ func GenerateCrashes(seed int64, nodes int, horizon, mtbf, mttr time.Duration) [
 		repair := time.Duration(src.Exp(mttr.Seconds())*float64(time.Second)) + time.Millisecond
 		t += gap
 		if t >= horizon {
-			return out
+			return out, nil
 		}
 		out = append(out, NodeCrash{Node: src.Intn(nodes), At: t, Repair: repair})
 		t += repair

@@ -47,7 +47,11 @@ func TestPlanValidate(t *testing.T) {
 
 func TestGenerateCrashesDeterministic(t *testing.T) {
 	gen := func(seed int64) []NodeCrash {
-		return GenerateCrashes(seed, 4, time.Hour, 5*time.Minute, 30*time.Second)
+		crashes, err := GenerateCrashes(seed, 4, time.Hour, 5*time.Minute, 30*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return crashes
 	}
 	a, b := gen(7), gen(7)
 	if len(a) == 0 {
@@ -72,15 +76,24 @@ func TestGenerateCrashesDeterministic(t *testing.T) {
 	}
 }
 
-func TestGenerateCrashesDisabled(t *testing.T) {
-	if got := GenerateCrashes(1, 1, time.Hour, time.Minute, time.Second); got != nil {
-		t.Fatalf("single node: got %v, want nil", got)
+func TestGenerateCrashesRejectsDegenerate(t *testing.T) {
+	cases := []struct {
+		name  string
+		nodes int
+		mtbf  time.Duration
+		mttr  time.Duration
+	}{
+		{"single node", 1, time.Minute, time.Second},
+		{"MTBF 0", 4, 0, time.Second},
+		{"MTBF negative", 4, -time.Minute, time.Second},
+		{"MTTR 0", 4, time.Minute, 0},
+		{"MTTR negative", 4, time.Minute, -time.Second},
 	}
-	if got := GenerateCrashes(1, 4, time.Hour, 0, time.Second); got != nil {
-		t.Fatalf("MTBF 0: got %v, want nil", got)
-	}
-	if got := GenerateCrashes(1, 4, time.Hour, time.Minute, 0); got != nil {
-		t.Fatalf("MTTR 0: got %v, want nil", got)
+	for _, c := range cases {
+		crashes, err := GenerateCrashes(1, c.nodes, time.Hour, c.mtbf, c.mttr)
+		if err == nil {
+			t.Errorf("%s: expected a descriptive error, got schedule %v", c.name, crashes)
+		}
 	}
 }
 

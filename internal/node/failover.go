@@ -9,6 +9,7 @@ import (
 	"gemsim/internal/lock"
 	"gemsim/internal/model"
 	"gemsim/internal/netsim"
+	"gemsim/internal/recovery"
 	"gemsim/internal/sim"
 	"gemsim/internal/trace"
 )
@@ -68,15 +69,58 @@ type FailoverStats struct {
 	// RecoveryDuration is the full outage: crash until the last page
 	// was redone and unfenced.
 	RecoveryDuration time.Duration
-	// Phase durations.
+	// ReopenAt is when transactions were readmitted past the fences:
+	// under incremental reopen the moment the lock state is recovered
+	// and fences are armed (replay still in flight); under offline
+	// replay it equals RecoveredAt.
+	ReopenAt time.Duration
+	// Phase durations. Under parallel replay LogScan and Redo are the
+	// critical path: the slowest worker's scan and replay time.
 	LockRecovery time.Duration
 	LogScan      time.Duration
 	Redo         time.Duration
+	// TimeToFullThroughput is the availability metric of STAR: the
+	// time from the crash until the windowed complex throughput first
+	// recrosses 95% of its pre-crash baseline. Zero when throughput
+	// never recovered inside the measured interval.
+	TimeToFullThroughput time.Duration
+	// BaselineTput is the pre-crash windowed throughput baseline
+	// (txns/s) the recovery is measured against.
+	BaselineTput float64
 	// Work counts.
 	LogPagesScanned int64
 	PagesRedone     int64
 	LocksRecovered  int64
 	TxnsKilled      int64
+	// PagesRepairedOnDemand counts redo pages repaired out of order
+	// because a readmitted transaction touched them first
+	// (incremental reopen only).
+	PagesRepairedOnDemand int64
+	// Workers is the number of parallel replay workers used.
+	Workers int
+}
+
+// recoveryRun is the live state of one in-flight recovery under the
+// replay engine (parallel workers and/or incremental reopen). It is
+// nil outside recovery and under the legacy serial path, so the
+// default configurations take no new branches.
+type recoveryRun struct {
+	crashed     int
+	coordID     int
+	coord       *Node
+	incremental bool
+	replay      *recovery.Replay
+	byPage      map[model.PageID]*redoPage
+	pagesLeft   int
+	workersLeft int
+	coordProc   *sim.Proc
+	// waiting is set once the coordinator has parked for completion;
+	// before that, finishing workers must not Unpark it (it may be
+	// parked inside a device wait of its own undo scan).
+	waiting   bool
+	repairs   int64
+	maxScan   time.Duration
+	maxReplay time.Duration
 }
 
 // CrashNode implements fault.Target: the node fails, losing its
@@ -152,6 +196,9 @@ func (s *System) CrashNode(node int) {
 
 	if tr := s.tracer; tr.Enabled() {
 		tr.Instant("failover", 0, "fault", "crash", crashAt, "node="+itoa(node))
+	}
+	if s.avail != nil {
+		s.avail.noteCrash(crashAt)
 	}
 	w := &failWindow{start: crashAt}
 	s.failWindows = append(s.failWindows, w)
@@ -410,6 +457,47 @@ func (s *System) runRecovery(p *sim.Proc, crashed int, crashAt sim.Time, losers 
 		tr.Span("failover", 0, "recovery", "lock-recovery", lockStart, s.env.Now(), traceArg)
 	}
 
+	workers := params.RecoveryWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	incremental := params.Reopen == recovery.ReopenIncremental
+	if incremental || workers > 1 {
+		// Replay engine: the REDO backlog partitioned by GLA across
+		// parallel workers, on-demand page repair under incremental
+		// reopen.
+		s.runParallelReplay(p, coordID, coord, crashed, losers, redo, logPages, workers, incremental, &fs, traceArg)
+	} else {
+		s.runSerialReplay(p, coordID, coord, crashed, losers, redo, logPages, &fs, traceArg)
+	}
+	fs.PagesRedone = int64(len(redo))
+	fs.Workers = workers
+	if tr := s.tracer; tr.Enabled() {
+		tr.Instant("failover", 0, "recovery", "recovered", s.env.Now(), traceArg)
+	}
+
+	end := s.env.Now()
+	if !incremental {
+		fs.ReopenAt = end
+	}
+	fs.RecoveredAt = end
+	fs.RecoveryDuration = end - crashAt
+	w.end = end
+	s.failovers = append(s.failovers, fs)
+	if s.ctl != nil {
+		// The allocation just changed under the controller (partitions
+		// adopted, load redirected): rebalance right away.
+		s.ctl.noteFailover()
+	}
+}
+
+// runSerialReplay is the legacy restart discipline (offline reopen,
+// one worker): scan the whole log span, then redo the lost pages one
+// by one on the recovery coordinator. The event sequence is identical
+// to earlier versions, so default fault configurations stay
+// bit-identical.
+func (s *System) runSerialReplay(p *sim.Proc, coordID int, coord *Node, crashed int, losers []lock.Owner, redo []redoPage, logPages int64, fs *FailoverStats, traceArg string) {
+	params := &s.params
 	// Phase 2: scan the failed node's log written since its last fuzzy
 	// checkpoint, plus the undo information of each loser. This is the
 	// phase where log placement decides the outage: GEM-resident logs
@@ -434,68 +522,242 @@ func (s *System) runRecovery(p *sim.Proc, crashed int, crashAt sim.Time, losers 
 	// the log records, write the recovered version back, then drop the
 	// fence.
 	redoStart := s.env.Now()
-	for _, r := range redo {
-		file := s.db.File(r.page.File)
-		coord.readStorage(p, file, r.page, 0)
+	for i := range redo {
+		s.redoOnePage(p, coordID, coord, crashed, &redo[i])
+	}
+	fs.Redo = s.env.Now() - redoStart
+	if tr := s.tracer; tr.Enabled() {
+		tr.Span("failover", 0, "recovery", "redo", redoStart, s.env.Now(), traceArg)
+	}
+}
+
+// redoOnePage restores one lost page: read the storage version, apply
+// the log records, write the recovered version back, update the
+// coherency metadata, then drop the fence and wake its waiters.
+func (s *System) redoOnePage(p *sim.Proc, coordID int, coord *Node, crashed int, r *redoPage) {
+	params := &s.params
+	file := s.db.File(r.page.File)
+	coord.readStorage(p, file, r.page, 0)
+	if params.RecoveryApplyInstr > 0 {
+		coord.cpu.Exec(p, params.RecoveryApplyInstr)
+	}
+	coord.writeStorage(p, file, r.page, r.seq)
+	if r.tbl >= 0 {
+		if params.Coupling == CouplingPCL {
+			meta := s.pclMetaOf(r.tbl, r.page)
+			if r.seq > meta.seq {
+				meta.seq = r.seq
+			}
+			if meta.owner == crashed {
+				meta.owner = -1
+			}
+		} else {
+			meta := s.gltMetaOf(r.page)
+			if meta.owner == crashed {
+				meta.owner = -1
+			}
+			coord.gemEntryOp(p, 0, 1)
+		}
+	}
+	if r.fenced {
+		tbl := s.tables[r.tbl]
+		var granted []*lock.Request
+		if tbl.HoldsLock(r.page, r.fence, model.LockWrite) {
+			granted = tbl.Release(r.page, r.fence)
+		} else {
+			// Fence never granted (a survivor still holds the
+			// page); withdraw it, the holder's copy is current.
+			granted = tbl.CancelWaiting(r.fence)
+		}
+		home := coordID
+		if params.Coupling == CouplingPCL {
+			home = s.glaHomeOf(r.tbl)
+		}
+		if home == coordID {
+			s.wakeGranted(granted, r.tbl, execCtx{node: coordID, proc: p})
+		} else {
+			s.wakeGrantedAsync(granted, r.tbl, home)
+		}
+	}
+}
+
+// runParallelReplay is the replay engine: the failed node's log span
+// and REDO backlog are partitioned by GLA across recovery workers
+// (longest-backlog-first, deterministic), each worker scanning its log
+// share and replaying its partitions as an independent process over
+// the shared devices — the coordinator node's CPU complex bounds the
+// CPU-side speedup at CPUsPerNode, its disk groups and GEM ports the
+// device side, so the parallelism is costed, not free. Under
+// incremental reopen the complex is considered reopened as soon as the
+// fences are armed — which is already the case on entry — and a
+// transaction hitting an unredone fence triggers an on-demand
+// single-page repair that jumps the replay queue (see
+// noteFenceConflict). The loser undo scan stays on the coordinator.
+func (s *System) runParallelReplay(p *sim.Proc, coordID int, coord *Node, crashed int, losers []lock.Owner, redo []redoPage, logPages int64, workers int, incremental bool, fs *FailoverStats, traceArg string) {
+	params := &s.params
+	replayStart := s.env.Now()
+	pages := make([]model.PageID, len(redo))
+	byPage := make(map[model.PageID]*redoPage, len(redo))
+	for i := range redo {
+		pages[i] = redo[i].page
+		byPage[redo[i].page] = &redo[i]
+	}
+	rec := &recoveryRun{
+		crashed:     crashed,
+		coordID:     coordID,
+		coord:       coord,
+		incremental: incremental,
+		replay:      recovery.NewReplay(pages),
+		byPage:      byPage,
+		pagesLeft:   len(redo),
+		workersLeft: workers,
+		coordProc:   p,
+	}
+	s.rec = rec
+	if incremental {
+		fs.ReopenAt = replayStart
+		if tr := s.tracer; tr.Enabled() {
+			tr.Span("failover", 0, "recovery", "reopen", fs.CrashAt, replayStart, traceArg)
+		}
+	}
+
+	// Partition the backlog by GLA and assign partitions to workers,
+	// heaviest first. Each worker's page list keeps the deterministic
+	// backlog order. The GLA map may address more partitions than lock
+	// tables exist under GEM coupling (and may be absent entirely), so
+	// the partition array is sized from the backlog itself.
+	part := func(page model.PageID) int {
+		if s.gla == nil {
+			return 0
+		}
+		return s.gla.GLA(page)
+	}
+	parts := 1
+	for i := range redo {
+		if g := part(redo[i].page); g >= parts {
+			parts = g + 1
+		}
+	}
+	counts := make([]int, parts)
+	for i := range redo {
+		counts[part(redo[i].page)]++
+	}
+	assign := recovery.AssignPartitions(counts, workers)
+	perWorker := make([][]int, workers)
+	for i := range redo {
+		w := assign[part(redo[i].page)]
+		perWorker[w] = append(perWorker[w], i)
+	}
+
+	logPage := model.PageID{File: -1, Page: int32(crashed)}
+	for w := 0; w < workers; w++ {
+		w := w
+		// Split the log span evenly; the first workers take the
+		// remainder.
+		share := logPages / int64(workers)
+		if int64(w) < logPages%int64(workers) {
+			share++
+		}
+		mine := perWorker[w]
+		s.env.Spawn("replay"+itoa(w), func(wp *sim.Proc) {
+			scanStart := s.env.Now()
+			for i := int64(0); i < share; i++ {
+				s.readCrashedLog(wp, coord, crashed, logPage)
+			}
+			scanEnd := s.env.Now()
+			if tr := s.tracer; tr.Enabled() && share > 0 {
+				tr.Span("failover", int64(w+1), "recovery", "log-scan", scanStart, scanEnd, traceArg)
+			}
+			for _, idx := range mine {
+				r := &redo[idx]
+				if !rec.replay.Claim(r.page) {
+					continue // repaired on demand (or by a racing claim)
+				}
+				s.redoOnePage(wp, coordID, coord, crashed, r)
+				rec.replay.Done(r.page)
+				s.recPageDone(rec)
+			}
+			replayEnd := s.env.Now()
+			if tr := s.tracer; tr.Enabled() && len(mine) > 0 {
+				tr.Span("failover", int64(w+1), "recovery", "replay", scanEnd, replayEnd, traceArg)
+			}
+			s.recWorkerDone(rec, scanEnd-scanStart, replayEnd-scanEnd)
+		})
+	}
+
+	// The loser undo scan is serial coordinator work, concurrent with
+	// the workers.
+	for range losers {
+		s.readCrashedLog(p, coord, crashed, logPage)
 		if params.RecoveryApplyInstr > 0 {
 			coord.cpu.Exec(p, params.RecoveryApplyInstr)
 		}
-		coord.writeStorage(p, file, r.page, r.seq)
-		if r.tbl >= 0 {
-			if params.Coupling == CouplingPCL {
-				meta := s.pclMetaOf(r.tbl, r.page)
-				if r.seq > meta.seq {
-					meta.seq = r.seq
-				}
-				if meta.owner == crashed {
-					meta.owner = -1
-				}
-			} else {
-				meta := s.gltMetaOf(r.page)
-				if meta.owner == crashed {
-					meta.owner = -1
-				}
-				coord.gemEntryOp(p, 0, 1)
-			}
-		}
-		if r.fenced {
-			tbl := s.tables[r.tbl]
-			var granted []*lock.Request
-			if tbl.HoldsLock(r.page, r.fence, model.LockWrite) {
-				granted = tbl.Release(r.page, r.fence)
-			} else {
-				// Fence never granted (a survivor still holds the
-				// page); withdraw it, the holder's copy is current.
-				granted = tbl.CancelWaiting(r.fence)
-			}
-			home := coordID
-			if params.Coupling == CouplingPCL {
-				home = s.glaHomeOf(r.tbl)
-			}
-			if home == coordID {
-				s.wakeGranted(granted, r.tbl, execCtx{node: coordID, proc: p})
-			} else {
-				s.wakeGrantedAsync(granted, r.tbl, home)
-			}
-		}
 	}
-	fs.Redo = s.env.Now() - redoStart
-	fs.PagesRedone = int64(len(redo))
-	if tr := s.tracer; tr.Enabled() {
-		tr.Span("failover", 0, "recovery", "redo", redoStart, s.env.Now(), traceArg)
-		tr.Instant("failover", 0, "recovery", "recovered", s.env.Now(), traceArg)
+	if rec.pagesLeft > 0 || rec.workersLeft > 0 {
+		rec.waiting = true
+		p.Park()
 	}
+	s.rec = nil
+	fs.LogScan = rec.maxScan
+	fs.Redo = rec.maxReplay
+	fs.PagesRepairedOnDemand = rec.repairs
+}
 
-	end := s.env.Now()
-	fs.RecoveredAt = end
-	fs.RecoveryDuration = end - crashAt
-	w.end = end
-	s.failovers = append(s.failovers, fs)
-	if s.ctl != nil {
-		// The allocation just changed under the controller (partitions
-		// adopted, load redirected): rebalance right away.
-		s.ctl.noteFailover()
+// recPageDone marks one backlog page fully replayed and completes the
+// recovery when the last page and worker are done.
+func (s *System) recPageDone(rec *recoveryRun) {
+	rec.pagesLeft--
+	if rec.pagesLeft == 0 && rec.workersLeft == 0 && rec.waiting {
+		rec.coordProc.Unpark()
 	}
+}
+
+// recWorkerDone retires one replay worker, keeping the critical-path
+// phase durations.
+func (s *System) recWorkerDone(rec *recoveryRun, scan, replay time.Duration) {
+	if scan > rec.maxScan {
+		rec.maxScan = scan
+	}
+	if replay > rec.maxReplay {
+		rec.maxReplay = replay
+	}
+	rec.workersLeft--
+	if rec.pagesLeft == 0 && rec.workersLeft == 0 && rec.waiting {
+		rec.coordProc.Unpark()
+	}
+}
+
+// noteFenceConflict is called from the lock paths when a request is
+// not granted: under incremental reopen, a conflict on an unredone
+// fenced page triggers an on-demand single-page repair that jumps the
+// replay queue [Sauer & Härder]. The repair carries its own log
+// lookup cost (one log page read) on top of the normal per-page redo,
+// so queue-jumping is costed, traced and counted. Outside incremental
+// recovery this is a nil check and one map probe at most.
+func (s *System) noteFenceConflict(page model.PageID) {
+	rec := s.rec
+	if rec == nil || !rec.incremental {
+		return
+	}
+	r, ok := rec.byPage[page]
+	if !ok || !rec.replay.ClaimDemand(page) {
+		return
+	}
+	rec.repairs++
+	logPage := model.PageID{File: -1, Page: int32(rec.crashed)}
+	s.env.Spawn("page-repair", func(p *sim.Proc) {
+		start := s.env.Now()
+		s.readCrashedLog(p, rec.coord, rec.crashed, logPage)
+		if s.params.RecoveryApplyInstr > 0 {
+			rec.coord.cpu.Exec(p, s.params.RecoveryApplyInstr)
+		}
+		s.redoOnePage(p, rec.coordID, rec.coord, rec.crashed, r)
+		rec.replay.Done(page)
+		if tr := s.tracer; tr.Enabled() {
+			tr.Span("failover", 0, "recovery", "page-repair", start, s.env.Now(), "page="+page.String())
+		}
+		s.recPageDone(rec)
+	})
 }
 
 // readCrashedLog reads one page of the failed node's log: from GEM

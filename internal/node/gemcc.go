@@ -52,6 +52,7 @@ func (c *gemCC) lock(t *txn, page model.PageID, mode model.LockMode) (ccOutcome,
 	_, granted := c.glt().Request(page, t.owner, mode, wait)
 	if !granted {
 		n.lockWaits++
+		n.sys.noteFenceConflict(page)
 		start := n.sys.env.Now()
 		t.waiting = wait
 		err := n.sys.blockForLock(t)

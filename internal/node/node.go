@@ -385,6 +385,9 @@ func (n *Node) attempt(t *txn) error {
 			}
 		}
 		preModified := t.modified[ref.Page] != nil
+		if obs := n.sys.pageObserver; obs != nil {
+			obs(ref.Page)
+		}
 		frame := n.getPage(t, file, ref.Page, ref.Write, out, firstTouch)
 		if ref.Write {
 			n.markModified(t, frame)

@@ -14,6 +14,7 @@ import (
 	"gemsim/internal/gem"
 	"gemsim/internal/model"
 	"gemsim/internal/netsim"
+	"gemsim/internal/recovery"
 	"gemsim/internal/trace"
 )
 
@@ -180,6 +181,21 @@ type Params struct {
 	// RecoveryEntryInstr is the CPU demand per lock entry read or
 	// re-registered during lock state recovery.
 	RecoveryEntryInstr float64
+	// Reopen selects when transactions are readmitted after a crash:
+	// recovery.ReopenOffline holds new work on the fences until the
+	// whole REDO backlog is replayed (the behavior of earlier
+	// versions); recovery.ReopenIncremental reopens as soon as the lock
+	// state is recovered and repairs unredone pages on first touch.
+	Reopen recovery.ReopenPolicy
+	// RecoveryWorkers is the number of parallel replay workers; the
+	// REDO backlog is partitioned by GLA partition across them
+	// (longest-backlog-first). 0 or 1 replays serially on the recovery
+	// coordinator exactly as earlier versions did.
+	RecoveryWorkers int
+	// AvailabilityWindow is the sampling window of the availability
+	// tracker measuring time-to-full-throughput and per-window
+	// unavailability (fault runs only; default 250ms).
+	AvailabilityWindow time.Duration
 
 	// Seed drives all stochastic model components.
 	Seed int64
@@ -247,6 +263,12 @@ func (p *Params) Validate() error {
 		return errParam("fault timing parameters must be non-negative")
 	case p.RecoveryApplyInstr < 0 || p.RecoveryEntryInstr < 0:
 		return errParam("recovery instruction demands must be non-negative")
+	case p.Reopen != recovery.ReopenOffline && p.Reopen != recovery.ReopenIncremental:
+		return errParam("Reopen must be offline or incremental")
+	case p.RecoveryWorkers < 0:
+		return errParam("RecoveryWorkers must be non-negative")
+	case p.AvailabilityWindow < 0:
+		return errParam("AvailabilityWindow must be non-negative")
 	case p.Net.LossProb < 0 || p.Net.LossProb >= 1:
 		return errParam("Net.LossProb must be in [0,1)")
 	}

@@ -79,6 +79,7 @@ func (c *pclCC) lockLocal(t *txn, page model.PageID, mode model.LockMode, gla in
 	_, granted := c.table(gla).Request(page, t.owner, mode, wait)
 	if !granted {
 		n.lockWaits++
+		sys.noteFenceConflict(page)
 		start := sys.env.Now()
 		t.waiting = wait
 		err := sys.blockForLock(t)
@@ -116,6 +117,7 @@ func (c *pclCC) lockShadowRA(t *txn, page model.PageID, gla int, copySeq uint64)
 		// The RA is being revoked by a writer; wait like a regular
 		// conflict.
 		n.lockWaits++
+		sys.noteFenceConflict(page)
 		start := sys.env.Now()
 		t.waiting = wait
 		err := sys.blockForLock(t)
@@ -230,6 +232,7 @@ func (n *Node) handleLockRequest(p *sim.Proc, m lockRequestMsg) {
 		n.pclReply(p, m)
 		return
 	}
+	sys.noteFenceConflict(m.Page)
 	// The remote requester waits in the queue; check for deadlocks it
 	// may have closed.
 	if cycle := sys.detector.FindCycle(m.Owner); cycle != nil {

@@ -1,0 +1,213 @@
+package node
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gemsim/internal/model"
+	"gemsim/internal/recovery"
+	"gemsim/internal/sim"
+	"gemsim/internal/trace"
+)
+
+// reopenParams arms the replay engine on top of the fault test
+// parameters.
+func reopenParams(nodes int, coupling Coupling, policy recovery.ReopenPolicy, workers int) Params {
+	p := faultParams(nodes, coupling)
+	p.Reopen = policy
+	p.RecoveryWorkers = workers
+	return p
+}
+
+// TestIncrementalReopenInvariants crashes a node under incremental
+// reopen with parallel replay workers and checks the two safety
+// invariants of the engine, for both coupling modes:
+//
+//  1. no transaction ever observes an unredone page — every page
+//     access behind a released fence must find the page replayed
+//     (an on-demand repair span was emitted for it first);
+//  2. replay completes exactly once per page even when replay workers
+//     and on-demand repairs race for the same backlog.
+func TestIncrementalReopenInvariants(t *testing.T) {
+	for _, coupling := range []Coupling{CouplingGEM, CouplingPCL} {
+		gen := &scriptGen{db: testDB(), txns: []model.Txn{
+			{Type: 0, Refs: []model.Ref{{Page: pgID(1), Write: true}, {Page: pgID(2)}}},
+			{Type: 1, Refs: []model.Ref{{Page: pgID(1), Write: true}, {Page: pgID(3), Write: true}}},
+			{Type: 2, Refs: []model.Ref{{Page: pgID(2), Write: true}, {Page: pgID(4), Write: true}}},
+		}}
+		params := reopenParams(2, coupling, recovery.ReopenIncremental, 4)
+		var buf strings.Builder
+		params.Tracer = trace.New(&buf, trace.JSONL)
+		env := sim.NewEnv()
+		sys, err := NewSystem(env, params, gen, typeRouter{2}, modGLA{2})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Invariant 1: a transaction access on a backlog page must find
+		// it replayed (the fence releases only after redoOnePage).
+		violations := 0
+		sys.pageObserver = func(pg model.PageID) {
+			if rec := sys.rec; rec != nil && rec.replay.Unredone(pg) {
+				violations++
+			}
+		}
+		env.After(time.Second, func() { sys.CrashNode(1) })
+		env.After(2500*time.Millisecond, func() { sys.RepairNode(1) })
+		sys.Start(30)
+		sys.ResetStats()
+		if err := env.Run(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		m := sys.Snapshot()
+		if err := params.Tracer.Close(); err != nil {
+			t.Fatal(err)
+		}
+		env.Stop()
+
+		if violations > 0 {
+			t.Fatalf("%v: %d transaction accesses observed an unredone page", coupling, violations)
+		}
+		if len(m.Failovers) != 1 {
+			t.Fatalf("%v: failovers %d, want 1", coupling, len(m.Failovers))
+		}
+		fs := m.Failovers[0]
+		if fs.Workers != 4 {
+			t.Fatalf("%v: workers %d, want 4", coupling, fs.Workers)
+		}
+		// Incremental reopen readmits before replay completes.
+		if fs.ReopenAt >= fs.RecoveredAt {
+			t.Fatalf("%v: reopen at %v not before recovery end %v", coupling, fs.ReopenAt, fs.RecoveredAt)
+		}
+		if m.Commits < 100 {
+			t.Fatalf("%v: commits %d, want >= 100 across the outage", coupling, m.Commits)
+		}
+
+		// Invariant 2, trace form: every repaired page shows exactly one
+		// page-repair span; the backlog total matches PagesRedone.
+		tr := buf.String()
+		repairs := strings.Count(tr, `"page-repair"`)
+		if int64(repairs) != fs.PagesRepairedOnDemand {
+			t.Fatalf("%v: %d page-repair spans, stats say %d", coupling, repairs, fs.PagesRepairedOnDemand)
+		}
+		seen := map[string]int{}
+		for _, line := range strings.Split(tr, "\n") {
+			if !strings.Contains(line, `"page-repair"`) {
+				continue
+			}
+			i := strings.Index(line, "page=")
+			if i < 0 {
+				t.Fatalf("%v: page-repair span without page arg: %s", coupling, line)
+			}
+			page := strings.TrimSuffix(line[i:], `"}`)
+			seen[page]++
+		}
+		for page, count := range seen {
+			if count != 1 {
+				t.Fatalf("%v: page %s repaired %d times, want exactly once", coupling, page, count)
+			}
+		}
+		if !strings.Contains(tr, `"reopen"`) {
+			t.Fatalf("%v: no reopen span emitted", coupling)
+		}
+	}
+}
+
+// TestParallelReplayExactlyOnce runs the engine with offline reopen
+// and several workers: the backlog must replay exactly once per page
+// (PagesRedone matches the recorded backlog; no on-demand repairs in
+// offline mode) and recovery must still complete.
+func TestParallelReplayExactlyOnce(t *testing.T) {
+	for _, coupling := range []Coupling{CouplingGEM, CouplingPCL} {
+		gen := &scriptGen{db: testDB(), txns: []model.Txn{
+			{Type: 0, Refs: []model.Ref{{Page: pgID(1), Write: true}, {Page: pgID(2)}}},
+			{Type: 1, Refs: []model.Ref{{Page: pgID(1), Write: true}, {Page: pgID(3), Write: true}}},
+		}}
+		params := reopenParams(2, coupling, recovery.ReopenOffline, 3)
+		env := sim.NewEnv()
+		sys, err := NewSystem(env, params, gen, typeRouter{2}, modGLA{2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		env.After(time.Second, func() { sys.CrashNode(1) })
+		env.After(2500*time.Millisecond, func() { sys.RepairNode(1) })
+		sys.Start(30)
+		sys.ResetStats()
+		if err := env.Run(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		m := sys.Snapshot()
+		env.Stop()
+
+		if len(m.Failovers) != 1 {
+			t.Fatalf("%v: failovers %d, want 1", coupling, len(m.Failovers))
+		}
+		fs := m.Failovers[0]
+		if fs.PagesRepairedOnDemand != 0 {
+			t.Fatalf("%v: %d on-demand repairs under offline reopen, want 0", coupling, fs.PagesRepairedOnDemand)
+		}
+		if fs.ReopenAt != fs.RecoveredAt {
+			t.Fatalf("%v: offline reopen at %v must equal recovery end %v", coupling, fs.ReopenAt, fs.RecoveredAt)
+		}
+		if fs.RecoveryDuration <= 0 {
+			t.Fatalf("%v: recovery never completed: %+v", coupling, fs)
+		}
+		if m.Commits < 100 {
+			t.Fatalf("%v: commits %d, want >= 100", coupling, m.Commits)
+		}
+	}
+}
+
+// TestAvailabilityTrackerMeasuresTTFT checks the windowed availability
+// metrics: a crash must yield a positive time-to-full-throughput
+// against a positive pre-crash baseline, SLO attainment strictly
+// between 0 and 1 (some windows degraded, not all), and a positive
+// p99 unavailability.
+func TestAvailabilityTrackerMeasuresTTFT(t *testing.T) {
+	gen := &scriptGen{db: testDB(), txns: []model.Txn{
+		{Type: 0, Refs: []model.Ref{{Page: pgID(1), Write: true}, {Page: pgID(2)}}},
+		{Type: 1, Refs: []model.Ref{{Page: pgID(1), Write: true}, {Page: pgID(3)}}},
+	}}
+	params := faultParams(2, CouplingGEM)
+	params.AvailabilityWindow = 100 * time.Millisecond
+	env := sim.NewEnv()
+	defer env.Stop()
+	sys, err := NewSystem(env, params, gen, typeRouter{2}, modGLA{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.After(2*time.Second, func() { sys.CrashNode(1) })
+	env.After(4*time.Second, func() { sys.RepairNode(1) })
+	sys.Start(30)
+	sys.ResetStats()
+	if err := env.Run(6 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	m := sys.Snapshot()
+	if len(m.Failovers) != 1 {
+		t.Fatalf("failovers %d, want 1", len(m.Failovers))
+	}
+	fs := m.Failovers[0]
+	if fs.BaselineTput <= 0 {
+		t.Fatalf("no pre-crash baseline measured: %+v", fs)
+	}
+	if fs.TimeToFullThroughput <= 0 {
+		t.Fatalf("throughput never recovered: %+v", fs)
+	}
+	if fs.TimeToFullThroughput < fs.DetectAt-fs.CrashAt {
+		t.Fatalf("TTFT %v shorter than the detection delay %v", fs.TimeToFullThroughput, fs.DetectAt-fs.CrashAt)
+	}
+	if m.MeanTimeToFullThroughput != fs.TimeToFullThroughput {
+		t.Fatalf("mean TTFT %v != single failover TTFT %v", m.MeanTimeToFullThroughput, fs.TimeToFullThroughput)
+	}
+	if m.AvailabilityWindows == 0 {
+		t.Fatal("no availability windows measured")
+	}
+	if m.SLOAttainment <= 0 || m.SLOAttainment >= 1 {
+		t.Fatalf("SLO attainment %v, want strictly between 0 and 1 across a crash", m.SLOAttainment)
+	}
+	if m.P99Unavailability <= 0 {
+		t.Fatalf("p99 unavailability %v, want > 0 across a crash", m.P99Unavailability)
+	}
+}

@@ -102,6 +102,17 @@ type System struct {
 	respPre     stats.Series
 	respDuring  stats.Series
 	respPost    stats.Series
+	// rec is the live state of an in-flight recovery under the replay
+	// engine (parallel workers / incremental reopen); nil otherwise.
+	rec *recoveryRun
+	// avail is the windowed availability tracker (fault runs only);
+	// it measures time-to-full-throughput and per-window
+	// unavailability against a pre-crash baseline.
+	avail *availTracker
+	// pageObserver, when non-nil, sees every transaction page access
+	// after its lock is granted (invariant tests: no transaction may
+	// observe an unredone page).
+	pageObserver func(model.PageID)
 
 	// Observability (see observe.go). tracer fans spans out to the
 	// configured sink (nil when tracing is off); breakdown aggregates
@@ -325,6 +336,7 @@ func (s *System) Start(ratePerNode float64) {
 	})
 	s.startLogMerge()
 	s.startCheckpoints()
+	s.startAvailability()
 }
 
 // startLogMerge spawns the global log merge process at node 0: it
@@ -397,6 +409,7 @@ func (s *System) StartClosed(terminals int, thinkTime time.Duration) {
 		}
 	}
 	s.startCheckpoints()
+	s.startAvailability()
 }
 
 // nextTxID allocates a transaction identifier; larger ids are younger.
@@ -599,6 +612,9 @@ func (s *System) ResetStats() {
 	s.respPre.Reset()
 	s.respDuring.Reset()
 	s.respPost.Reset()
+	if s.avail != nil {
+		s.avail.resetMeasure(s.totalCommits())
+	}
 	s.breakdown.Reset()
 	if s.ctl != nil {
 		s.ctl.resetStats()
@@ -708,6 +724,22 @@ type Metrics struct {
 	MeanRTPreFailure     time.Duration
 	MeanRTDuringRecovery time.Duration
 	MeanRTPostRecovery   time.Duration
+	// Availability SLO metrics from the windowed tracker (zero unless
+	// faults were enabled). MeanTimeToFullThroughput averages the
+	// per-failover TTFT over failovers whose throughput recrossed the
+	// pre-crash baseline inside the measured interval.
+	MeanTimeToFullThroughput time.Duration
+	// P99Unavailability is the 99th percentile of the per-window
+	// unavailability u = max(0, 1 - tput/baseline) over the measured
+	// interval (0 = full throughput all the time, 1 = a window with no
+	// commits at all).
+	P99Unavailability float64
+	// SLOAttainment is the fraction of measurement windows meeting the
+	// 95%-of-baseline throughput SLO.
+	SLOAttainment float64
+	// AvailabilityWindows is the number of windows the SLO metrics are
+	// computed over.
+	AvailabilityWindows int64
 
 	// Phases is the per-phase response time breakdown of committed
 	// transactions; nil unless tracing or PhaseBreakdown was enabled.
@@ -868,6 +900,9 @@ func (s *System) Snapshot() Metrics {
 	m.LockTimeouts = s.lockTimeouts
 	m.MessagesDropped = s.net.Dropped()
 	m.Failovers = append([]FailoverStats(nil), s.failovers...)
+	if s.avail != nil {
+		s.avail.fill(&m)
+	}
 	if s.breakdown != nil {
 		b := *s.breakdown
 		m.Phases = &b

@@ -1,0 +1,205 @@
+// The replay engine: shared bookkeeping for the in-simulation REDO
+// recovery in internal/node. Recovery replays the crashed node's
+// dirty-page backlog, partitioned by GLA so several recovery workers
+// can make progress at once, and — under the incremental reopen policy
+// — repairs individual pages on demand when a readmitted transaction
+// touches them before replay gets there. The types here keep the
+// replay state (which page is pending, claimed or done) with
+// exactly-once semantics, and extend the analytic model of recovery.go
+// to the parallel case so the simulated engine can be cross-checked.
+package recovery
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gemsim/internal/model"
+)
+
+// ReopenPolicy selects when transactions are readmitted after a node
+// crash.
+type ReopenPolicy int
+
+const (
+	// ReopenOffline readmits transactions only after the full REDO
+	// backlog has been replayed (the classic restart discipline and
+	// the behavior of earlier versions).
+	ReopenOffline ReopenPolicy = iota
+	// ReopenIncremental readmits transactions as soon as the lock
+	// state is recovered and fences are in place; a first touch of an
+	// unredone page triggers an on-demand single-page repair that
+	// jumps the replay queue [Sauer & Härder, arXiv 1409.3682].
+	ReopenIncremental
+)
+
+// String names the reopen policy as accepted by ParseReopenPolicy.
+func (p ReopenPolicy) String() string {
+	switch p {
+	case ReopenOffline:
+		return "offline"
+	case ReopenIncremental:
+		return "incremental"
+	default:
+		return "reopen?"
+	}
+}
+
+// ParseReopenPolicy parses a reopen policy name ("offline" or
+// "incremental"); the empty string means offline.
+func ParseReopenPolicy(s string) (ReopenPolicy, error) {
+	switch s {
+	case "", "offline":
+		return ReopenOffline, nil
+	case "incremental":
+		return ReopenIncremental, nil
+	default:
+		return 0, fmt.Errorf("recovery: unknown reopen policy %q (want offline or incremental)", s)
+	}
+}
+
+// AssignPartitions maps GLA partitions to recovery workers using
+// longest-processing-time-first assignment on the per-partition page
+// counts: partitions are placed heaviest-first onto the least-loaded
+// worker. The result is deterministic — ties break toward the lower
+// partition and lower worker index — so parallel replay schedules are
+// identical across runs and -jobs values.
+func AssignPartitions(pagesPerPartition []int, workers int) []int {
+	if workers < 1 {
+		workers = 1
+	}
+	assign := make([]int, len(pagesPerPartition))
+	order := make([]int, len(pagesPerPartition))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		pa, pb := order[a], order[b]
+		if pagesPerPartition[pa] != pagesPerPartition[pb] {
+			return pagesPerPartition[pa] > pagesPerPartition[pb]
+		}
+		return pa < pb
+	})
+	load := make([]int, workers)
+	for _, part := range order {
+		best := 0
+		for w := 1; w < workers; w++ {
+			if load[w] < load[best] {
+				best = w
+			}
+		}
+		assign[part] = best
+		load[best] += pagesPerPartition[part]
+	}
+	return assign
+}
+
+// pageState is the replay lifecycle of one page.
+type pageState int
+
+const (
+	pagePending pageState = iota // in the backlog, not yet picked up
+	pageClaimed                  // a worker or repair holds the claim
+	pageDone                     // replayed (fence released)
+)
+
+// Replay tracks the exactly-once replay of a crashed node's REDO
+// backlog. Replay workers and on-demand repairs race for the same
+// pages; Claim hands each page to exactly one of them. The structure
+// is guarded by a mutex so the exactly-once property holds even under
+// genuine goroutine concurrency (exercised by the -race tests); inside
+// the simulation the kernel is cooperatively single-threaded and the
+// lock is uncontended.
+type Replay struct {
+	mu       sync.Mutex
+	state    map[model.PageID]pageState
+	pending  int
+	demanded int // pages repaired on demand (first touch before replay)
+}
+
+// NewReplay builds the replay bookkeeping for the given backlog.
+func NewReplay(pages []model.PageID) *Replay {
+	r := &Replay{state: make(map[model.PageID]pageState, len(pages))}
+	for _, p := range pages {
+		if _, dup := r.state[p]; !dup {
+			r.state[p] = pagePending
+			r.pending++
+		}
+	}
+	return r
+}
+
+// Claim atomically moves page p from pending to claimed and reports
+// whether the caller won the claim. A page outside the backlog, already
+// claimed or already done returns false: the caller must not replay it.
+func (r *Replay) Claim(p model.PageID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st, ok := r.state[p]; !ok || st != pagePending {
+		return false
+	}
+	r.state[p] = pageClaimed
+	r.pending--
+	return true
+}
+
+// ClaimDemand is Claim for an on-demand repair: it additionally counts
+// the page as demanded when the claim succeeds.
+func (r *Replay) ClaimDemand(p model.PageID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st, ok := r.state[p]; !ok || st != pagePending {
+		return false
+	}
+	r.state[p] = pageClaimed
+	r.pending--
+	r.demanded++
+	return true
+}
+
+// Done marks a claimed page as replayed.
+func (r *Replay) Done(p model.PageID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state[p] == pageClaimed {
+		r.state[p] = pageDone
+	}
+}
+
+// Pending returns the number of pages not yet claimed.
+func (r *Replay) Pending() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pending
+}
+
+// Unredone reports whether page p is in the backlog and not yet fully
+// replayed (pending or mid-repair).
+func (r *Replay) Unredone(p model.PageID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.state[p]
+	return ok && st != pageDone
+}
+
+// Demanded returns the number of pages repaired on demand.
+func (r *Replay) Demanded() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.demanded
+}
+
+// ParallelEstimate extends Estimate to replay partitioned across the
+// given number of recovery workers: the log scan and redo phases divide
+// by the worker count (each worker scans its share of the log span and
+// replays its partitions), while undo and lock recovery remain serial
+// coordinator work. With workers <= 1 it reduces to Estimate.
+func (p Params) ParallelEstimate(w Workload, workers int) Estimate {
+	e := p.Estimate(w)
+	if workers > 1 {
+		e.LogScan = e.LogScan / time.Duration(workers)
+		e.Redo = e.Redo / time.Duration(workers)
+	}
+	return e
+}

@@ -1,0 +1,221 @@
+package recovery
+
+import (
+	"sync"
+	"testing"
+
+	"gemsim/internal/model"
+)
+
+func TestReopenPolicyParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want ReopenPolicy
+		err  bool
+	}{
+		{"", ReopenOffline, false},
+		{"offline", ReopenOffline, false},
+		{"incremental", ReopenIncremental, false},
+		{"eager", 0, true},
+		{"Offline", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseReopenPolicy(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseReopenPolicy(%q): expected error", c.in)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("ParseReopenPolicy(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	if ReopenOffline.String() != "offline" || ReopenIncremental.String() != "incremental" {
+		t.Error("policy names must round-trip through String")
+	}
+}
+
+func TestAssignPartitionsDeterministicAndBalanced(t *testing.T) {
+	pages := []int{10, 1, 7, 7, 3, 0, 12}
+	a := AssignPartitions(pages, 3)
+	b := AssignPartitions(pages, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("assignment not deterministic: %v vs %v", a, b)
+		}
+		if a[i] < 0 || a[i] >= 3 {
+			t.Fatalf("partition %d assigned to worker %d outside [0,3)", i, a[i])
+		}
+	}
+	load := make([]int, 3)
+	for part, w := range a {
+		load[w] += pages[part]
+	}
+	// LPT on this input must not leave any worker idle while another
+	// holds more than half the total.
+	total := 0
+	for _, p := range pages {
+		total += p
+	}
+	for w, l := range load {
+		if l > total/2+1 {
+			t.Fatalf("worker %d overloaded: %d of %d (%v)", w, l, total, load)
+		}
+	}
+	// One worker degenerates to "everything on worker 0".
+	for _, w := range AssignPartitions(pages, 1) {
+		if w != 0 {
+			t.Fatal("single worker must own every partition")
+		}
+	}
+	for _, w := range AssignPartitions(pages, 0) {
+		if w != 0 {
+			t.Fatal("workers < 1 must clamp to one worker")
+		}
+	}
+}
+
+func pid(n int) model.PageID {
+	return model.PageID{File: 1, Page: int32(n)}
+}
+
+func TestReplayExactlyOnce(t *testing.T) {
+	pages := []model.PageID{pid(1), pid(2), pid(3), pid(2)} // dup collapses
+	r := NewReplay(pages)
+	if got := r.Pending(); got != 3 {
+		t.Fatalf("pending %d, want 3 (duplicate page must collapse)", got)
+	}
+	if !r.Claim(pid(1)) {
+		t.Fatal("first claim must win")
+	}
+	if r.Claim(pid(1)) {
+		t.Fatal("second claim of the same page must lose")
+	}
+	if !r.Unredone(pid(1)) {
+		t.Fatal("a claimed page is still unredone until Done")
+	}
+	r.Done(pid(1))
+	if r.Unredone(pid(1)) {
+		t.Fatal("a replayed page must not read as unredone")
+	}
+	if r.Claim(pid(99)) {
+		t.Fatal("a page outside the backlog must not be claimable")
+	}
+	if !r.ClaimDemand(pid(2)) || r.Demanded() != 1 {
+		t.Fatal("on-demand claim must win and be counted")
+	}
+	if r.ClaimDemand(pid(2)) || r.Demanded() != 1 {
+		t.Fatal("a lost on-demand claim must not inflate the demand count")
+	}
+	if got := r.Pending(); got != 1 {
+		t.Fatalf("pending %d, want 1", got)
+	}
+}
+
+// TestReplayConcurrentClaims drives the claim bookkeeping from many
+// goroutines at once (run under -race in CI): across all racing
+// claimers, each page must be won exactly once, whether claimed by a
+// replay worker or an on-demand repair.
+func TestReplayConcurrentClaims(t *testing.T) {
+	const pages, claimers = 200, 8
+	ids := make([]model.PageID, pages)
+	for i := range ids {
+		ids[i] = pid(i)
+	}
+	r := NewReplay(ids)
+	wins := make([]int, claimers)
+	var wg sync.WaitGroup
+	for c := 0; c < claimers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < pages; i++ {
+				won := false
+				if c%2 == 0 {
+					won = r.Claim(ids[i])
+				} else {
+					won = r.ClaimDemand(ids[i])
+				}
+				if won {
+					wins[c]++
+					r.Done(ids[i])
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	total := 0
+	for _, w := range wins {
+		total += w
+	}
+	if total != pages {
+		t.Fatalf("claims won %d, want exactly %d (one per page)", total, pages)
+	}
+	if r.Pending() != 0 {
+		t.Fatalf("pending %d after full replay, want 0", r.Pending())
+	}
+	for _, id := range ids {
+		if r.Unredone(id) {
+			t.Fatalf("page %v still unredone after all claims completed", id)
+		}
+	}
+}
+
+func TestParallelEstimate(t *testing.T) {
+	p := GEMLogParams()
+	w := Workload{LogPagesSinceCheckpoint: 1000, DirtyPages: 200, LoserTxns: 10}
+	serial := p.Estimate(w)
+	if got := p.ParallelEstimate(w, 1); got != serial {
+		t.Fatalf("1 worker must reduce to the serial estimate: %v vs %v", got, serial)
+	}
+	par := p.ParallelEstimate(w, 4)
+	if par.LogScan != serial.LogScan/4 || par.Redo != serial.Redo/4 {
+		t.Fatalf("4 workers must quarter scan and redo: %v vs %v", par, serial)
+	}
+	if par.Undo != serial.Undo || par.LockRecovery != serial.LockRecovery {
+		t.Fatal("undo and lock recovery stay serial coordinator work")
+	}
+	if par.Total() >= serial.Total() {
+		t.Fatal("parallel replay must shorten the total")
+	}
+}
+
+// BenchmarkReplayDrain measures the per-page cost of the backlog's
+// claim/done cycle: the hot path every replay worker and every
+// on-demand repair goes through.
+func BenchmarkReplayDrain(b *testing.B) {
+	const pages = 512
+	ids := make([]model.PageID, pages)
+	for i := range ids {
+		ids[i] = pid(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := NewReplay(ids)
+		for _, p := range ids {
+			if !r.Claim(p) {
+				b.Fatal("fresh page not claimable")
+			}
+			r.Done(p)
+		}
+		if r.Pending() != 0 {
+			b.Fatal("backlog not drained")
+		}
+	}
+}
+
+// BenchmarkAssignPartitions measures the worker-assignment pass over a
+// GLA-partitioned backlog.
+func BenchmarkAssignPartitions(b *testing.B) {
+	counts := make([]int, 64)
+	for i := range counts {
+		counts[i] = (i*37)%23 + 1
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := AssignPartitions(counts, 4); len(got) != len(counts) {
+			b.Fatal("bad assignment length")
+		}
+	}
+}

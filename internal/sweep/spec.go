@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"gemsim/internal/core"
+	"gemsim/internal/recovery"
 	"gemsim/internal/report"
 )
 
@@ -384,6 +386,56 @@ func applyAxis(cf *core.ConfigFile, field string, raw json.RawMessage) (string, 
 			cf.Skew = &sk
 		}
 		return "steady", nil
+	case "reopen":
+		v, err := decodeString(field, raw)
+		if err != nil {
+			return "", err
+		}
+		if _, err := recovery.ParseReopenPolicy(v); err != nil {
+			return "", fmt.Errorf("sweep: axis %q: %w", field, err)
+		}
+		ff := core.FaultsFile{}
+		if cf.Faults != nil {
+			ff = *cf.Faults
+		}
+		ff.Reopen = v
+		cf.Faults = &ff
+		return "reopen=" + v, nil
+	case "recoveryworkers":
+		n, err := decodeInt(field, raw)
+		if err != nil {
+			return "", err
+		}
+		if n < 0 {
+			return "", fmt.Errorf("sweep: axis %q: worker count must be non-negative, got %d", field, n)
+		}
+		ff := core.FaultsFile{}
+		if cf.Faults != nil {
+			ff = *cf.Faults
+		}
+		ff.RecoveryWorkers = n
+		cf.Faults = &ff
+		return fmt.Sprintf("workers=%d", n), nil
+	case "mtbf", "mttr":
+		v, err := decodeString(field, raw)
+		if err != nil {
+			return "", err
+		}
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return "", fmt.Errorf("sweep: axis %q: want a positive duration, got %q", field, v)
+		}
+		ff := core.FaultsFile{}
+		if cf.Faults != nil {
+			ff = *cf.Faults
+		}
+		if strings.ToLower(field) == "mtbf" {
+			ff.MTBF = v
+		} else {
+			ff.MTTR = v
+		}
+		cf.Faults = &ff
+		return strings.ToLower(field) + "=" + v, nil
 	case "control", "adaptive":
 		v, err := decodeBool(field, raw)
 		if err != nil {
@@ -400,7 +452,7 @@ func applyAxis(cf *core.ConfigFile, field string, raw json.RawMessage) (string, 
 		cf.Control = nil
 		return "static", nil
 	default:
-		return "", fmt.Errorf("sweep: unknown axis field %q (want nodes, rate, coupling, force, routing, bufferPages, mpl, logInGEM, gemMessaging, skew, drift, control or medium.<FILE>)", field)
+		return "", fmt.Errorf("sweep: unknown axis field %q (want nodes, rate, coupling, force, routing, bufferPages, mpl, logInGEM, gemMessaging, skew, drift, control, reopen, recoveryWorkers, mtbf, mttr or medium.<FILE>)", field)
 	}
 }
 

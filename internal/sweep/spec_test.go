@@ -6,8 +6,10 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"gemsim/internal/core"
+	"gemsim/internal/recovery"
 )
 
 func writeSpec(t *testing.T, body string) string {
@@ -203,6 +205,49 @@ func TestSpecAdaptiveAxes(t *testing.T) {
 	bad := &Spec{Name: "bad", Axes: []Axis{{Field: "skew", Values: rawValues(t, "1.2")}}}
 	if _, err := bad.Runs(); err == nil {
 		t.Fatal("theta 1.2 accepted")
+	}
+}
+
+func TestSpecRecoveryAxes(t *testing.T) {
+	s := &Spec{
+		Name: "recov",
+		Base: core.ConfigFile{Nodes: 2},
+		Axes: []Axis{
+			{Field: "reopen", Values: rawValues(t, `"offline"`, `"incremental"`)},
+			{Field: "recoveryWorkers", Values: rawValues(t, "4")},
+			{Field: "mtbf", Values: rawValues(t, `"8s"`)},
+			{Field: "mttr", Values: rawValues(t, `"800ms"`)},
+		},
+	}
+	runs, err := s.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("%d runs, want 2", len(runs))
+	}
+	byKey := make(map[string]Run, len(runs))
+	for _, r := range runs {
+		byKey[r.Key] = r
+	}
+	inc := byKey["recov/reopen=incremental/workers=4/mtbf=8s/mttr=800ms/r0"]
+	if inc.Key == "" {
+		t.Fatalf("missing incremental point; keys: %v", keysOf(byKey))
+	}
+	f := inc.Config.Faults
+	if f == nil || f.Reopen != recovery.ReopenIncremental || f.RecoveryWorkers != 4 ||
+		f.MTBF != 8*time.Second || f.MTTR != 800*time.Millisecond {
+		t.Fatalf("recovery axes not applied: %+v", f)
+	}
+	for name, spec := range map[string]*Spec{
+		"bad-reopen":  {Name: "x", Axes: []Axis{{Field: "reopen", Values: rawValues(t, `"eager"`)}}},
+		"bad-workers": {Name: "x", Axes: []Axis{{Field: "recoveryWorkers", Values: rawValues(t, "-1")}}},
+		"bad-mtbf":    {Name: "x", Axes: []Axis{{Field: "mtbf", Values: rawValues(t, `"-3s"`)}}},
+		"bad-mttr":    {Name: "x", Axes: []Axis{{Field: "mttr", Values: rawValues(t, `"soon"`)}}},
+	} {
+		if _, err := spec.Runs(); err == nil {
+			t.Errorf("%s: invalid axis value accepted", name)
+		}
 	}
 }
 
