@@ -43,17 +43,18 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		list    = fs.Bool("list", false, "list available experiments")
-		table   = fs.String("table", "", "print a parameter table (4.1)")
-		fig     = fs.String("fig", "", "run one experiment by figure id")
-		anchors = fs.Bool("anchors", false, "reproduce the paper's in-text quantitative anchors")
-		all     = fs.Bool("all", false, "run every experiment")
-		quick   = fs.Bool("quick", false, "short simulation windows (fast, noisier)")
-		csvOut  = fs.Bool("csv", false, "additionally print CSV")
-		mdOut   = fs.Bool("markdown", false, "additionally print a markdown table")
-		plotOut = fs.Bool("plot", false, "additionally print an ASCII plot")
-		seed    = fs.Int64("seed", 1, "base random seed (per-run seeds derive from it)")
-		verbose = fs.Bool("v", false, "print per-run progress")
+		list     = fs.Bool("list", false, "list available experiments")
+		table    = fs.String("table", "", "print a parameter table (4.1)")
+		fig      = fs.String("fig", "", "run one experiment by figure id")
+		anchors  = fs.Bool("anchors", false, "reproduce the paper's in-text quantitative anchors")
+		all      = fs.Bool("all", false, "run every experiment")
+		quick    = fs.Bool("quick", false, "short simulation windows (fast, noisier)")
+		csvOut   = fs.Bool("csv", false, "additionally print CSV")
+		mdOut    = fs.Bool("markdown", false, "additionally print a markdown table")
+		plotOut  = fs.Bool("plot", false, "additionally print an ASCII plot")
+		seed     = fs.Int64("seed", 1, "base random seed (per-run seeds derive from it)")
+		verbose  = fs.Bool("v", false, "print per-run progress")
+		progress = fs.Bool("progress", false, "print a heartbeat to stderr after every run: done/total, ETA, dominant bottleneck")
 
 		jobs       = fs.Int("jobs", runtime.NumCPU(), "parallel workers (tables are identical for any value)")
 		reps       = fs.Int("reps", 1, "replications per point; 2 or more add 95% confidence half-widths")
@@ -105,14 +106,8 @@ func run(args []string) error {
 		defer st.Close()
 		eng.Store = st
 	}
-	if *verbose {
-		eng.Progress = func(run *sweep.Run, res sweep.Result, done, total int) {
-			if res.Err != "" {
-				fmt.Fprintf(os.Stderr, "  [%d/%d] %s: FAILED: %s\n", done, total, run.Key, firstLine(res.Err))
-				return
-			}
-			fmt.Fprintf(os.Stderr, "  [%d/%d] %s: %v\n", done, total, run.Key, res.Report)
-		}
+	if *verbose || *progress {
+		eng.Progress = progressFunc(*verbose, *progress)
 	}
 	// SIGINT stops the sweep gracefully: in-flight runs finish and
 	// reach the store, so `-store ... -resume` picks up where the
@@ -292,6 +287,37 @@ func executeAndPrint(runs []sweep.Run, eng sweep.Engine, sink *traceSink, csvOut
 		return runFailure{fmt.Errorf("%d of %d runs failed (see stderr for details)", sum.Failed, sum.Total)}
 	}
 	return nil
+}
+
+// progressFunc builds the engine progress callback: per-run result
+// lines (-v), and a heartbeat (-progress) with completion count, ETA
+// extrapolated from the mean wall time per finished run, and the last
+// finished run's dominant bottleneck. Both write to stderr only, so
+// stdout stays byte-identical across -jobs values.
+func progressFunc(verbose, heartbeat bool) func(run *sweep.Run, res sweep.Result, done, total int) {
+	start := time.Now()
+	return func(run *sweep.Run, res sweep.Result, done, total int) {
+		if verbose {
+			if res.Err != "" {
+				fmt.Fprintf(os.Stderr, "  [%d/%d] %s: FAILED: %s\n", done, total, run.Key, firstLine(res.Err))
+			} else {
+				fmt.Fprintf(os.Stderr, "  [%d/%d] %s: %v\n", done, total, run.Key, res.Report)
+			}
+		}
+		if !heartbeat {
+			return
+		}
+		line := fmt.Sprintf("  progress %d/%d (%.0f%%)", done, total, 100*float64(done)/float64(total))
+		if elapsed := time.Since(start); done > 0 && done < total {
+			eta := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
+			line += fmt.Sprintf("  eta %v", eta.Round(time.Second))
+		}
+		if rep := res.Report; rep != nil && rep.Metrics.Attribution != nil && rep.Metrics.Attribution.N > 0 {
+			line += fmt.Sprintf("  bottleneck %s (%.0f%% of RT)",
+				rep.Metrics.DominantBottleneck, 100*rep.Metrics.DominantShare)
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
 }
 
 func firstLine(s string) string {

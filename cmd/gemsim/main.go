@@ -67,6 +67,9 @@ func run(args []string) error {
 		tsOut    = fs.String("timeseries", "", "write windowed time-series samples (JSONL) to this file")
 		sampleIv = fs.Duration("sample-interval", 500*time.Millisecond, "time-series window length")
 		phases   = fs.Bool("phases", false, "collect and print the per-phase response time breakdown")
+		attrOff  = fs.Bool("attrib-off", false, "disable bottleneck attribution accounting")
+		attrTol  = fs.Float64("attrib-tolerance", 0, "operational-law residual warning threshold (0 = default 5%)")
+		attrTbl  = fs.Bool("attrib", false, "print the per-resource bottleneck attribution tables")
 		verbose  = fs.Bool("v", false, "print detailed metrics")
 		quiet    = fs.Bool("quiet", false, "suppress the summary line (useful with -trace-out/-timeseries)")
 	)
@@ -90,13 +93,20 @@ func run(args []string) error {
 	if (*skewT > 0 || *acctSkew > 0) && *tracePth != "" {
 		return fmt.Errorf("-skew and -account-skew shape the debit-credit workload and cannot be combined with -trace")
 	}
+	if *attrTbl && *attrOff {
+		return fmt.Errorf("-attrib and -attrib-off are mutually exclusive")
+	}
+	if *attrTol < 0 {
+		return fmt.Errorf("-attrib-tolerance must be non-negative, got %v", *attrTol)
+	}
 
 	if *cfgPath != "" {
 		cfg, err := core.LoadConfigFile(*cfgPath)
 		if err != nil {
 			return err
 		}
-		return execute(cfg, *traceOut, *traceFmt, *tsOut, *sampleIv, *phases, *quiet, *verbose)
+		applyAttribFlags(&cfg, *attrOff, *attrTol)
+		return execute(cfg, *traceOut, *traceFmt, *tsOut, *sampleIv, *phases, *attrTbl, *quiet, *verbose)
 	}
 
 	cfg := core.DefaultDebitCreditConfig(*nodes)
@@ -177,13 +187,25 @@ func run(args []string) error {
 	cfg.Measure = *measure
 	cfg.Seed = *seed
 	cfg.CheckInvariants = *check
+	applyAttribFlags(&cfg, *attrOff, *attrTol)
 
-	return execute(cfg, *traceOut, *traceFmt, *tsOut, *sampleIv, *phases, *quiet, *verbose)
+	return execute(cfg, *traceOut, *traceFmt, *tsOut, *sampleIv, *phases, *attrTbl, *quiet, *verbose)
+}
+
+// applyAttribFlags folds the attribution flags into the configuration
+// (on top of whatever a -config file specified).
+func applyAttribFlags(cfg *core.Config, off bool, tol float64) {
+	if off {
+		cfg.Attribution.Off = true
+	}
+	if tol > 0 {
+		cfg.Attribution.Tolerance = tol
+	}
 }
 
 // execute attaches the requested tracing outputs, runs the
 // configuration and prints the results.
-func execute(cfg core.Config, traceOut, traceFmt, tsOut string, sampleIv time.Duration, phases, quiet, verbose bool) error {
+func execute(cfg core.Config, traceOut, traceFmt, tsOut string, sampleIv time.Duration, phases, attrTbl, quiet, verbose bool) error {
 	if traceOut != "" || tsOut != "" || phases {
 		tc := &core.TraceConfig{SampleInterval: sampleIv}
 		if traceOut != "" {
@@ -222,6 +244,15 @@ func execute(cfg core.Config, traceOut, traceFmt, tsOut string, sampleIv time.Du
 	}
 	if m := &rep.Metrics; m.Phases != nil && m.Phases.N > 0 && (verbose || phases) {
 		fmt.Print(report.PhaseTable(m.Phases).Render())
+	}
+	if m := &rep.Metrics; m.Attribution != nil && m.Attribution.N > 0 && (verbose || attrTbl) {
+		fmt.Printf("dominant bottleneck     %s (%.1f%% of mean RT)\n",
+			m.DominantBottleneck, 100*m.DominantShare)
+		fmt.Print(report.AttribTable(m.Attribution).Render())
+		fmt.Print(report.LawsTable(m.StationLaws).Render())
+		for _, w := range m.LawWarnings {
+			fmt.Println("warning:", w)
+		}
 	}
 	return nil
 }

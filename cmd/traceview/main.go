@@ -5,11 +5,22 @@
 // schema. Both encodings are accepted — JSONL (one event per line) and
 // the Perfetto JSON document — and are detected automatically.
 //
+// The -report mode turns a trace with attribution instants (cat
+// "attrib", emitted by default) into a bottleneck report: resources
+// ranked by attributed response-time share, a windowed dominant-
+// bottleneck timeline, the station operational-law samples, and the
+// lock wait-for snapshots. The -folded mode prints the aggregate
+// critical path as folded stacks ("txn;res;wait <µs>") compatible
+// with standard flamegraph tooling; its output is deterministic, so
+// traces of the same seeded run diff byte-identically.
+//
 // Examples:
 //
 //	traceview run.jsonl
 //	traceview -top 5 run.json
 //	traceview -validate run.json     # exit 1 on schema violations
+//	traceview -report run.jsonl      # bottleneck attribution report
+//	traceview -folded run.jsonl > stacks.folded
 package main
 
 import (
@@ -18,9 +29,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
+	"time"
+
+	"gemsim/internal/attrib"
 )
 
 func main() {
@@ -35,12 +51,14 @@ func run(args []string) error {
 	var (
 		top      = fs.Int("top", 10, "number of entries in the hotspot and slowest-transaction lists")
 		validate = fs.Bool("validate", false, "validate the trace against the trace_event schema and exit")
+		report   = fs.Bool("report", false, "render a bottleneck attribution report from the trace's attrib instants")
+		folded   = fs.Bool("folded", false, "print the aggregate critical path as folded stacks (flamegraph format)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: traceview [-top N] [-validate] <trace file, or - for stdin>")
+		return fmt.Errorf("usage: traceview [-top N] [-validate | -report | -folded] <trace file, or - for stdin>")
 	}
 
 	var r io.Reader = os.Stdin
@@ -66,6 +84,12 @@ func run(args []string) error {
 		fmt.Printf("OK: %d events (%s) conform to the trace_event schema\n", len(tr.events), tr.format)
 		return nil
 	}
+	if *folded {
+		return tr.folded(os.Stdout)
+	}
+	if *report {
+		return tr.report(os.Stdout, *top)
+	}
 	tr.summarize(os.Stdout, *top)
 	return nil
 }
@@ -85,6 +109,8 @@ type event struct {
 	Value *float64       `json:"value"` // JSONL counters
 	Args  map[string]any `json:"args"`  // Perfetto counters/details
 	S     string         `json:"s"`     // Perfetto instant scope
+
+	line int // 1-based source line (JSONL only); 0 for Perfetto
 }
 
 type traceData struct {
@@ -130,6 +156,7 @@ func parse(r io.Reader) (*traceData, error) {
 		if err := json.Unmarshal([]byte(s), &e); err != nil {
 			return nil, fmt.Errorf("line %d: %w", line, err)
 		}
+		e.line = line
 		t.events = append(t.events, e)
 	}
 	if err := sc.Err(); err != nil {
@@ -163,14 +190,17 @@ func (t *traceData) detail(e *event) string {
 }
 
 // validate checks every event against the trace_event schema: known
-// phase letters, required timestamps, non-negative durations, and the
-// per-encoding identification fields. It returns one message per
-// violation (capped at 20).
+// phase letters, required timestamps, non-negative durations, the
+// per-encoding identification fields, and the closed category /
+// per-category name vocabularies the downstream tooling keys on. It
+// returns one message per violation (capped at 20), each prefixed
+// with the source line for JSONL traces so violations are directly
+// addressable.
 func (t *traceData) validate() []string {
 	var errs []string
 	add := func(i int, format string, args ...any) {
 		if len(errs) < 20 {
-			errs = append(errs, fmt.Sprintf("event %d: ", i)+fmt.Sprintf(format, args...))
+			errs = append(errs, t.loc(i)+": "+fmt.Sprintf(format, args...))
 		}
 	}
 	for i := range t.events {
@@ -211,6 +241,12 @@ func (t *traceData) validate() []string {
 		} else if e.Track == "" {
 			add(i, "%s event without track", e.Ph)
 		}
+		// Spans and instants carry one of the simulator's known
+		// categories; an unknown category means the producer and this
+		// tool have diverged.
+		if (e.Ph == "X" || e.Ph == "i") && !knownCats[e.Cat] {
+			add(i, "unknown category %q (want one of %s)", e.Cat, knownCatList)
+		}
 		// The recovery track has a closed vocabulary: the restart
 		// decomposition and downstream tooling key on these names.
 		if e.Cat == "recovery" {
@@ -228,9 +264,67 @@ func (t *traceData) validate() []string {
 		if e.Cat == "fault" && e.Ph == "i" && e.Name != "crash" && e.Name != "repair" {
 			add(i, "unknown fault instant %q (want crash or repair)", e.Name)
 		}
+		// Attribution events are instants with a closed name
+		// vocabulary and machine-readable arguments; -report and
+		// -folded key on both.
+		if e.Cat == "attrib" {
+			if e.Ph != "i" {
+				add(i, "attrib event with phase %q (attrib events are instants)", e.Ph)
+				continue
+			}
+			switch e.Name {
+			case "txnpath":
+				if _, err := attrib.DecodeArg(t.detail(e)); err != nil {
+					add(i, "txnpath instant with undecodable arg: %v", err)
+				}
+			case "station":
+				if _, err := parseStationArg(t.detail(e)); err != nil {
+					add(i, "station instant with undecodable arg: %v", err)
+				}
+			case "waitfor":
+				if !strings.HasPrefix(t.detail(e), "edges=") {
+					add(i, "waitfor instant arg %q does not start with edges=", t.detail(e))
+				}
+			default:
+				add(i, "unknown attrib instant %q (want txnpath, station or waitfor)", e.Name)
+			}
+		}
 	}
 	return errs
 }
+
+// loc names an event for error messages: the source line for JSONL
+// traces, the event index for Perfetto documents.
+func (t *traceData) loc(i int) string {
+	if e := &t.events[i]; e.line > 0 {
+		return fmt.Sprintf("line %d", e.line)
+	}
+	return fmt.Sprintf("event %d", i)
+}
+
+// knownCats is the complete span/instant category vocabulary the
+// simulator emits. knownCatList spells it out for error messages.
+var knownCats = map[string]bool{
+	"attrib":   true,
+	"control":  true,
+	"cpu":      true,
+	"fault":    true,
+	"gem":      true,
+	"io":       true,
+	"lock":     true,
+	"net":      true,
+	"recovery": true,
+	"txn":      true,
+}
+
+var knownCatList = func() string {
+	names := make([]string, 0, len(knownCats))
+	for c := range knownCats {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}()
 
 // recoverySpanNames is the complete recovery-phase vocabulary: the
 // serial path emits detect/lock-recovery/log-scan/redo, the parallel
@@ -396,4 +490,361 @@ func (t *traceData) summarize(w io.Writer, top int) {
 				tid, t.track(e), *e.TS/1e3, *e.Dur/1e3, t.detail(e))
 		}
 	}
+}
+
+// stationSample is one decoded "station" attrib instant: a windowed
+// operational-law sample of one queueing station (attrib.Laws encoded
+// by its EncodeArg).
+type stationSample struct {
+	station  string
+	servers  int
+	tput     float64
+	util     float64
+	wqMicros float64
+	lq       float64
+	little   float64
+	utilRes  float64
+}
+
+// parseStationArg decodes the fixed "station=...;servers=...;..."
+// field list of a station instant, rejecting unknown or missing
+// fields so schema drift is caught by -validate.
+func parseStationArg(s string) (stationSample, error) {
+	var out stationSample
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ";") {
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return out, fmt.Errorf("entry %q has no '='", part)
+		}
+		seen[key] = true
+		var err error
+		switch key {
+		case "station":
+			out.station = val
+		case "servers":
+			out.servers, err = strconv.Atoi(val)
+		case "tput":
+			out.tput, err = strconv.ParseFloat(val, 64)
+		case "util":
+			out.util, err = strconv.ParseFloat(val, 64)
+		case "wq":
+			out.wqMicros, err = strconv.ParseFloat(val, 64)
+		case "lq":
+			out.lq, err = strconv.ParseFloat(val, 64)
+		case "little":
+			out.little, err = strconv.ParseFloat(val, 64)
+		case "utilresid":
+			out.utilRes, err = strconv.ParseFloat(val, 64)
+		default:
+			return out, fmt.Errorf("unknown field %q", key)
+		}
+		if err != nil {
+			return out, fmt.Errorf("field %q has bad value %q", key, val)
+		}
+	}
+	for _, req := range []string{"station", "servers", "tput", "util", "wq", "lq", "little", "utilresid"} {
+		if !seen[req] {
+			return out, fmt.Errorf("missing field %q", req)
+		}
+	}
+	return out, nil
+}
+
+// pathSample is one decoded txnpath instant: a committed transaction's
+// critical-path vector, with the response time joined from the
+// matching txn span (same track and tid).
+type pathSample struct {
+	ts  float64 // microseconds
+	vec attrib.Vector
+	rt  time.Duration
+}
+
+// collectAttrib extracts and joins the attribution events of a trace:
+// txnpath vectors (joined against txn-span response times), station
+// law samples, and wait-for snapshots. unmatched counts txnpath
+// instants without a txn span — their vectors still contribute to
+// folded stacks but carry no residual.
+func (t *traceData) collectAttrib() (paths []pathSample, stations []stationSample, waitfors []string, unmatched int, err error) {
+	rt := map[string]float64{} // track|tid -> txn span dur (µs)
+	for i := range t.events {
+		e := &t.events[i]
+		if e.Ph == "X" && e.Cat == "txn" && e.Dur != nil && e.TID != nil {
+			rt[fmt.Sprintf("%s|%d", t.track(e), *e.TID)] = *e.Dur
+		}
+	}
+	for i := range t.events {
+		e := &t.events[i]
+		if e.Ph != "i" || e.Cat != "attrib" {
+			continue
+		}
+		switch e.Name {
+		case "txnpath":
+			v, derr := attrib.DecodeArg(t.detail(e))
+			if derr != nil {
+				return nil, nil, nil, 0, fmt.Errorf("%s: %v", t.loc(i), derr)
+			}
+			p := pathSample{vec: v}
+			if e.TS != nil {
+				p.ts = *e.TS
+			}
+			if e.TID != nil {
+				if dur, ok := rt[fmt.Sprintf("%s|%d", t.track(e), *e.TID)]; ok {
+					p.rt = time.Duration(dur * float64(time.Microsecond))
+				}
+			}
+			if p.rt == 0 {
+				unmatched++
+				p.rt = v.Sum()
+			}
+			paths = append(paths, p)
+		case "station":
+			s, derr := parseStationArg(t.detail(e))
+			if derr != nil {
+				return nil, nil, nil, 0, fmt.Errorf("%s: %v", t.loc(i), derr)
+			}
+			stations = append(stations, s)
+		case "waitfor":
+			waitfors = append(waitfors, t.detail(e))
+		}
+	}
+	return paths, stations, waitfors, unmatched, nil
+}
+
+// report renders the bottleneck attribution report: resources ranked
+// by their share of mean response time (shares sum to 100% by
+// construction — the residual not attributed to any instrumented
+// resource is the "other" row), a windowed dominant-bottleneck
+// timeline, aggregated station-law samples, and the lock wait-for
+// summary.
+func (t *traceData) report(w io.Writer, top int) error {
+	paths, stations, waitfors, unmatched, err := t.collectAttrib()
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no attrib txnpath instants in the trace (run the simulator without attribution disabled and with -trace-out)")
+	}
+
+	var bd attrib.Breakdown
+	for i := range paths {
+		bd.Observe(&paths[i].vec, paths[i].rt)
+	}
+	meanRT := bd.MeanRT()
+	fmt.Fprintf(w, "bottleneck report: %d transactions attributed, mean RT %.3f ms\n",
+		bd.N, float64(meanRT)/float64(time.Millisecond))
+	if unmatched > 0 {
+		fmt.Fprintf(w, "  (%d txnpath instants without a matching txn span: residual unknown, vector sum used as RT)\n", unmatched)
+	}
+
+	type row struct {
+		res   attrib.Res
+		share float64
+	}
+	var rows []row
+	for r := attrib.Res(0); r < attrib.NumRes; r++ {
+		rows = append(rows, row{r, bd.Share(r)})
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].share > rows[j].share })
+	fmt.Fprintf(w, "\nresources by attributed share of response time:\n")
+	fmt.Fprintf(w, "  %-8s %8s %12s %12s\n", "resource", "share", "wait ms", "service ms")
+	var shareSum float64
+	for _, r := range rows {
+		wait, svc := bd.Mean(r.res)
+		if wait == 0 && svc == 0 {
+			continue
+		}
+		shareSum += r.share
+		fmt.Fprintf(w, "  %-8s %7.1f%% %12.3f %12.3f\n", r.res,
+			100*r.share, float64(wait)/float64(time.Millisecond), float64(svc)/float64(time.Millisecond))
+	}
+	fmt.Fprintf(w, "  %-8s %7.1f%% of measured mean RT\n", "total", 100*shareSum)
+
+	t.reportTimeline(w, paths)
+	t.reportStations(w, stations)
+	t.reportWaitFor(w, waitfors, top)
+	return nil
+}
+
+// reportTimeline buckets the txnpath samples into fixed windows and
+// prints which resource dominated each window's attributed time.
+func (t *traceData) reportTimeline(w io.Writer, paths []pathSample) {
+	var tsMin, tsMax float64 = math.Inf(1), math.Inf(-1)
+	for _, p := range paths {
+		if p.ts < tsMin {
+			tsMin = p.ts
+		}
+		if p.ts > tsMax {
+			tsMax = p.ts
+		}
+	}
+	const buckets = 10
+	width := (tsMax - tsMin) / buckets
+	if width <= 0 {
+		return
+	}
+	type window struct {
+		txns  int
+		total [attrib.NumRes]time.Duration
+		sum   time.Duration
+	}
+	wins := make([]window, buckets)
+	for _, p := range paths {
+		b := int((p.ts - tsMin) / width)
+		if b >= buckets {
+			b = buckets - 1
+		}
+		wins[b].txns++
+		var vecSum time.Duration
+		for r := attrib.Res(0); r < attrib.NumRes; r++ {
+			d := p.vec.Wait[r] + p.vec.Svc[r]
+			wins[b].total[r] += d
+			vecSum += d
+		}
+		// The unattributed residual belongs to "other", exactly as in
+		// Breakdown.Observe, so windowed shares stay consistent with
+		// the whole-run ranking.
+		if resid := p.rt - vecSum; resid > 0 {
+			wins[b].total[attrib.ResOther] += resid
+			vecSum += resid
+		}
+		wins[b].sum += vecSum
+	}
+	fmt.Fprintf(w, "\nbottleneck timeline (%d windows of %.1f ms):\n", buckets, width/1e3)
+	for i, win := range wins {
+		t0 := (tsMin + float64(i)*width) / 1e3
+		if win.txns == 0 {
+			fmt.Fprintf(w, "  %10.1f ms  %4d txns  -\n", t0, 0)
+			continue
+		}
+		dom, domT := attrib.ResOther, time.Duration(0)
+		for r := attrib.Res(0); r < attrib.NumRes; r++ {
+			if win.total[r] > domT {
+				dom, domT = r, win.total[r]
+			}
+		}
+		share := 0.0
+		if win.sum > 0 {
+			share = 100 * float64(domT) / float64(win.sum)
+		}
+		fmt.Fprintf(w, "  %10.1f ms  %4d txns  %-8s %5.1f%%\n", t0, win.txns, dom, share)
+	}
+}
+
+// reportStations aggregates the windowed station-law samples per
+// station: mean utilization and throughput over the run, and the worst
+// observed residual of each law.
+func (t *traceData) reportStations(w io.Writer, stations []stationSample) {
+	if len(stations) == 0 {
+		return
+	}
+	type agg struct {
+		name                 string
+		servers, n           int
+		tput, util           float64
+		maxLittle, maxUtilRe float64
+	}
+	byName := map[string]*agg{}
+	for _, s := range stations {
+		a := byName[s.station]
+		if a == nil {
+			a = &agg{name: s.station, servers: s.servers}
+			byName[s.station] = a
+		}
+		a.n++
+		a.tput += s.tput
+		a.util += s.util
+		if s.little > a.maxLittle {
+			a.maxLittle = s.little
+		}
+		if s.utilRes > a.maxUtilRe {
+			a.maxUtilRe = s.utilRes
+		}
+	}
+	aggs := make([]*agg, 0, len(byName))
+	for _, a := range byName {
+		aggs = append(aggs, a)
+	}
+	sort.Slice(aggs, func(i, j int) bool {
+		if aggs[i].util != aggs[j].util {
+			return aggs[i].util > aggs[j].util
+		}
+		return aggs[i].name < aggs[j].name
+	})
+	fmt.Fprintf(w, "\nstation law samples (%d windows):\n", len(stations))
+	fmt.Fprintf(w, "  %-14s %4s %10s %8s %12s %12s\n", "station", "srv", "tput/s", "util", "max little", "max utilres")
+	for _, a := range aggs {
+		fmt.Fprintf(w, "  %-14s %4d %10.1f %7.1f%% %11.1f%% %11.1f%%\n",
+			a.name, a.servers, a.tput/float64(a.n), 100*a.util/float64(a.n),
+			100*a.maxLittle, 100*a.maxUtilRe)
+	}
+}
+
+// reportWaitFor summarizes the wait-for graph snapshots: how often the
+// graph was non-empty, its peak, and the peak snapshot's detail.
+func (t *traceData) reportWaitFor(w io.Writer, waitfors []string, top int) {
+	if len(waitfors) == 0 {
+		return
+	}
+	intField := func(s, key string) int {
+		for _, part := range strings.Split(s, ";") {
+			if v, ok := strings.CutPrefix(part, key+"="); ok {
+				n, _ := strconv.Atoi(v)
+				return n
+			}
+		}
+		return 0
+	}
+	nonEmpty, convoys, peak, peakEdges := 0, 0, "", -1
+	for _, s := range waitfors {
+		edges := intField(s, "edges")
+		if edges > 0 {
+			nonEmpty++
+		}
+		if strings.Contains(s, ";convoy=true") {
+			convoys++
+		}
+		if edges > peakEdges {
+			peakEdges, peak = edges, s
+		}
+	}
+	fmt.Fprintf(w, "\nlock wait-for graph: %d/%d snapshots with waiters, %d with a convoy\n",
+		nonEmpty, len(waitfors), convoys)
+	if peakEdges > 0 {
+		fmt.Fprintf(w, "  peak snapshot: %s\n", peak)
+	}
+}
+
+// folded prints the aggregate critical path as folded stacks, one
+// "txn;<resource>;<wait|service> <µs>" line per nonzero component.
+// Resource order is fixed and values are integral microsecond sums,
+// so the output is byte-identical for traces of the same seeded run
+// regardless of how the trace was produced (-jobs level, encoding).
+func (t *traceData) folded(w io.Writer) error {
+	paths, _, _, _, err := t.collectAttrib()
+	if err != nil {
+		return err
+	}
+	var total attrib.Vector
+	for i := range paths {
+		p := &paths[i]
+		var vecSum time.Duration
+		for r := attrib.Res(0); r < attrib.NumRes; r++ {
+			total.Wait[r] += p.vec.Wait[r]
+			total.Svc[r] += p.vec.Svc[r]
+			vecSum += p.vec.Wait[r] + p.vec.Svc[r]
+		}
+		if resid := p.rt - vecSum; resid > 0 {
+			total.Wait[attrib.ResOther] += resid
+		}
+	}
+	for r := attrib.Res(0); r < attrib.NumRes; r++ {
+		if us := total.Wait[r].Microseconds(); us > 0 {
+			fmt.Fprintf(w, "txn;%s;wait %d\n", r, us)
+		}
+		if us := total.Svc[r].Microseconds(); us > 0 {
+			fmt.Fprintf(w, "txn;%s;service %d\n", r, us)
+		}
+	}
+	return nil
 }

@@ -29,12 +29,14 @@ func TestSummarizeGoldenTrace(t *testing.T) {
 }
 
 func TestValidateRejectsSchemaViolations(t *testing.T) {
-	// One unknown phase, one span without ts, one span without name:
-	// three violations the validator must report.
+	// One unknown phase, one span without ts, one span without name,
+	// one span with a category outside the emitted vocabulary: four
+	// violations the validator must report, each with its line number.
 	bad := strings.Join([]string{
 		`{"ph":"Z","ts":1,"name":"x","track":"t"}`,
-		`{"ph":"X","dur":5,"name":"x","track":"t"}`,
-		`{"ph":"X","ts":1,"dur":5,"track":"t"}`,
+		`{"ph":"X","dur":5,"name":"x","cat":"txn","track":"t"}`,
+		`{"ph":"X","ts":1,"dur":5,"cat":"txn","track":"t"}`,
+		`{"ph":"X","ts":1,"dur":5,"name":"x","cat":"bogus","track":"t"}`,
 	}, "\n")
 	path := filepath.Join(t.TempDir(), "bad.jsonl")
 	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
@@ -44,8 +46,8 @@ func TestValidateRejectsSchemaViolations(t *testing.T) {
 	if err == nil {
 		t.Fatal("validate accepted a trace with schema violations")
 	}
-	if !strings.Contains(err.Error(), "3 schema violation(s)") {
-		t.Fatalf("error %q, want 3 schema violations reported", err)
+	if !strings.Contains(err.Error(), "4 schema violation(s)") {
+		t.Fatalf("error %q, want 4 schema violations reported", err)
 	}
 }
 

@@ -1,0 +1,294 @@
+// Package attrib is the bottleneck-attribution layer: always-on,
+// Tier-1-cheap accounting that explains where transaction response
+// time goes. It has three parts:
+//
+//   - critical-path vectors: every transaction carries a per-resource
+//     (wait, service) decomposition of its lifetime, extending the
+//     per-phase means of package trace into queueing-aware pairs;
+//   - operational-law self-validation: per-station counters (busy-time
+//     integral, queue-length integral, wait and service sums) are
+//     checked against Little's law and the utilization law, so a run
+//     can prove its queues behave lawfully;
+//   - wait-for graph analysis: snapshots of the lock wait-for graph
+//     are reduced to top blockers, longest chains and convoys.
+//
+// The package is pure accounting — it owns no simulated time, draws no
+// random numbers and schedules no events, so enabling it cannot change
+// simulation results. All methods on nil receivers are no-ops, which
+// lets instrumentation sites run unconditionally.
+package attrib
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Res identifies one attributable resource class on a transaction's
+// critical path.
+type Res int
+
+const (
+	// ResCPU is processor queueing and execution (BOT, per-reference
+	// and EOT instruction bursts).
+	ResCPU Res = iota
+	// ResLock is concurrency control: lock conflict waits plus the
+	// cost of lock table accesses (GLT entries in GEM, the lock
+	// engine, or local PCL tables).
+	ResLock
+	// ResGEM is synchronous GEM page traffic: reads and writes against
+	// GEM-resident partitions, the GEM write buffer and the GEM cache.
+	ResGEM
+	// ResBuf is buffer-manager waiting: a transaction parked on a page
+	// read already in flight (coalesced miss).
+	ResBuf
+	// ResDisk is disk I/O: controller, seek/rotation and transfer on
+	// the database and log disk groups.
+	ResDisk
+	// ResNet is message round trips: remote PCL lock requests, page
+	// transfer requests and invalidation broadcasts.
+	ResNet
+	// ResOther is everything else: admission (MPL) waiting, abort
+	// backoff, and the unattributed residual added by
+	// Breakdown.Observe.
+	ResOther
+
+	// NumRes is the number of resource classes.
+	NumRes
+)
+
+var resNames = [NumRes]string{"cpu", "lock", "gem", "buffer", "disk", "net", "other"}
+
+// String returns the lowercase resource name used in traces and
+// reports.
+func (r Res) String() string {
+	if r < 0 || r >= NumRes {
+		return "res(" + strconv.Itoa(int(r)) + ")"
+	}
+	return resNames[r]
+}
+
+// ParseRes maps a resource name back to its Res; ok is false for
+// unknown names.
+func ParseRes(name string) (Res, bool) {
+	for i, n := range resNames {
+		if n == name {
+			return Res(i), true
+		}
+	}
+	return 0, false
+}
+
+// Vector is the critical-path decomposition of a single transaction:
+// per resource, how long the transaction waited in queue and how long
+// it was served. A nil *Vector is a valid no-op sink, so callers
+// instrument unconditionally and pass nil when attribution is off.
+type Vector struct {
+	Wait [NumRes]time.Duration
+	Svc  [NumRes]time.Duration
+}
+
+// Add charges wait and service time to resource r. Negative components
+// are clamped to zero (a window can be empty); a nil receiver ignores
+// the call.
+func (v *Vector) Add(r Res, wait, svc time.Duration) {
+	if v == nil {
+		return
+	}
+	if wait > 0 {
+		v.Wait[r] += wait
+	}
+	if svc > 0 {
+		v.Svc[r] += svc
+	}
+}
+
+// AddWindow charges an observed window [start, end) whose known
+// service portion is svc; the remainder is queueing. This is the
+// common instrumentation shape: measure the whole operation, subtract
+// the deterministic service demand, attribute the rest to waiting.
+func (v *Vector) AddWindow(r Res, elapsed, svc time.Duration) {
+	if v == nil {
+		return
+	}
+	if svc > elapsed {
+		svc = elapsed
+	}
+	v.Add(r, elapsed-svc, svc)
+}
+
+// Sum returns the total attributed time across all resources.
+func (v *Vector) Sum() time.Duration {
+	if v == nil {
+		return 0
+	}
+	var t time.Duration
+	for r := Res(0); r < NumRes; r++ {
+		t += v.Wait[r] + v.Svc[r]
+	}
+	return t
+}
+
+// Reset zeroes the vector for reuse across transaction retries.
+func (v *Vector) Reset() {
+	if v == nil {
+		return
+	}
+	*v = Vector{}
+}
+
+// EncodeArg renders the vector as a compact trace-instant argument:
+// semicolon-separated "res.w=micros" / "res.s=micros" entries in
+// resource order, nonzero components only, microseconds with three
+// fractional digits. The format is deterministic, so traces diff
+// byte-identically across runs.
+func (v *Vector) EncodeArg() string {
+	if v == nil {
+		return ""
+	}
+	var b strings.Builder
+	put := func(r Res, kind string, d time.Duration) {
+		if d <= 0 {
+			return
+		}
+		if b.Len() > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "%s.%s=%.3f", r, kind, float64(d)/float64(time.Microsecond))
+	}
+	for r := Res(0); r < NumRes; r++ {
+		put(r, "w", v.Wait[r])
+		put(r, "s", v.Svc[r])
+	}
+	return b.String()
+}
+
+// DecodeArg parses an EncodeArg string back into a vector. It returns
+// an error naming the first malformed entry.
+func DecodeArg(s string) (Vector, error) {
+	var v Vector
+	if s == "" {
+		return v, nil
+	}
+	for _, part := range strings.Split(s, ";") {
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return v, fmt.Errorf("attrib: entry %q has no '='", part)
+		}
+		name, kind, ok := strings.Cut(key, ".")
+		if !ok || (kind != "w" && kind != "s") {
+			return v, fmt.Errorf("attrib: entry %q is not res.w or res.s", part)
+		}
+		r, ok := ParseRes(name)
+		if !ok {
+			return v, fmt.Errorf("attrib: unknown resource %q", name)
+		}
+		us, err := strconv.ParseFloat(val, 64)
+		if err != nil || us < 0 {
+			return v, fmt.Errorf("attrib: entry %q has a bad duration", part)
+		}
+		d := time.Duration(us * float64(time.Microsecond))
+		if kind == "w" {
+			v.Wait[r] += d
+		} else {
+			v.Svc[r] += d
+		}
+	}
+	return v, nil
+}
+
+// Breakdown aggregates critical-path vectors over completed
+// transactions. Observe adds the unattributed residual of each
+// transaction to ResOther, so the per-resource means always sum to
+// exactly the measured mean response time — shares sum to 100%.
+type Breakdown struct {
+	N    int64
+	RT   time.Duration
+	Wait [NumRes]time.Duration
+	Svc  [NumRes]time.Duration
+}
+
+// Observe accumulates one transaction's vector against its measured
+// response time rt. Time in rt not covered by the vector (clamped at
+// zero) is credited to ResOther wait as the residual. A nil receiver
+// ignores the call.
+func (b *Breakdown) Observe(v *Vector, rt time.Duration) {
+	if b == nil || v == nil {
+		return
+	}
+	b.N++
+	b.RT += rt
+	var sum time.Duration
+	for r := Res(0); r < NumRes; r++ {
+		b.Wait[r] += v.Wait[r]
+		b.Svc[r] += v.Svc[r]
+		sum += v.Wait[r] + v.Svc[r]
+	}
+	if resid := rt - sum; resid > 0 {
+		b.Wait[ResOther] += resid
+	}
+}
+
+// Merge folds another breakdown into b.
+func (b *Breakdown) Merge(o *Breakdown) {
+	if b == nil || o == nil {
+		return
+	}
+	b.N += o.N
+	b.RT += o.RT
+	for r := Res(0); r < NumRes; r++ {
+		b.Wait[r] += o.Wait[r]
+		b.Svc[r] += o.Svc[r]
+	}
+}
+
+// MeanRT returns the mean response time over observed transactions.
+func (b *Breakdown) MeanRT() time.Duration {
+	if b == nil || b.N == 0 {
+		return 0
+	}
+	return b.RT / time.Duration(b.N)
+}
+
+// Mean returns the mean attributed (wait, service) pair for resource
+// r.
+func (b *Breakdown) Mean(r Res) (wait, svc time.Duration) {
+	if b == nil || b.N == 0 {
+		return 0, 0
+	}
+	return b.Wait[r] / time.Duration(b.N), b.Svc[r] / time.Duration(b.N)
+}
+
+// Share returns resource r's fraction of total response time (wait
+// plus service), in [0, 1].
+func (b *Breakdown) Share(r Res) float64 {
+	if b == nil || b.RT <= 0 {
+		return 0
+	}
+	return float64(b.Wait[r]+b.Svc[r]) / float64(b.RT)
+}
+
+// Dominant returns the resource with the largest attributed share and
+// that share. Ties break toward the lower Res index, which is
+// deterministic.
+func (b *Breakdown) Dominant() (Res, float64) {
+	best, bestShare := ResOther, 0.0
+	if b == nil || b.RT <= 0 {
+		return best, bestShare
+	}
+	for r := Res(0); r < NumRes; r++ {
+		if s := b.Share(r); s > bestShare {
+			best, bestShare = r, s
+		}
+	}
+	return best, bestShare
+}
+
+// Reset zeroes the breakdown (end of warm-up).
+func (b *Breakdown) Reset() {
+	if b == nil {
+		return
+	}
+	*b = Breakdown{}
+}

@@ -148,6 +148,21 @@ type TraceConfig struct {
 	SampleInterval time.Duration
 }
 
+// AttributionConfig tunes the bottleneck attribution engine: per-
+// transaction critical-path accounting, per-station operational-law
+// self-validation, and lock wait-for snapshots on the event trace. The
+// zero value is the default: attribution ON with the default law
+// tolerance. Attribution is pure accounting — it schedules no events
+// and draws no random numbers — so enabling it never changes any
+// simulated result.
+type AttributionConfig struct {
+	// Off disables all attribution accounting (benchmark ablations).
+	Off bool
+	// Tolerance is the relative residual above which a Little's-law or
+	// utilization-law self-check warns; 0 means attrib.DefaultTolerance.
+	Tolerance float64
+}
+
 // Config describes one simulated configuration.
 type Config struct {
 	// Nodes is the number of processing nodes (1-10 in the paper).
@@ -210,6 +225,11 @@ type Config struct {
 	// trace, time-series sampling, and per-transaction phase
 	// accounting (Report.Metrics.Phases).
 	Tracing *TraceConfig
+
+	// Attribution tunes the bottleneck attribution engine; the zero
+	// value keeps it on with default settings (Metrics.Attribution,
+	// Metrics.StationLaws, Metrics.DominantBottleneck).
+	Attribution AttributionConfig
 
 	// Control, if non-nil, enables the adaptive load-control subsystem:
 	// feedback-driven admission control per node (the effective MPL
@@ -286,6 +306,9 @@ func (c *Config) validate() error {
 		return fmt.Errorf("core: ClosedLoop.TerminalsPerNode must be positive")
 	case c.GlobalLogMerge && !c.LogInGEM:
 		return fmt.Errorf("core: GlobalLogMerge requires LogInGEM")
+	}
+	if c.Attribution.Tolerance < 0 {
+		return fmt.Errorf("core: Attribution.Tolerance must be non-negative, got %v", c.Attribution.Tolerance)
 	}
 	if tc := c.Tracing; tc != nil {
 		if tc.SampleInterval < 0 {

@@ -56,6 +56,16 @@ type ConfigFile struct {
 
 	// Faults enables fault injection (see FaultConfig).
 	Faults *FaultsFile `json:"faults,omitempty"`
+
+	// Attribution tunes the bottleneck attribution engine (on by
+	// default; see AttributionConfig).
+	Attribution *AttributionFile `json:"attribution,omitempty"`
+}
+
+// AttributionFile is the JSON representation of an AttributionConfig.
+type AttributionFile struct {
+	Off       bool    `json:"off,omitempty"`
+	Tolerance float64 `json:"tolerance,omitempty"`
 }
 
 // FaultsFile is the JSON representation of a FaultConfig.
@@ -283,6 +293,15 @@ func (f *ConfigFile) ToConfig() (Config, error) {
 			return Config{}, err
 		}
 		cfg.Faults = fc
+	}
+	if f.Attribution != nil {
+		if f.Attribution.Tolerance < 0 {
+			return Config{}, fmt.Errorf("core: attribution.tolerance must be non-negative, got %v", f.Attribution.Tolerance)
+		}
+		cfg.Attribution = AttributionConfig{
+			Off:       f.Attribution.Off,
+			Tolerance: f.Attribution.Tolerance,
+		}
 	}
 	return cfg, nil
 }

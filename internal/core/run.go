@@ -145,6 +145,8 @@ func assemble(cfg *Config) (workload.Generator, routing.Router, routing.GLAMap, 
 	params.GlobalLogMerge = cfg.GlobalLogMerge
 	params.GEMMessaging = cfg.GEMMessaging
 	params.CheckInvariants = cfg.CheckInvariants
+	params.AttribOff = cfg.Attribution.Off
+	params.AttribTolerance = cfg.Attribution.Tolerance
 	if f := cfg.Faults; f != nil {
 		params.FaultsEnabled = true
 		params.Net.LossProb = f.MessageLossProb

@@ -123,6 +123,13 @@ func (c *CPU) MeanWait() time.Duration { return c.res.MeanWait() }
 // ResetStats.
 func (c *CPU) Instructions() float64 { return c.instructions }
 
+// Counters returns the processor pool's raw station counters for
+// operational-law validation. Bursts run through Exec/RequestExec
+// carry tracked service demand; hold-style Acquire/ExecHolding
+// composites (GEM accesses) do not, so SvcN < Requests under GEM
+// coupling and the utilization law is gated off there.
+func (c *CPU) Counters() sim.Counters { return c.res.Counters() }
+
 // ResetStats discards accumulated statistics.
 func (c *CPU) ResetStats() {
 	c.res.ResetStats()

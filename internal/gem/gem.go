@@ -216,6 +216,17 @@ func (g *GEM) PageAccesses() int64 { return g.pageAccesses }
 // ResetStats.
 func (g *GEM) EntryAccesses() int64 { return g.entryAccesses }
 
+// Counters returns the GEM device's raw station counters for
+// operational-law validation.
+func (g *GEM) Counters() sim.Counters { return g.server.Counters() }
+
+// PageAccessTime returns the configured page access time, the service
+// part of one synchronous page transfer.
+func (g *GEM) PageAccessTime() time.Duration { return g.params.PageAccess }
+
+// EntryAccessTime returns the configured entry access time.
+func (g *GEM) EntryAccessTime() time.Duration { return g.params.EntryAccess }
+
 // ResetStats discards accumulated statistics.
 func (g *GEM) ResetStats() {
 	g.server.ResetStats()

@@ -11,6 +11,7 @@ package lock
 
 import (
 	"fmt"
+	"sort"
 
 	"gemsim/internal/model"
 )
@@ -298,6 +299,44 @@ func (t *Table) Waiting(o Owner) *Request { return t.waiting[o] }
 // WaitingCount returns the number of requests currently queued behind
 // a conflicting lock, for queue-depth sampling.
 func (t *Table) WaitingCount() int { return len(t.waiting) }
+
+// WaitEdge is one wait-for relation in the table: Waiter is blocked by
+// a conflicting lock Holder has granted or queued ahead.
+type WaitEdge struct {
+	Waiter Owner
+	Holder Owner
+}
+
+// WaitEdges snapshots the wait-for graph as a deterministic edge list:
+// waiters sorted by owner, each waiter's blockers in table order. Used
+// by the attribution layer's blocker and convoy analysis.
+func (t *Table) WaitEdges() []WaitEdge {
+	if len(t.waiting) == 0 {
+		return nil
+	}
+	waiters := make([]Owner, 0, len(t.waiting))
+	for o := range t.waiting {
+		waiters = append(waiters, o)
+	}
+	sortOwners(waiters)
+	var out []WaitEdge
+	for _, o := range waiters {
+		for _, h := range t.blockers(t.waiting[o]) {
+			out = append(out, WaitEdge{Waiter: o, Holder: h})
+		}
+	}
+	return out
+}
+
+// sortOwners orders owners by node, then transaction id.
+func sortOwners(os []Owner) {
+	sort.Slice(os, func(i, j int) bool {
+		if os[i].Node != os[j].Node {
+			return os[i].Node < os[j].Node
+		}
+		return os[i].Tx < os[j].Tx
+	})
+}
 
 // blockers returns the owners a waiting request waits for: all
 // incompatible granted holders plus incompatible requests queued ahead.

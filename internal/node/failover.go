@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"gemsim/internal/attrib"
 	"gemsim/internal/buffer"
 	"gemsim/internal/lock"
 	"gemsim/internal/model"
@@ -277,8 +278,14 @@ func (s *System) runWithRetry(p *sim.Proc, n *Node, spec model.Txn, arrive sim.T
 		// cover the response time, which spans crash resubmissions.
 		ph = &trace.Phases{}
 	}
+	var cp *attrib.Vector
+	if s.attribBD != nil {
+		// Likewise for the critical-path vector: its per-resource sums
+		// must cover the same resubmission-spanning response time.
+		cp = &attrib.Vector{}
+	}
 	for {
-		if n.runTxnCounted(p, spec, arrive, ph) {
+		if n.runTxnCounted(p, spec, arrive, ph, cp) {
 			return
 		}
 		if !s.faultsOn {
@@ -289,6 +296,7 @@ func (s *System) runWithRetry(p *sim.Proc, n *Node, spec model.Txn, arrive sim.T
 			waitStart := s.env.Now()
 			p.Wait(time.Duration(n.src.Exp(d.Seconds()) * float64(time.Second)))
 			ph.Add(trace.PhaseBackoff, s.env.Now()-waitStart)
+			cp.Add(attrib.ResOther, s.env.Now()-waitStart, 0)
 		}
 		n = s.nodes[s.aliveTarget(n.id)]
 	}
@@ -330,7 +338,7 @@ func (s *System) startCheckpoints() {
 				if s.down[n.id] {
 					continue
 				}
-				n.writeLog(p)
+				n.writeLog(p, nil)
 				n.logSinceCkpt = 0
 			}
 		})
@@ -537,11 +545,11 @@ func (s *System) runSerialReplay(p *sim.Proc, coordID int, coord *Node, crashed 
 func (s *System) redoOnePage(p *sim.Proc, coordID int, coord *Node, crashed int, r *redoPage) {
 	params := &s.params
 	file := s.db.File(r.page.File)
-	coord.readStorage(p, file, r.page, 0)
+	coord.readStorage(p, nil, file, r.page, 0)
 	if params.RecoveryApplyInstr > 0 {
 		coord.cpu.Exec(p, params.RecoveryApplyInstr)
 	}
-	coord.writeStorage(p, file, r.page, r.seq)
+	coord.writeStorage(p, nil, file, r.page, r.seq)
 	if r.tbl >= 0 {
 		if params.Coupling == CouplingPCL {
 			meta := s.pclMetaOf(r.tbl, r.page)

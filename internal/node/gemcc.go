@@ -1,6 +1,9 @@
 package node
 
 import (
+	"time"
+
+	"gemsim/internal/attrib"
 	"gemsim/internal/lock"
 	"gemsim/internal/model"
 	"gemsim/internal/netsim"
@@ -37,6 +40,22 @@ func (c *gemCC) gltAccess(p *sim.Proc, entries int) {
 	c.n.gemEntryOp(p, c.n.sys.params.LockInstr, entries)
 }
 
+// gltAccessAttr runs gltAccess and attributes the window to ResLock on
+// the transaction's critical path (service = lock-instruction burst
+// plus entry accesses; the remainder is CPU or GEM queueing).
+func (c *gemCC) gltAccessAttr(t *txn, entries int) {
+	n := c.n
+	if t.cp == nil {
+		c.gltAccess(t.proc, entries)
+		return
+	}
+	start := n.sys.env.Now()
+	c.gltAccess(t.proc, entries)
+	svc := n.cpu.ServiceTime(n.sys.params.LockInstr) +
+		time.Duration(entries)*n.sys.gemDev.EntryAccessTime()
+	t.cp.AddWindow(attrib.ResLock, n.sys.env.Now()-start, svc)
+}
+
 // lock processes one lock request against the GLT.
 func (c *gemCC) lock(t *txn, page model.PageID, mode model.LockMode) (ccOutcome, error) {
 	n := c.n
@@ -45,7 +64,7 @@ func (c *gemCC) lock(t *txn, page model.PageID, mode model.LockMode) (ccOutcome,
 	}
 	n.localLocks++ // GLT locking is routing-independent; no messages
 	svcStart := n.sys.env.Now()
-	c.gltAccess(t.proc, 2)
+	c.gltAccessAttr(t, 2)
 	t.phases.Add(trace.PhaseLockSvc, n.sys.env.Now()-svcStart)
 
 	wait := &remoteWait{proc: t.proc}
@@ -68,7 +87,7 @@ func (c *gemCC) lock(t *txn, page model.PageID, mode model.LockMode) (ccOutcome,
 		}
 		// Re-read the entry after the wakeup notification.
 		svcStart = n.sys.env.Now()
-		c.gltAccess(t.proc, 2)
+		c.gltAccessAttr(t, 2)
 		t.phases.Add(trace.PhaseLockSvc, n.sys.env.Now()-svcStart)
 	}
 	t.locked[page] = &heldLock{mode: mode, kind: kindLocal}
@@ -90,7 +109,7 @@ func (c *gemCC) releaseAll(t *txn, commit bool) {
 	n := c.n
 	held := c.glt().Held(t.owner)
 	if len(held) > 0 {
-		c.gltAccess(t.proc, 2*len(held))
+		c.gltAccessAttr(t, 2*len(held))
 	}
 	if commit {
 		for _, page := range sortedModifiedPages(t) {

@@ -1,6 +1,9 @@
 package node
 
 import (
+	"time"
+
+	"gemsim/internal/attrib"
 	"gemsim/internal/lock"
 	"gemsim/internal/model"
 	"gemsim/internal/netsim"
@@ -53,6 +56,22 @@ func (c *leCC) engineAccess(p *sim.Proc, ops int) {
 	p.Park()
 }
 
+// engineAccessAttr runs engineAccess and attributes the window to
+// ResLock on the transaction's critical path (service = the engine's
+// per-operation service time; the remainder is CPU or engine
+// queueing).
+func (c *leCC) engineAccessAttr(t *txn, ops int) {
+	n := c.n
+	if t.cp == nil {
+		c.engineAccess(t.proc, ops)
+		return
+	}
+	start := n.sys.env.Now()
+	c.engineAccess(t.proc, ops)
+	svc := time.Duration(ops) * n.sys.params.LockEngine.ServiceTime
+	t.cp.AddWindow(attrib.ResLock, n.sys.env.Now()-start, svc)
+}
+
 // engineChain runs the remaining engine operations of an engineAccess
 // composite; the last one releases the CPU and resumes the process in
 // its completion slot.
@@ -73,7 +92,7 @@ func (c *leCC) lock(t *txn, page model.PageID, mode model.LockMode) (ccOutcome, 
 	n := c.n
 	n.localLocks++ // engine access, no inter-node messages
 	svcStart := n.sys.env.Now()
-	c.engineAccess(t.proc, 1)
+	c.engineAccessAttr(t, 1)
 	t.phases.Add(trace.PhaseLockSvc, n.sys.env.Now()-svcStart)
 
 	wait := &remoteWait{proc: t.proc}
@@ -129,7 +148,7 @@ func (c *leCC) releaseAll(t *txn, commit bool) {
 
 	held := c.table().Held(t.owner)
 	if len(held) > 0 {
-		c.engineAccess(t.proc, len(held))
+		c.engineAccessAttr(t, len(held))
 	}
 	granted := c.table().ReleaseAll(t.owner)
 	sys.wakeGEMGranted(granted, execCtx{node: n.id, proc: t.proc})
@@ -151,7 +170,9 @@ func (c *leCC) broadcastInvalidations(t *txn, pages []model.PageID) {
 		sys.net.Send(t.proc, n.id, target, netsim.Short, invalidateMsg{Pages: pages, Wait: wait})
 	}
 	if wait.needed > 0 {
+		start := sys.env.Now()
 		t.proc.Park() // woken once all acknowledgements arrived
+		t.cp.Add(attrib.ResNet, sys.env.Now()-start, 0)
 	}
 }
 

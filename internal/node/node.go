@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"time"
 
+	"gemsim/internal/attrib"
 	"gemsim/internal/buffer"
 	"gemsim/internal/cpusrv"
 	"gemsim/internal/lock"
@@ -144,6 +145,11 @@ type txn struct {
 	// spent. It is shared across restart attempts (the response time
 	// spans them all) and nil when phase accounting is off.
 	phases *trace.Phases
+
+	// cp is the critical-path vector: per-resource (wait, service)
+	// attribution of the response time. Like phases it spans restart
+	// attempts and resubmissions, and is nil when attribution is off.
+	cp *attrib.Vector
 }
 
 // pageLess orders page ids for deterministic iteration.
@@ -231,9 +237,9 @@ func (n *Node) submit(spec model.Txn) {
 // runTxnCounted wraps runTxn with the activation accounting used by
 // load-aware routing. It reports whether the transaction committed
 // (false only when its node crashed under it).
-func (n *Node) runTxnCounted(p *sim.Proc, spec model.Txn, arrive sim.Time, ph *trace.Phases) bool {
+func (n *Node) runTxnCounted(p *sim.Proc, spec model.Txn, arrive sim.Time, ph *trace.Phases, cp *attrib.Vector) bool {
 	n.active++
-	committed := n.runTxn(p, spec, arrive, ph)
+	committed := n.runTxn(p, spec, arrive, ph, cp)
 	n.active--
 	return committed
 }
@@ -243,7 +249,7 @@ func (n *Node) runTxnCounted(p *sim.Proc, spec model.Txn, arrive sim.Time, ph *t
 // the transaction was killed by a node crash (the caller resubmits).
 // ph, when non-nil, accumulates the per-phase response time breakdown
 // across all attempts (and across resubmissions after a crash).
-func (n *Node) runTxn(p *sim.Proc, spec model.Txn, arrive sim.Time, ph *trace.Phases) bool {
+func (n *Node) runTxn(p *sim.Proc, spec model.Txn, arrive sim.Time, ph *trace.Phases, cp *attrib.Vector) bool {
 	sys := n.sys
 	entered := sys.env.Now()
 	n.mpl.Acquire(p)
@@ -254,6 +260,7 @@ func (n *Node) runTxn(p *sim.Proc, spec model.Txn, arrive sim.Time, ph *trace.Ph
 	}
 	n.inputWait.AddDuration(sys.env.Now() - arrive)
 	ph.Add(trace.PhaseInput, sys.env.Now()-entered)
+	cp.Add(attrib.ResOther, sys.env.Now()-entered, 0)
 	timeouts := 0
 	var t *txn
 	for {
@@ -270,6 +277,7 @@ func (n *Node) runTxn(p *sim.Proc, spec model.Txn, arrive sim.Time, ph *trace.Ph
 			locked:   make(map[model.PageID]*heldLock, len(spec.Refs)),
 			modified: make(map[model.PageID]*modRecord, 4),
 			phases:   ph,
+			cp:       cp,
 		}
 		t.owner = lock.Owner{Node: n.id, Tx: t.id}
 		p.SetTraceID(int64(t.id))
@@ -313,11 +321,12 @@ func (n *Node) runTxn(p *sim.Proc, spec model.Txn, arrive sim.Time, ph *trace.Ph
 		backoffStart := sys.env.Now()
 		p.Wait(time.Duration(n.src.Exp(delay.Seconds()) * float64(time.Second)))
 		ph.Add(trace.PhaseBackoff, sys.env.Now()-backoffStart)
+		cp.Add(attrib.ResOther, sys.env.Now()-backoffStart, 0)
 	}
 	p.SetTraceID(0)
 	n.mpl.Release()
 	rt := sys.env.Now() - arrive
-	sys.observeCommit(ph, rt)
+	sys.observeCommit(n, int64(t.id), ph, cp, rt)
 	if tr := sys.tracer; tr.Enabled() {
 		tr.Span(n.track, int64(t.id), "txn", "txn", arrive, sys.env.Now(), "type="+strconv.Itoa(spec.Type))
 	}
@@ -347,8 +356,10 @@ func (n *Node) attempt(t *txn) error {
 	params := &n.sys.params
 	// Begin of transaction.
 	cpuStart := n.sys.env.Now()
-	n.cpu.Exec(t.proc, n.src.Exp(params.BOTInstr))
+	instr := n.src.Exp(params.BOTInstr)
+	n.cpu.Exec(t.proc, instr)
 	t.phases.Add(trace.PhaseCPU, n.sys.env.Now()-cpuStart)
+	t.cp.AddWindow(attrib.ResCPU, n.sys.env.Now()-cpuStart, n.cpu.ServiceTime(instr))
 
 	for _, ref := range t.spec.Refs {
 		if t.killed {
@@ -358,8 +369,10 @@ func (n *Node) attempt(t *txn) error {
 		file := n.sys.db.File(ref.Page.File)
 		// CPU demand of the record access.
 		cpuStart = n.sys.env.Now()
-		n.cpu.Exec(t.proc, n.src.Exp(params.RefInstr))
+		instr = n.src.Exp(params.RefInstr)
+		n.cpu.Exec(t.proc, instr)
 		t.phases.Add(trace.PhaseCPU, n.sys.env.Now()-cpuStart)
+		t.cp.AddWindow(attrib.ResCPU, n.sys.env.Now()-cpuStart, n.cpu.ServiceTime(instr))
 
 		mode := model.LockRead
 		if ref.Write {
@@ -402,8 +415,10 @@ func (n *Node) attempt(t *txn) error {
 
 	// End of transaction.
 	cpuStart = n.sys.env.Now()
-	n.cpu.Exec(t.proc, n.src.Exp(params.EOTInstr))
+	instr = n.src.Exp(params.EOTInstr)
+	n.cpu.Exec(t.proc, instr)
 	t.phases.Add(trace.PhaseCPU, n.sys.env.Now()-cpuStart)
+	t.cp.AddWindow(attrib.ResCPU, n.sys.env.Now()-cpuStart, n.cpu.ServiceTime(instr))
 	if t.killed {
 		return errKilled
 	}
@@ -449,14 +464,14 @@ func (n *Node) commit(t *txn) {
 	params := &n.sys.params
 	if len(t.modified) > 0 {
 		logStart := n.sys.env.Now()
-		n.writeLog(t.proc)
+		n.writeLog(t.proc, t.cp)
 		t.phases.Add(trace.PhaseLog, n.sys.env.Now()-logStart)
 		if params.Force {
 			forceStart := n.sys.env.Now()
 			for _, page := range sortedModifiedPages(t) {
 				mod := t.modified[page]
 				file := n.sys.db.File(page.File)
-				n.writeStorage(t.proc, file, page, mod.frame.SeqNo)
+				n.writeStorage(t.proc, t.cp, file, page, mod.frame.SeqNo)
 				n.forceWrites++
 				mod.frame.Dirty = false
 			}
@@ -517,6 +532,7 @@ func (n *Node) getPage(t *txn, file *model.File, page model.PageID, write bool, 
 			waitStart := n.sys.env.Now()
 			t.proc.Park()
 			t.phases.Add(readPhase(file), n.sys.env.Now()-waitStart)
+			t.cp.Add(attrib.ResBuf, n.sys.env.Now()-waitStart, 0)
 			continue
 		}
 		if firstTouch {
@@ -548,7 +564,7 @@ func (n *Node) fetchMiss(t *txn, file *model.File, page model.PageID, write bool
 	}
 	if !got {
 		ioStart := n.sys.env.Now()
-		n.readStorage(t.proc, file, page, out.seq)
+		n.readStorage(t.proc, t.cp, file, page, out.seq)
 		t.phases.Add(readPhase(file), n.sys.env.Now()-ioStart)
 	}
 	fr := n.install(page, seq, false)
@@ -590,7 +606,7 @@ func (n *Node) writeBack(v buffer.Victim) {
 				}
 				return
 			}
-			n.writeStorage(p, file, v.Page, v.SeqNo)
+			n.writeStorage(p, nil, file, v.Page, v.SeqNo)
 			// Adapt the entry with one Compare&Swap write so future
 			// misses read from the permanent database.
 			n.gemEntryOp(p, 0, 1)
@@ -598,7 +614,7 @@ func (n *Node) writeBack(v buffer.Victim) {
 				meta.owner = -1
 			}
 		} else {
-			n.writeStorage(p, file, v.Page, v.SeqNo)
+			n.writeStorage(p, nil, file, v.Page, v.SeqNo)
 		}
 		if cur, ok := n.inflight[v.Page]; ok && cur == v.SeqNo {
 			delete(n.inflight, v.Page)
@@ -635,22 +651,55 @@ func (n *Node) gemEntryOp(p *sim.Proc, instr float64, entries int) {
 	p.Park()
 }
 
+// gemPageSvc returns the service demand of one gemPageIO composite:
+// the held CPU burst plus the GEM page access. The remainder of a
+// measured gemPageIO window is queueing (CPU or GEM device).
+func (n *Node) gemPageSvc() time.Duration {
+	return n.cpu.ServiceTime(n.sys.params.GEMIOInstr) + n.sys.gemDev.PageAccessTime()
+}
+
+// gemPageIOAttr runs gemPageIO and attributes the window to ResGEM on
+// cp (wait = window minus the known composite service demand).
+func (n *Node) gemPageIOAttr(p *sim.Proc, cp *attrib.Vector) {
+	if cp == nil {
+		n.gemPageIO(p)
+		return
+	}
+	start := n.sys.env.Now()
+	n.gemPageIO(p)
+	cp.AddWindow(attrib.ResGEM, n.sys.env.Now()-start, n.gemPageSvc())
+}
+
+// diskReadAttr charges the I/O CPU overhead and reads the page from
+// the file's disk group, attributing the window to ResDisk on cp.
+func (n *Node) diskReadAttr(p *sim.Proc, cp *attrib.Vector, file *model.File, page model.PageID) {
+	group := n.sys.groups[file.ID]
+	start := n.sys.env.Now()
+	n.cpu.Exec(p, n.sys.params.IOInstr)
+	hit := group.Read(p, page)
+	if cp != nil {
+		svc := n.cpu.ServiceTime(n.sys.params.IOInstr) + group.ReadServiceTime(hit)
+		cp.AddWindow(attrib.ResDisk, n.sys.env.Now()-start, svc)
+	}
+}
+
 // readStorage performs one page read from the file's storage medium,
-// charging the I/O CPU overhead.
-func (n *Node) readStorage(p *sim.Proc, file *model.File, page model.PageID, expectSeq uint64) {
+// charging the I/O CPU overhead. cp, when non-nil, receives the
+// critical-path attribution (GEM vs disk); background readers pass
+// nil.
+func (n *Node) readStorage(p *sim.Proc, cp *attrib.Vector, file *model.File, page model.PageID, expectSeq uint64) {
 	n.storageReads++
 	switch file.Medium {
 	case model.MediumGEM:
-		n.gemPageIO(p)
+		n.gemPageIOAttr(p, cp)
 	case model.MediumGEMWriteBuffer:
 		// A recently written page may still sit in the GEM write
 		// buffer; read it from there at GEM speed.
 		if _, ok := n.sys.writeBuffer[page]; ok {
 			n.sys.wbReadHits++
-			n.gemPageIO(p)
+			n.gemPageIOAttr(p, cp)
 		} else {
-			n.cpu.Exec(p, n.sys.params.IOInstr)
-			n.sys.groups[file.ID].Read(p, page)
+			n.diskReadAttr(p, cp, file, page)
 		}
 	case model.MediumGEMCache:
 		// Intermediate caching level in GEM: hits cost one page
@@ -660,36 +709,35 @@ func (n *Node) readStorage(p *sim.Proc, file *model.File, page model.PageID, exp
 		n.sys.gemCacheReqs++
 		if cache.Touch(page) {
 			n.sys.gemCacheHits++
-			n.gemPageIO(p)
+			n.gemPageIOAttr(p, cp)
 		} else {
-			n.cpu.Exec(p, n.sys.params.IOInstr)
-			n.sys.groups[file.ID].Read(p, page)
-			n.gemPageIO(p) // install into the GEM cache
+			n.diskReadAttr(p, cp, file, page)
+			n.gemPageIOAttr(p, cp) // install into the GEM cache
 			n.gemCacheInsert(file, page, false)
 		}
 	default:
-		n.cpu.Exec(p, n.sys.params.IOInstr)
-		n.sys.groups[file.ID].Read(p, page)
+		n.diskReadAttr(p, cp, file, page)
 	}
 	n.sys.oracle.checkStorageRead(page, expectSeq, file.Locking)
 }
 
 // writeStorage performs one page write to the file's storage medium.
-func (n *Node) writeStorage(p *sim.Proc, file *model.File, page model.PageID, seq uint64) {
+// cp, when non-nil, receives the critical-path attribution.
+func (n *Node) writeStorage(p *sim.Proc, cp *attrib.Vector, file *model.File, page model.PageID, seq uint64) {
 	n.storageWrites++
 	switch file.Medium {
 	case model.MediumGEM:
-		n.gemPageIO(p)
+		n.gemPageIOAttr(p, cp)
 	case model.MediumGEMCache:
 		// The non-volatile GEM cache absorbs the write; the disk copy
 		// is updated when the dirty entry is replaced.
-		n.gemPageIO(p)
+		n.gemPageIOAttr(p, cp)
 		n.gemCacheInsert(file, page, true)
 	case model.MediumGEMWriteBuffer:
 		// Write into the non-volatile GEM write buffer; the disk copy
 		// is updated asynchronously and the buffer entry is released
 		// once the disk write completed.
-		n.gemPageIO(p)
+		n.gemPageIOAttr(p, cp)
 		n.sys.wbWrites++
 		sys := n.sys
 		if cur, ok := sys.writeBuffer[page]; !ok || seq > cur {
@@ -703,8 +751,14 @@ func (n *Node) writeStorage(p *sim.Proc, file *model.File, page model.PageID, se
 			})
 		}
 	default:
+		group := n.sys.groups[file.ID]
+		start := n.sys.env.Now()
 		n.cpu.Exec(p, n.sys.params.IOInstr)
-		n.sys.groups[file.ID].Write(p, page)
+		absorbed := group.Write(p, page)
+		if cp != nil {
+			svc := n.cpu.ServiceTime(n.sys.params.IOInstr) + group.WriteServiceTime(absorbed)
+			cp.AddWindow(attrib.ResDisk, n.sys.env.Now()-start, svc)
+		}
 	}
 	n.sys.oracle.storageWrite(page, seq)
 }
@@ -725,19 +779,25 @@ func (n *Node) gemCacheInsert(file *model.File, page model.PageID, dirty bool) {
 	}
 }
 
-// writeLog writes the transaction's log data (one page) at commit.
-func (n *Node) writeLog(p *sim.Proc) {
+// writeLog writes the transaction's log data (one page) at commit. cp,
+// when non-nil, receives the critical-path attribution.
+func (n *Node) writeLog(p *sim.Proc, cp *attrib.Vector) {
 	n.logWrites++
 	n.logSinceCkpt++
 	if n.sys.params.LogInGEM {
-		n.gemPageIO(p)
+		n.gemPageIOAttr(p, cp)
 		if n.sys.params.GlobalLogMerge {
 			n.sys.unmergedLogPages++
 		}
 		return
 	}
+	start := n.sys.env.Now()
 	n.cpu.Exec(p, n.sys.params.IOInstr)
-	n.logGroup.Write(p, model.PageID{File: -1, Page: int32(n.id)})
+	absorbed := n.logGroup.Write(p, model.PageID{File: -1, Page: int32(n.id)})
+	if cp != nil {
+		svc := n.cpu.ServiceTime(n.sys.params.IOInstr) + n.logGroup.WriteServiceTime(absorbed)
+		cp.AddWindow(attrib.ResDisk, n.sys.env.Now()-start, svc)
+	}
 }
 
 // requestPage asks the owning node for the current page version (GEM
@@ -764,6 +824,9 @@ func (n *Node) requestPage(t *txn, page model.PageID, owner int, write bool) (ui
 	t.waiting = wait
 	t.proc.Park()
 	t.waiting = nil
+	// The round trip is message latency plus remote processing: pure
+	// network waiting from this transaction's point of view.
+	t.cp.Add(attrib.ResNet, sys.env.Now()-start, 0)
 	if t.killed || (sys.faultsOn && sys.params.LockWaitTimeout > 0 && !wait.woken) {
 		// Crash, lost request or lost reply: fall back to storage.
 		wait.abandoned = true
@@ -773,7 +836,7 @@ func (n *Node) requestPage(t *txn, page model.PageID, owner int, write bool) (ui
 	if n.sys.params.GEMPageTransfer && wait.found {
 		// Exchange across GEM: the owner deposited the page in GEM
 		// (modelled at the owner); read it back synchronously.
-		n.gemPageIO(t.proc)
+		n.gemPageIOAttr(t.proc, t.cp)
 	}
 	if !wait.found {
 		n.pageReqMiss++
@@ -788,6 +851,7 @@ func (n *Node) resetStats() {
 	n.cpu.ResetStats()
 	n.pool.ResetStats()
 	n.logGroup.ResetStats()
+	n.mpl.ResetStats()
 	n.commits, n.aborts = 0, 0
 	n.respRefs = 0
 	n.resp.Reset()

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"gemsim/internal/attrib"
 	"gemsim/internal/model"
 	"gemsim/internal/sim"
 	"gemsim/internal/stats"
@@ -58,6 +59,7 @@ func (s *System) StartSampler(interval time.Duration, w *trace.TimeSeriesWriter)
 		smp := s.windowSample(interval)
 		w.Write(smp)
 		s.traceCounters(smp)
+		s.traceAttrib(smp.T)
 		s.winRT.Reset()
 		s.winHist.Reset()
 		s.env.After(interval, tick)
@@ -65,11 +67,62 @@ func (s *System) StartSampler(interval time.Duration, w *trace.TimeSeriesWriter)
 	s.env.After(interval, tick)
 }
 
-// observeCommit feeds a committed transaction into the phase breakdown
-// and the current sampling window.
-func (s *System) observeCommit(ph *trace.Phases, rt time.Duration) {
+// traceAttrib emits the live-introspection instants of the attribution
+// engine onto the event trace, one set per sampler tick: a windowed
+// operational-law report per station and a wait-for graph snapshot
+// (top blockers, longest chain, convoy flag). Pure accounting — the
+// emission schedules no events and draws no random numbers, so traces
+// are byte-identical across -jobs levels.
+func (s *System) traceAttrib(at sim.Time) {
+	if s.attribBD == nil || !s.tracer.Enabled() {
+		return
+	}
+	cur := s.stationCounters()
+	prev := s.prevStations
+	s.prevStations = cur
+	for i, c := range cur {
+		w := c
+		if i < len(prev) && prev[i].Name == c.Name {
+			p := prev[i]
+			w.Elapsed = c.Elapsed - p.Elapsed
+			w.BusySeconds = c.BusySeconds - p.BusySeconds
+			w.QSeconds = c.QSeconds - p.QSeconds
+			w.Requests = c.Requests - p.Requests
+			w.WaitSum = c.WaitSum - p.WaitSum
+			w.SvcSum = c.SvcSum - p.SvcSum
+			w.SvcN = c.SvcN - p.SvcN
+		}
+		laws := attrib.Derive(toStationCounters(w))
+		s.tracer.Instant("attrib", 0, "attrib", "station", at, laws.EncodeArg())
+	}
+	var edges []attrib.WaitEdge
+	for _, tbl := range s.tables {
+		for _, e := range tbl.WaitEdges() {
+			edges = append(edges, attrib.WaitEdge{
+				Waiter: e.Waiter.String(),
+				Holder: e.Holder.String(),
+			})
+		}
+	}
+	rep := attrib.AnalyzeWaitFor(edges, 5)
+	s.tracer.Instant("attrib", 0, "attrib", "waitfor", at, rep.EncodeArg())
+}
+
+// observeCommit feeds a committed transaction into the phase
+// breakdown, the attribution breakdown and the current sampling
+// window; with event tracing on, the transaction's critical-path
+// vector is emitted as a txnpath instant on the node's track.
+func (s *System) observeCommit(n *Node, tid int64, ph *trace.Phases, cp *attrib.Vector, rt time.Duration) {
 	if s.breakdown != nil {
 		s.breakdown.Observe(ph, rt)
+	}
+	if s.attribBD != nil {
+		s.attribBD.Observe(cp, rt)
+	}
+	if cp != nil {
+		if tr := s.tracer; tr.Enabled() {
+			tr.Instant(n.track, tid, "attrib", "txnpath", s.env.Now(), cp.EncodeArg())
+		}
 	}
 	if s.sampling {
 		s.winRT.AddDuration(rt)
@@ -239,6 +292,7 @@ func readPhase(f *model.File) trace.Phase {
 // as one wait span on the node's track keyed by the contended page.
 func (n *Node) lockWaitDone(t *txn, page model.PageID, start sim.Time) {
 	t.phases.Add(trace.PhaseLockWait, n.sys.env.Now()-start)
+	t.cp.Add(attrib.ResLock, n.sys.env.Now()-start, 0)
 	if tr := n.sys.tracer; tr.Enabled() {
 		tr.Span(n.track, int64(t.id), "lock", "wait", start, n.sys.env.Now(), page.String())
 	}

@@ -87,6 +87,16 @@ type Params struct {
 	// tracing or time-series sampling is configured through core.
 	PhaseBreakdown bool
 
+	// AttribOff disables the bottleneck attribution engine (package
+	// attrib). Attribution is on by default: it is pure accounting —
+	// no events, no random draws — so it never changes simulation
+	// results, and its per-commit cost is a handful of additions.
+	AttribOff bool
+	// AttribTolerance is the relative residual above which the
+	// operational-law self-checks (Little's law, utilization law) emit
+	// a warning; zero means attrib.DefaultTolerance.
+	AttribTolerance float64
+
 	// BOTInstr, RefInstr and EOTInstr are the mean instruction counts
 	// charged at begin-of-transaction, per record access, and at
 	// end-of-transaction; each actual demand is exponentially
@@ -271,6 +281,8 @@ func (p *Params) Validate() error {
 		return errParam("AvailabilityWindow must be non-negative")
 	case p.Net.LossProb < 0 || p.Net.LossProb >= 1:
 		return errParam("Net.LossProb must be in [0,1)")
+	case p.AttribTolerance < 0:
+		return errParam("AttribTolerance must be non-negative")
 	}
 	return nil
 }

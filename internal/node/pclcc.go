@@ -1,6 +1,7 @@
 package node
 
 import (
+	"gemsim/internal/attrib"
 	"gemsim/internal/lock"
 	"gemsim/internal/model"
 	"gemsim/internal/netsim"
@@ -74,6 +75,7 @@ func (c *pclCC) lockLocal(t *txn, page model.PageID, mode model.LockMode, gla in
 		svcStart := sys.env.Now()
 		n.cpu.Exec(t.proc, sys.params.LockInstr)
 		t.phases.Add(trace.PhaseLockSvc, sys.env.Now()-svcStart)
+		t.cp.AddWindow(attrib.ResLock, sys.env.Now()-svcStart, n.cpu.ServiceTime(sys.params.LockInstr))
 	}
 	wait := &remoteWait{proc: t.proc}
 	_, granted := c.table(gla).Request(page, t.owner, mode, wait)
@@ -110,6 +112,7 @@ func (c *pclCC) lockShadowRA(t *txn, page model.PageID, gla int, copySeq uint64)
 		svcStart := sys.env.Now()
 		n.cpu.Exec(t.proc, sys.params.LockInstr)
 		t.phases.Add(trace.PhaseLockSvc, sys.env.Now()-svcStart)
+		t.cp.AddWindow(attrib.ResLock, sys.env.Now()-svcStart, n.cpu.ServiceTime(sys.params.LockInstr))
 	}
 	wait := &remoteWait{proc: t.proc, ra: true}
 	_, granted := c.table(gla).Request(page, t.owner, model.LockRead, wait)
@@ -179,8 +182,11 @@ func (c *pclCC) lockRemote(t *txn, page model.PageID, mode model.LockMode, gla, 
 	t.proc.Park()
 	t.waiting = nil
 	// The whole round trip — send, remote queueing and processing,
-	// grant (or timeout) — counts as lock-message time.
+	// grant (or timeout) — counts as lock-message time. On the
+	// critical path it is network waiting: the requester has no view
+	// of the remote service split.
 	t.phases.Add(trace.PhaseLockMsg, sys.env.Now()-start)
+	t.cp.Add(attrib.ResNet, sys.env.Now()-start, 0)
 	if tr := sys.tracer; tr.Enabled() {
 		tr.Span(n.track, int64(t.id), "lock", "remote", start, sys.env.Now(), page.String())
 	}

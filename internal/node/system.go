@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"gemsim/internal/attrib"
 	"gemsim/internal/gem"
 	"gemsim/internal/lock"
 	"gemsim/internal/model"
@@ -124,6 +125,15 @@ type System struct {
 	winRT     stats.Series
 	winHist   *stats.Histogram
 	prevWin   winCounters
+
+	// Bottleneck attribution (package attrib): attribBD aggregates
+	// per-transaction critical-path vectors and is nil when
+	// attribution is off; attribTol is the operational-law tolerance;
+	// prevStations re-bases the per-station counters between sampler
+	// ticks for windowed law instants.
+	attribBD     *attrib.Breakdown
+	attribTol    float64
+	prevStations []sim.Counters
 
 	// ctl is the adaptive load controller (StartControl); nil for
 	// static allocation, in which case no controller code runs at all.
@@ -270,6 +280,13 @@ func NewSystem(env *sim.Env, params Params, gen workload.Generator, router routi
 	s.tracer = params.Tracer
 	if s.tracer.Enabled() || params.PhaseBreakdown {
 		s.breakdown = &trace.Breakdown{}
+	}
+	if !params.AttribOff {
+		s.attribBD = &attrib.Breakdown{}
+		s.attribTol = params.AttribTolerance
+		if s.attribTol <= 0 {
+			s.attribTol = attrib.DefaultTolerance
+		}
 	}
 	if s.tracer != nil {
 		s.gemDev.SetTracer(s.tracer)
@@ -616,6 +633,13 @@ func (s *System) ResetStats() {
 		s.avail.resetMeasure(s.totalCommits())
 	}
 	s.breakdown.Reset()
+	s.attribBD.Reset()
+	if s.attribBD != nil && s.sampling {
+		// Re-base the windowed station counters: the per-station
+		// integrals just restarted, so the next tick must not difference
+		// against pre-warm-up values.
+		s.prevStations = s.stationCounters()
+	}
 	if s.ctl != nil {
 		s.ctl.resetStats()
 	}
@@ -623,6 +647,63 @@ func (s *System) ResetStats() {
 		// Restart the sampling window so the first post-warm-up sample
 		// does not see negative counter deltas.
 		s.resetWindow()
+	}
+}
+
+// stationCounters snapshots every queueing station of the system in a
+// deterministic order (per-node CPU, GEM, lock engine, disk groups in
+// file order, per-node log groups, per-node MPL semaphores). The order
+// is load-bearing: windowed sampler deltas pair entries by index, and
+// the emitted law instants must be byte-identical across -jobs levels.
+func (s *System) stationCounters() []sim.Counters {
+	out := make([]sim.Counters, 0, 4*len(s.nodes)+2+len(s.groups))
+	for _, n := range s.nodes {
+		out = append(out, n.cpu.Counters())
+	}
+	out = append(out, s.gemDev.Counters())
+	if s.engine != nil {
+		out = append(out, s.engine.Counters())
+	}
+	for _, id := range s.sortedGroupIDs() {
+		out = append(out, s.groups[id].DiskCounters())
+	}
+	for _, n := range s.nodes {
+		out = append(out, n.logGroup.DiskCounters())
+	}
+	for _, n := range s.nodes {
+		out = append(out, n.mpl.Counters())
+	}
+	return out
+}
+
+// StationLaws derives the operational-law view of every station over
+// the measurement interval so far. Nil when attribution is off.
+func (s *System) StationLaws() []attrib.Laws {
+	if s.attribBD == nil {
+		return nil
+	}
+	cs := s.stationCounters()
+	out := make([]attrib.Laws, len(cs))
+	for i, c := range cs {
+		out[i] = attrib.Derive(toStationCounters(c))
+	}
+	return out
+}
+
+// toStationCounters converts the kernel-level counter snapshot into the
+// attrib package's representation (sim must not import attrib, so the
+// two structs are distinct by design).
+func toStationCounters(c sim.Counters) attrib.StationCounters {
+	return attrib.StationCounters{
+		Name:        c.Name,
+		Servers:     c.Servers,
+		Elapsed:     time.Duration(c.Elapsed),
+		BusySeconds: c.BusySeconds,
+		QSeconds:    c.QSeconds,
+		Requests:    c.Requests,
+		WaitSum:     time.Duration(c.WaitSum),
+		SvcSum:      time.Duration(c.SvcSum),
+		SvcN:        c.SvcN,
 	}
 }
 
@@ -745,6 +826,20 @@ type Metrics struct {
 	// transactions; nil unless tracing or PhaseBreakdown was enabled.
 	// The phase means sum to MeanResponseTime by construction.
 	Phases *trace.Breakdown
+
+	// Attribution is the per-resource critical-path breakdown of
+	// committed transactions (nil when attribution is off). The
+	// per-resource means sum to MeanResponseTime by construction, so
+	// Share values sum to one. DominantBottleneck names the resource
+	// with the largest attributed share; StationLaws carries the
+	// operational-law view of every queueing station over the measured
+	// interval, and LawWarnings lists stations whose Little's-law or
+	// utilization-law residual exceeded the configured tolerance.
+	Attribution        *attrib.Breakdown
+	DominantBottleneck string
+	DominantShare      float64
+	StationLaws        []attrib.Laws
+	LawWarnings        []string
 
 	// Adaptive load control action counts (StartControl runs; all zero
 	// for static allocation).
@@ -906,6 +1001,17 @@ func (s *System) Snapshot() Metrics {
 	if s.breakdown != nil {
 		b := *s.breakdown
 		m.Phases = &b
+	}
+	if s.attribBD != nil {
+		b := *s.attribBD
+		m.Attribution = &b
+		dom, share := b.Dominant()
+		m.DominantBottleneck = dom.String()
+		m.DominantShare = share
+		m.StationLaws = s.StationLaws()
+		for _, l := range m.StationLaws {
+			m.LawWarnings = append(m.LawWarnings, l.Check(s.attribTol)...)
+		}
 	}
 	m.MeanRTPreFailure = s.respPre.MeanDuration()
 	m.MeanRTDuringRecovery = s.respDuring.MeanDuration()

@@ -11,12 +11,14 @@ import (
 	"testing"
 	"time"
 
+	"gemsim/internal/attrib"
 	"gemsim/internal/rng"
 )
 
 // driveStation runs Poisson arrivals with exponential service through a
-// c-server station and returns the measured mean wait in queue (Wq).
-func driveStation(t *testing.T, servers int, lambda, mu float64, jobs int) float64 {
+// c-server station and returns the measured mean wait in queue (Wq)
+// plus the raw accounting counters for the operational-law checks.
+func driveStation(t *testing.T, servers int, lambda, mu float64, jobs int) (float64, Counters) {
 	t.Helper()
 	env := NewEnv()
 	defer env.Stop()
@@ -37,7 +39,23 @@ func driveStation(t *testing.T, servers int, lambda, mu float64, jobs int) float
 	if err := env.RunUntilIdle(); err != nil {
 		t.Fatal(err)
 	}
-	return r.MeanWait().Seconds()
+	return r.MeanWait().Seconds(), r.Counters()
+}
+
+// lawsOf derives the operational-law report from a kernel counter
+// snapshot (the sim-level twin of node.toStationCounters).
+func lawsOf(c Counters) attrib.Laws {
+	return attrib.Derive(attrib.StationCounters{
+		Name:        c.Name,
+		Servers:     c.Servers,
+		Elapsed:     time.Duration(c.Elapsed),
+		BusySeconds: c.BusySeconds,
+		QSeconds:    c.QSeconds,
+		Requests:    c.Requests,
+		WaitSum:     time.Duration(c.WaitSum),
+		SvcSum:      time.Duration(c.SvcSum),
+		SvcN:        c.SvcN,
+	})
 }
 
 func TestMM1MeanWait(t *testing.T) {
@@ -47,7 +65,7 @@ func TestMM1MeanWait(t *testing.T) {
 	// M/M/1: Wq = rho / (mu - lambda), rho = lambda/mu.
 	const lambda, mu = 50.0, 100.0
 	want := (lambda / mu) / (mu - lambda) // 0.01 s
-	got := driveStation(t, 1, lambda, mu, 200000)
+	got, _ := driveStation(t, 1, lambda, mu, 200000)
 	t.Logf("M/M/1 Wq: measured %.5fs, analytic %.5fs", got, want)
 	if math.Abs(got-want)/want > 0.05 {
 		t.Fatalf("M/M/1 mean wait %.5fs, analytic %.5fs (>5%% off)", got, want)
@@ -60,7 +78,7 @@ func TestMM1MeanWait(t *testing.T) {
 // chain — no process is ever spawned. Validates that the Tier-1 queue
 // discipline reproduces the same queueing behaviour as parked
 // processes.
-func driveStationFn(t *testing.T, servers int, lambda, mu float64, jobs int) float64 {
+func driveStationFn(t *testing.T, servers int, lambda, mu float64, jobs int) (float64, Counters) {
 	t.Helper()
 	env := NewEnv()
 	defer env.Stop()
@@ -82,7 +100,7 @@ func driveStationFn(t *testing.T, servers int, lambda, mu float64, jobs int) flo
 	if err := env.RunUntilIdle(); err != nil {
 		t.Fatal(err)
 	}
-	return r.MeanWait().Seconds()
+	return r.MeanWait().Seconds(), r.Counters()
 }
 
 func TestMM1MeanWaitCallbackTier(t *testing.T) {
@@ -91,7 +109,7 @@ func TestMM1MeanWaitCallbackTier(t *testing.T) {
 	}
 	const lambda, mu = 50.0, 100.0
 	want := (lambda / mu) / (mu - lambda)
-	got := driveStationFn(t, 1, lambda, mu, 200000)
+	got, _ := driveStationFn(t, 1, lambda, mu, 200000)
 	t.Logf("M/M/1 (callback tier) Wq: measured %.5fs, analytic %.5fs", got, want)
 	if math.Abs(got-want)/want > 0.05 {
 		t.Fatalf("M/M/1 callback-tier mean wait %.5fs, analytic %.5fs (>5%% off)", got, want)
@@ -106,7 +124,7 @@ func TestMMcMeanWaitCallbackTier(t *testing.T) {
 	const lambda, mu = 280.0, 100.0
 	a := lambda / mu
 	want := erlangC(c, a) / (c*mu - lambda)
-	got := driveStationFn(t, c, lambda, mu, 300000)
+	got, _ := driveStationFn(t, c, lambda, mu, 300000)
 	t.Logf("M/M/%d (callback tier) Wq: measured %.6fs, analytic %.6fs", c, got, want)
 	if math.Abs(got-want)/want > 0.07 {
 		t.Fatalf("M/M/%d callback-tier mean wait %.6fs, analytic %.6fs (>7%% off)", c, got, want)
@@ -141,7 +159,7 @@ func TestMMcMeanWait(t *testing.T) {
 	rho := a / c
 	want := erlangC(c, a) / (c*mu - lambda)
 	_ = rho
-	got := driveStation(t, c, lambda, mu, 300000)
+	got, _ := driveStation(t, c, lambda, mu, 300000)
 	t.Logf("M/M/%d Wq: measured %.6fs, analytic %.6fs", c, got, want)
 	if math.Abs(got-want)/want > 0.07 {
 		t.Fatalf("M/M/%d mean wait %.6fs, analytic %.6fs (>7%% off)", c, got, want)
@@ -202,5 +220,61 @@ func TestUtilizationMatchesOfferedLoad(t *testing.T) {
 	want := lambda / mu
 	if got := r.Utilization(); math.Abs(got-want) > 0.02 {
 		t.Fatalf("utilization %.4f, want ~%.2f", got, want)
+	}
+}
+
+// TestOperationalLawsMM1 checks the attribution engine's self-
+// validation on the M/M/1 workload: the Little's-law residual on the
+// waiting line (Lq vs lambda*Wq) and the utilization-law residual
+// (busy time vs summed service demand) must both be tiny — they
+// compare two accountings of the same integral, so unlike the
+// analytic Wq checks they are not statistical.
+func TestOperationalLawsMM1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical validation")
+	}
+	const lambda, mu = 50.0, 100.0
+	_, c := driveStation(t, 1, lambda, mu, 200000)
+	l := lawsOf(c)
+	t.Logf("M/M/1 laws: util %.4f, Lq %.4f, little %.5f, utilresid %.5f",
+		l.Utilization, l.MeanQueue, l.LittleResid, l.UtilResid)
+	if warns := l.Check(attrib.DefaultTolerance); len(warns) > 0 {
+		t.Fatalf("law warnings on M/M/1: %v", warns)
+	}
+	if !l.SvcTracked {
+		t.Fatal("M/M/1 station should track per-cycle service demand")
+	}
+	if l.LittleResid > 0.01 {
+		t.Fatalf("Little's-law residual %.4f > 1%%", l.LittleResid)
+	}
+	if l.UtilResid > 0.01 {
+		t.Fatalf("utilization-law residual %.4f > 1%%", l.UtilResid)
+	}
+}
+
+// TestOperationalLawsMMc is the same check on the M/M/4 workload
+// driven entirely on the callback tier, covering the Tier-1 Request
+// path's accounting.
+func TestOperationalLawsMMc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical validation")
+	}
+	const c = 4
+	const lambda, mu = 280.0, 100.0
+	_, cnt := driveStationFn(t, c, lambda, mu, 300000)
+	l := lawsOf(cnt)
+	t.Logf("M/M/%d laws: util %.4f, Lq %.4f, little %.5f, utilresid %.5f",
+		c, l.Utilization, l.MeanQueue, l.LittleResid, l.UtilResid)
+	if warns := l.Check(attrib.DefaultTolerance); len(warns) > 0 {
+		t.Fatalf("law warnings on M/M/%d: %v", c, warns)
+	}
+	if !l.SvcTracked {
+		t.Fatalf("M/M/%d station should track per-cycle service demand", c)
+	}
+	if l.LittleResid > 0.01 {
+		t.Fatalf("Little's-law residual %.4f > 1%%", l.LittleResid)
+	}
+	if l.UtilResid > 0.01 {
+		t.Fatalf("utilization-law residual %.4f > 1%%", l.UtilResid)
 	}
 }

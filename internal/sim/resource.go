@@ -33,6 +33,17 @@ type Resource struct {
 	requests  int64
 	queued    int64
 	waitSum   Time
+
+	// Queue-length integral and tracked service demand, for
+	// operational-law self-validation (package attrib). qArea only
+	// needs updating when the queue length changes, so the
+	// uncontended fast paths stay untouched. svcSum covers cycles
+	// whose demand is known up front (Use/Request/RequestResume);
+	// hold-style Acquire/Release composites cannot be tracked.
+	lastQT Time
+	qArea  float64 // waiting-jobs time integral, in seconds
+	svcSum Time
+	svcN   int64
 }
 
 // NewResource creates a resource with the given number of parallel
@@ -68,6 +79,14 @@ func (r *Resource) accumulate() {
 	r.lastT = now
 }
 
+// qAccumulate integrates waiting-queue length up to the current
+// instant; called only when the queue length is about to change.
+func (r *Resource) qAccumulate() {
+	now := r.env.Now()
+	r.qArea += float64(len(r.queue)) * (now - r.lastQT).Seconds()
+	r.lastQT = now
+}
+
 // Acquire obtains one server for the calling process, queueing FCFS if
 // all servers are busy. It must be paired with Release.
 func (r *Resource) Acquire(p *Proc) {
@@ -78,6 +97,7 @@ func (r *Resource) Acquire(p *Proc) {
 		return
 	}
 	r.queued++
+	r.qAccumulate()
 	enqueuedAt := r.env.Now()
 	r.queue = append(r.queue, rwaiter{proc: p, at: enqueuedAt})
 	p.park()
@@ -99,6 +119,7 @@ func (r *Resource) AcquireFn(granted func()) {
 		return
 	}
 	r.queued++
+	r.qAccumulate()
 	r.queue = append(r.queue, rwaiter{grant: granted, at: r.env.Now()})
 }
 
@@ -106,6 +127,7 @@ func (r *Resource) AcquireFn(granted func()) {
 // if any.
 func (r *Resource) Release() {
 	if len(r.queue) > 0 {
+		r.qAccumulate()
 		w := r.queue[0]
 		copy(r.queue, r.queue[1:])
 		r.queue[len(r.queue)-1] = rwaiter{}
@@ -146,6 +168,8 @@ func (r *Resource) Request(d Time, done func()) {
 		fn = func() { r.Release(); done() }
 	}
 	r.requests++
+	r.svcSum += d
+	r.svcN++
 	if r.busy < r.servers {
 		r.accumulate()
 		r.busy++
@@ -153,6 +177,7 @@ func (r *Resource) Request(d Time, done func()) {
 		return
 	}
 	r.queued++
+	r.qAccumulate()
 	r.queue = append(r.queue, rwaiter{at: r.env.Now(), grant: func() {
 		r.env.schedule(r.env.now+d, nil, fn)
 	}})
@@ -178,6 +203,8 @@ func (r *Resource) RequestResume(c Continuation, d Time, fin func()) {
 // the continuation's process resumes, in the same slot.
 func (r *Resource) serveResume(c Continuation, d Time, completeFn func()) {
 	r.requests++
+	r.svcSum += d
+	r.svcN++
 	if r.busy < r.servers {
 		r.accumulate()
 		r.busy++
@@ -185,6 +212,7 @@ func (r *Resource) serveResume(c Continuation, d Time, completeFn func()) {
 		return
 	}
 	r.queued++
+	r.qAccumulate()
 	r.queue = append(r.queue, rwaiter{at: r.env.Now(), grant: func() {
 		c.ResumeAfter(d, completeFn)
 	}})
@@ -199,6 +227,42 @@ func (r *Resource) ResetStats() {
 	r.requests = 0
 	r.queued = 0
 	r.waitSum = 0
+	r.lastQT = r.env.Now()
+	r.qArea = 0
+	r.svcSum = 0
+	r.svcN = 0
+}
+
+// Counters is a raw statistics snapshot of a queueing station since
+// the last ResetStats, with the busy and queue integrals extended to
+// the current instant. It feeds the operational-law checks in package
+// attrib.
+type Counters struct {
+	Name        string
+	Servers     int
+	Elapsed     Time    // observation interval
+	BusySeconds float64 // server-busy time integral
+	QSeconds    float64 // waiting-jobs time integral
+	Requests    int64
+	WaitSum     Time // total queueing delay of dequeued requests
+	SvcSum      Time // summed demand of cycles with known service time
+	SvcN        int64
+}
+
+// Counters returns the current statistics snapshot.
+func (r *Resource) Counters() Counters {
+	now := r.env.Now()
+	return Counters{
+		Name:        r.name,
+		Servers:     r.servers,
+		Elapsed:     now - r.statStart,
+		BusySeconds: r.busyArea + float64(r.busy)*(now-r.lastT).Seconds(),
+		QSeconds:    r.qArea + float64(len(r.queue))*(now-r.lastQT).Seconds(),
+		Requests:    r.requests,
+		WaitSum:     r.waitSum,
+		SvcSum:      r.svcSum,
+		SvcN:        r.svcN,
+	}
 }
 
 // Utilization returns the mean fraction of busy servers since the last
@@ -254,6 +318,18 @@ type Semaphore struct {
 	queuedT Time
 	entries int64
 	waitSum Time
+
+	statStart Time
+	lastQT    Time
+	qArea     float64 // waiting-jobs time integral, in seconds
+}
+
+// qAccumulate integrates the admission-queue length up to the current
+// instant; called only when the queue length is about to change.
+func (s *Semaphore) qAccumulate() {
+	now := s.env.Now()
+	s.qArea += float64(len(s.waiters)) * (now - s.lastQT).Seconds()
+	s.lastQT = now
 }
 
 // NewSemaphore creates a semaphore with the given number of tokens.
@@ -272,6 +348,7 @@ func (s *Semaphore) Acquire(p *Proc) {
 		return
 	}
 	at := s.env.Now()
+	s.qAccumulate()
 	s.waiters = append(s.waiters, p)
 	if len(s.waiters) > s.maxQ {
 		s.maxQ = len(s.waiters)
@@ -294,6 +371,7 @@ func (s *Semaphore) Release() {
 
 // wakeFirst pops and unparks the longest-waiting process.
 func (s *Semaphore) wakeFirst() {
+	s.qAccumulate()
 	next := s.waiters[0]
 	copy(s.waiters, s.waiters[1:])
 	s.waiters[len(s.waiters)-1] = nil
@@ -340,6 +418,33 @@ func (s *Semaphore) MeanWait() Time {
 		return 0
 	}
 	return s.waitSum / Time(s.entries)
+}
+
+// ResetStats discards accumulated admission statistics while keeping
+// current occupancy.
+func (s *Semaphore) ResetStats() {
+	now := s.env.Now()
+	s.statStart = now
+	s.lastQT = now
+	s.qArea = 0
+	s.entries = 0
+	s.waitSum = 0
+	s.maxQ = len(s.waiters)
+}
+
+// Counters returns the admission gate's statistics snapshot. Service
+// demand is never tracked for a semaphore (holders run arbitrary
+// work), so only Little's law is checkable on it.
+func (s *Semaphore) Counters() Counters {
+	now := s.env.Now()
+	return Counters{
+		Name:     s.name,
+		Servers:  s.limit,
+		Elapsed:  now - s.statStart,
+		QSeconds: s.qArea + float64(len(s.waiters))*(now-s.lastQT).Seconds(),
+		Requests: s.entries,
+		WaitSum:  s.waitSum,
+	}
 }
 
 // Mailbox is an unbounded FIFO queue of values for process

@@ -272,6 +272,35 @@ func (g *Group) DiskBusySeconds() float64 { return g.disks.BusySeconds() }
 // Disks returns the number of disk servers in the group.
 func (g *Group) Disks() int { return g.params.Disks }
 
+// DiskCounters returns the disk servers' raw station counters for
+// operational-law validation.
+func (g *Group) DiskCounters() sim.Counters { return g.disks.Counters() }
+
+// ReadServiceTime returns the deterministic device service demand of
+// one read (controller, disk unless a cache hit skipped it, transfer) —
+// the non-queueing part of the read latency, for wait/service
+// attribution.
+func (g *Group) ReadServiceTime(cacheHit bool) time.Duration {
+	d := g.params.ControllerTime + g.params.TransferTime
+	if !cacheHit {
+		d += g.params.DiskTime
+	}
+	return d
+}
+
+// WriteServiceTime returns the device service demand of one write; an
+// absorbed write (non-volatile cache) never touches the disk servers.
+func (g *Group) WriteServiceTime(absorbed bool) time.Duration {
+	d := g.params.ControllerTime + g.params.TransferTime
+	if !absorbed {
+		d += g.params.DiskTime
+	}
+	return d
+}
+
+// ControllerCounters returns the controllers' raw station counters.
+func (g *Group) ControllerCounters() sim.Counters { return g.controllers.Counters() }
+
 // ControllerUtilization returns the utilization of the controllers.
 func (g *Group) ControllerUtilization() float64 { return g.controllers.Utilization() }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"gemsim/internal/attrib"
 	"gemsim/internal/core"
 )
 
@@ -24,6 +25,15 @@ var metricFuncs = map[string]func(*core.Report) float64{
 	"commits":     func(r *core.Report) float64 { return float64(r.Metrics.Commits) },
 	"aborts":      func(r *core.Report) float64 { return float64(r.Metrics.Aborts) },
 	"deadlocks":   func(r *core.Report) float64 { return float64(r.Metrics.Deadlocks) },
+	"bn_dom":      func(r *core.Report) float64 { return bnDominantIdx(r) },
+	"bn_share":    func(r *core.Report) float64 { return r.Metrics.DominantShare },
+	"bn_cpu":      bnShare(attrib.ResCPU),
+	"bn_lock":     bnShare(attrib.ResLock),
+	"bn_gem":      bnShare(attrib.ResGEM),
+	"bn_buffer":   bnShare(attrib.ResBuf),
+	"bn_disk":     bnShare(attrib.ResDisk),
+	"bn_net":      bnShare(attrib.ResNet),
+	"bn_other":    bnShare(attrib.ResOther),
 }
 
 // metricLabels names each metric's table axis.
@@ -41,6 +51,46 @@ var metricLabels = map[string]string{
 	"commits":     "committed transactions",
 	"aborts":      "aborted transactions",
 	"deadlocks":   "deadlocks",
+	"bn_dom":      "dominant bottleneck (attrib.Res index)",
+	"bn_share":    "dominant bottleneck RT share",
+	"bn_cpu":      "RT share attributed to CPU",
+	"bn_lock":     "RT share attributed to locking",
+	"bn_gem":      "RT share attributed to GEM",
+	"bn_buffer":   "RT share attributed to buffer waits",
+	"bn_disk":     "RT share attributed to disk",
+	"bn_net":      "RT share attributed to network",
+	"bn_other":    "unattributed RT share",
+}
+
+// bnShare extracts one resource's attributed response-time share; NaN
+// would poison aggregation, so runs without attribution report zero.
+func bnShare(res attrib.Res) func(*core.Report) float64 {
+	return func(r *core.Report) float64 {
+		if r.Metrics.Attribution == nil {
+			return 0
+		}
+		return r.Metrics.Attribution.Share(res)
+	}
+}
+
+// bnDominantIdx encodes the dominant bottleneck as its attrib.Res
+// index (the Values store is numeric); -1 when attribution is off.
+// DominantName decodes it for table rendering.
+func bnDominantIdx(r *core.Report) float64 {
+	if r.Metrics.Attribution == nil {
+		return -1
+	}
+	dom, _ := r.Metrics.Attribution.Dominant()
+	return float64(dom)
+}
+
+// DominantName decodes a stored bn_dom value back to the resource name.
+func DominantName(v float64) string {
+	i := int(v)
+	if i < 0 || i >= int(attrib.NumRes) {
+		return "?"
+	}
+	return attrib.Res(i).String()
 }
 
 // Metric resolves a metric name to its extractor.
