@@ -157,6 +157,10 @@ func run(args []string) error {
 			"skewed drifting workload: static allocation vs closed-loop load control (4 configs; throughput, RT, controller actions)")
 		fmt.Printf("%-20s %s\n", "availability",
 			"stochastic MTBF/MTTR crashes: offline replay vs incremental reopen (8 configs; TTFT, p99 unavailability, SLO attainment)")
+		fmt.Printf("%-20s %s\n", "engines",
+			"concurrency-control engines: 2PL vs MV-TO vs OCC vs HAD across contention levels (12 configs; throughput, restarts, validation work)")
+		fmt.Printf("%-20s %s\n", "",
+			"(the engine is also a sweep axis: \"cc\" with values 2pl, mvto, occ, had)")
 		return nil
 	}
 
@@ -178,6 +182,8 @@ func run(args []string) error {
 		return runAdaptivePreset(*seed, *quick, *verbose, *csvOut, *mdOut, sink)
 	case *fig == "availability":
 		return runAvailabilityPreset(*seed, *quick, *verbose, *csvOut, *mdOut, sink)
+	case *fig == "engines":
+		return runEnginesPreset(*seed, *quick, *verbose, *csvOut, *mdOut, sink)
 	case *fig != "":
 		for i := range exps {
 			if exps[i].ID == *fig {
@@ -530,6 +536,45 @@ func runAvailabilityPreset(seed int64, quick, verbose, csvOut, mdOut bool, sink 
 		fmt.Println(tbl.Markdown())
 	}
 	fmt.Fprintf(os.Stderr, "(availability completed in %v)\n", time.Since(start).Round(time.Millisecond))
+	return sink.closeAll()
+}
+
+// runEnginesPreset runs the concurrency-control engine comparison (not
+// part of the paper's figure catalog): the four engines against three
+// contention levels of the closed-loop debit-credit workload. The runs
+// stay sequential (a twelve-row preset keeps stdout deterministic
+// trivially and finishes in seconds).
+func runEnginesPreset(seed int64, quick, verbose, csvOut, mdOut bool, sink *traceSink) error {
+	opts := core.EnginesOptions{Seed: seed}
+	if sink.enabled() {
+		opts.Configure = func(label string, cfg *core.Config) {
+			sink.attach(cfg, "engines-"+label)
+		}
+	}
+	if quick {
+		// The window must still accumulate enough restarts per cell for
+		// the crossover to be visible above run-to-run noise.
+		opts.Warmup = 2 * time.Second
+		opts.Measure = 8 * time.Second
+	}
+	if verbose {
+		opts.Progress = func(label string, rep *core.Report) {
+			fmt.Fprintf(os.Stderr, "  [engines] %s: %v\n", label, rep)
+		}
+	}
+	start := time.Now()
+	tbl, _, err := core.RunEngines(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(tbl.Render())
+	if csvOut {
+		fmt.Println(tbl.CSV())
+	}
+	if mdOut {
+		fmt.Println(tbl.Markdown())
+	}
+	fmt.Fprintf(os.Stderr, "(engines completed in %v)\n", time.Since(start).Round(time.Millisecond))
 	return sink.closeAll()
 }
 

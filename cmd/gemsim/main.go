@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"gemsim/internal/cc"
 	"gemsim/internal/core"
 	"gemsim/internal/model"
 	"gemsim/internal/node"
@@ -42,6 +43,7 @@ func run(args []string) error {
 		coupling = fs.String("coupling", "gem", "coupling mode: gem (close), pcl (loose) or le (lock engine)")
 		force    = fs.Bool("force", false, "use the FORCE update strategy (default NOFORCE)")
 		routing  = fs.String("routing", "affinity", "workload allocation: random, affinity or loadaware")
+		ccEng    = fs.String("cc", "", "concurrency-control engine: 2pl (default), mvto, occ or had")
 		buffer   = fs.Int("buffer", 0, "database buffer pages per node (default 200, 1000 for traces)")
 		mpl      = fs.Int("mpl", 0, "multiprogramming level per node (default 64, 256 for traces)")
 		btMedium = fs.String("bt-medium", "", "BRANCH/TELLER medium: disk, vcache, nvcache, gem, gemwb or gemcache")
@@ -95,6 +97,20 @@ func run(args []string) error {
 	}
 	if *attrTbl && *attrOff {
 		return fmt.Errorf("-attrib and -attrib-off are mutually exclusive")
+	}
+	ccKind, err := cc.Parse(strings.ToLower(*ccEng))
+	if err != nil {
+		return err
+	}
+	if ccKind != cc.KindDefault {
+		switch {
+		case strings.ToLower(*coupling) == "le" || strings.ToLower(*coupling) == "lockengine":
+			return fmt.Errorf("-cc %s cannot be combined with -coupling le: the lock engine baseline is hard-wired to its native 2PL protocol (use -coupling gem or pcl)", ccKind)
+		case ccKind == cc.KindMVTO && *force:
+			return fmt.Errorf("-cc mvto cannot be combined with -force: MV-TO serves reads from its version store, so FORCE update propagation does not apply (drop -force)")
+		case *check:
+			return fmt.Errorf("-cc %s cannot be combined with -check: the coherency oracle assumes two-phase locking (drop -check)", ccKind)
+		}
 	}
 	if *attrTol < 0 {
 		return fmt.Errorf("-attrib-tolerance must be non-negative, got %v", *attrTol)
@@ -154,6 +170,7 @@ func run(args []string) error {
 		cfg.FileMedium = map[string]model.Medium{"BRANCH/TELLER": m}
 	}
 	cfg.Force = *force
+	cfg.CC = ccKind
 	cfg.LogInGEM = *logGEM
 	cfg.GlobalLogMerge = *logMerge
 	cfg.GEMMessaging = *gemMsg
@@ -280,6 +297,10 @@ func printDetails(rep *core.Report) {
 	m := &rep.Metrics
 	fmt.Printf("simulated time          %v\n", m.SimTime)
 	fmt.Printf("commits / aborts        %d / %d (deadlocks %d)\n", m.Commits, m.Aborts, m.Deadlocks)
+	if m.CCEngine != "" && m.CCEngine != "2pl" {
+		fmt.Printf("cc engine               %s  admitted %d  restarts %d  engine aborts %d  validations %d (failed %d)\n",
+			m.CCEngine, m.Admitted, m.Restarts, m.CCAborts, m.CCValidations, m.CCValidationFails)
+	}
 	fmt.Printf("throughput              %.1f TPS\n", m.Throughput)
 	fmt.Printf("response time           mean %v  p95 %v  max %v\n", m.MeanResponseTime, m.P95ResponseTime, m.MaxResponseTime)
 	fmt.Printf("normalized RT           %v (mean refs/txn %.1f)\n", m.NormalizedResponseTime, m.MeanRefsPerTxn)

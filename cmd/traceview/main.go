@@ -264,6 +264,29 @@ func (t *traceData) validate() []string {
 		if e.Cat == "fault" && e.Ph == "i" && e.Name != "crash" && e.Name != "repair" {
 			add(i, "unknown fault instant %q (want crash or repair)", e.Name)
 		}
+		// The cc track (optimistic concurrency-control engines) has a
+		// closed vocabulary: costed validation spans, remote mediation
+		// round trips, and abort instants carrying the conflict reason.
+		if e.Cat == "cc" {
+			switch e.Ph {
+			case "X":
+				switch e.Name {
+				case "cc-validate":
+					if d := t.detail(e); d != "ok" && d != "conflict" {
+						add(i, "cc-validate span with arg %q (want ok or conflict)", d)
+					}
+				case "cc-remote":
+				default:
+					add(i, "unknown cc span %q (want cc-validate or cc-remote)", e.Name)
+				}
+			case "i":
+				if e.Name != "cc-abort" {
+					add(i, "unknown cc instant %q (want cc-abort)", e.Name)
+				} else if d := t.detail(e); !ccAbortReasons[d] {
+					add(i, "cc-abort instant with reason %q (want validation, late-write or ww-conflict)", d)
+				}
+			}
+		}
 		// Attribution events are instants with a closed name
 		// vocabulary and machine-readable arguments; -report and
 		// -folded key on both.
@@ -306,6 +329,7 @@ func (t *traceData) loc(i int) string {
 // simulator emits. knownCatList spells it out for error messages.
 var knownCats = map[string]bool{
 	"attrib":   true,
+	"cc":       true,
 	"control":  true,
 	"cpu":      true,
 	"fault":    true,
@@ -325,6 +349,14 @@ var knownCatList = func() string {
 	sort.Strings(names)
 	return strings.Join(names, ", ")
 }()
+
+// ccAbortReasons is the closed conflict-reason vocabulary of cc-abort
+// instants (and of engine-initiated txn abort instants).
+var ccAbortReasons = map[string]bool{
+	"validation":  true,
+	"late-write":  true,
+	"ww-conflict": true,
+}
 
 // recoverySpanNames is the complete recovery-phase vocabulary: the
 // serial path emits detect/lock-recovery/log-scan/redo, the parallel

@@ -49,6 +49,11 @@ const (
 	// ResNet is message round trips: remote PCL lock requests, page
 	// transfer requests and invalidation broadcasts.
 	ResNet
+	// ResCC is optimistic concurrency-control work: version and
+	// validation metadata accesses, end-of-transaction validation.
+	// The default 2PL engines never charge it (their lock work is
+	// ResLock), so default breakdowns are unchanged.
+	ResCC
 	// ResOther is everything else: admission (MPL) waiting, abort
 	// backoff, and the unattributed residual added by
 	// Breakdown.Observe.
@@ -58,7 +63,7 @@ const (
 	NumRes
 )
 
-var resNames = [NumRes]string{"cpu", "lock", "gem", "buffer", "disk", "net", "other"}
+var resNames = [NumRes]string{"cpu", "lock", "gem", "buffer", "disk", "net", "cc", "other"}
 
 // String returns the lowercase resource name used in traces and
 // reports.

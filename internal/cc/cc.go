@@ -1,0 +1,243 @@
+// Package cc is the pluggable concurrency-control engine layer. The
+// coupling modes of the paper fix one protocol each — two-phase
+// locking against a GEM-resident lock table under close coupling,
+// primary copy locking under loose coupling — but the design space is
+// wider: multiversion timestamp ordering and backward-validation
+// optimistic engines trade abort work against lock waiting [La11], and
+// Thomasian's heterogeneous data access model locks the hot set while
+// running the cold tail optimistically [Th93].
+//
+// The package defines the exported engine seam: a Kind naming each
+// engine, the Engine hook interface the transaction manager drives
+// (begin/read/write/validate/commit/abort), the Outcome every mediated
+// access reports to the buffer manager, and the Coherency callback
+// surface through which an engine reads and publishes committed page
+// versions. The engines themselves live with the transaction manager
+// (internal/node), which owns the cost model: every metadata access is
+// charged against the simulated GEM device, CPU, or network according
+// to the coupling mode.
+package cc
+
+import (
+	"fmt"
+
+	"gemsim/internal/model"
+)
+
+// Kind selects a concurrency-control engine.
+type Kind int
+
+const (
+	// KindDefault is the protocol-native two-phase locking of the
+	// configured coupling mode: the GEM lock table under close
+	// coupling, primary copy locking under loose coupling, the central
+	// lock engine of the [Yu87] baseline.
+	KindDefault Kind = iota
+	// KindMVTO is multiversion timestamp ordering: reads never block
+	// or abort (a reader observes the newest version committed at or
+	// before its timestamp), writes follow first-committer-wins.
+	KindMVTO
+	// KindOCC is backward-validation optimistic concurrency control:
+	// accesses record the committed version they observed, a costed
+	// validation at end-of-transaction re-checks the whole set, and
+	// conflicts restart the transaction with exponential backoff.
+	KindOCC
+	// KindHAD is the heterogeneous data access model [Th93]: pages of
+	// the workload's hot set are accessed under 2PL, the cold tail
+	// optimistically.
+	KindHAD
+)
+
+// String names the engine as accepted by Parse.
+func (k Kind) String() string {
+	switch k {
+	case KindMVTO:
+		return "mvto"
+	case KindOCC:
+		return "occ"
+	case KindHAD:
+		return "had"
+	default:
+		return "2pl"
+	}
+}
+
+// Optimistic reports whether the engine runs (at least part of) its
+// accesses without locks and validates at end-of-transaction.
+func (k Kind) Optimistic() bool {
+	return k == KindMVTO || k == KindOCC || k == KindHAD
+}
+
+// Valid reports whether k names a known engine.
+func Valid(k Kind) bool { return k >= KindDefault && k <= KindHAD }
+
+// Names lists the accepted engine names.
+func Names() []string { return []string{"2pl", "mvto", "occ", "had"} }
+
+// Parse maps an engine name to its Kind. The empty string selects the
+// default engine.
+func Parse(s string) (Kind, error) {
+	switch s {
+	case "", "2pl", "default":
+		return KindDefault, nil
+	case "mvto":
+		return KindMVTO, nil
+	case "occ":
+		return KindOCC, nil
+	case "had":
+		return KindHAD, nil
+	default:
+		return 0, fmt.Errorf("cc: unknown engine %q (want 2pl, mvto, occ or had)", s)
+	}
+}
+
+// Outcome is what a mediated page access tells the buffer manager: the
+// committed global sequence number the access must observe (a cached
+// copy below it is invalid), where the current version can be obtained,
+// and whether the grant already carried the page.
+type Outcome struct {
+	// Seq is the committed sequence number of the page version the
+	// access observes.
+	Seq uint64
+	// Owner is the node buffering the current version under NOFORCE;
+	// -1 means permanent storage is current.
+	Owner int
+	// Carried reports that the reply itself carried the page copy.
+	Carried bool
+	// Local reports that the access was mediated without messages.
+	Local bool
+}
+
+// Txn is the engine-side state of one transaction execution attempt.
+type Txn struct {
+	// ID is the attempt's transaction identifier (globally monotonic;
+	// restarts run under a fresh one).
+	ID int64
+	// Node is the executing node.
+	Node int
+	// TS is the timestamp-ordering timestamp (MV-TO); it equals the
+	// attempt's ID, so restarts are automatically younger.
+	TS uint64
+	// Reads records, per page accessed optimistically, the committed
+	// sequence number (OCC) or version write timestamp (MV-TO) the
+	// attempt observed — the backward-validation set.
+	Reads map[model.PageID]uint64
+	// Writes marks the pages the attempt accessed optimistically in
+	// write mode (the publish set; every write is also in Reads).
+	Writes map[model.PageID]bool
+	// Host points back to the hosting transaction manager's record.
+	Host any
+}
+
+// Begin resets the attempt state; the hosting transaction manager
+// calls it through Engine.Begin before every (re-)execution.
+func (t *Txn) Begin(id int64) {
+	t.ID = id
+	t.TS = uint64(id)
+	t.Reads = nil
+	t.Writes = nil
+}
+
+// Touched reports whether the attempt already accessed the page
+// optimistically (first-touch accounting).
+func (t *Txn) Touched(page model.PageID) bool {
+	_, ok := t.Reads[page]
+	return ok
+}
+
+// RecordRead stores the observed committed version of a first-touch
+// access; later touches keep the first observation.
+func (t *Txn) RecordRead(page model.PageID, observed uint64) {
+	if t.Reads == nil {
+		t.Reads = make(map[model.PageID]uint64, 4)
+	}
+	if _, ok := t.Reads[page]; !ok {
+		t.Reads[page] = observed
+	}
+}
+
+// RecordWrite adds the page to the publish set.
+func (t *Txn) RecordWrite(page model.PageID) {
+	if t.Writes == nil {
+		t.Writes = make(map[model.PageID]bool, 4)
+	}
+	t.Writes[page] = true
+}
+
+// Engine mediates every data access of a transaction. Implementations
+// live with the transaction manager and charge the coupling-dependent
+// cost of each hook (GEM entry accesses, lock-handling CPU, message
+// round trips) before touching shared state through Coherency.
+type Engine interface {
+	// Kind identifies the engine.
+	Kind() Kind
+	// Begin resets the engine-side state at the start of an execution
+	// attempt; restarts call it again under a fresh transaction ID.
+	Begin(t *Txn)
+	// Read and Write mediate one page access in the respective mode
+	// and report the Outcome the buffer manager must observe. first
+	// reports whether this is the attempt's first touch of the page
+	// (buffer hit-rate accounting). The error is either a *Conflict
+	// (abort and restart with backoff) or one of the transaction
+	// manager's abort sentinels propagated from a blocking lock wait.
+	Read(t *Txn, page model.PageID) (out Outcome, first bool, err error)
+	Write(t *Txn, page model.PageID) (out Outcome, first bool, err error)
+	// Validate runs the end-of-transaction validation before the
+	// commit log write: OCC backward validation of the recorded set,
+	// the MV-TO first-committer-wins re-check. A *Conflict error
+	// aborts the attempt.
+	Validate(t *Txn) error
+	// Commit publishes the attempt's writes (new page versions, page
+	// ownership) and releases any locks it holds.
+	Commit(t *Txn)
+	// Abort discards the engine-side state of a failed attempt and
+	// releases any locks it holds.
+	Abort(t *Txn)
+	// Kill drops the state of a transaction whose node crashed. It
+	// must not charge costs or touch lock tables (recovery sweeps
+	// those).
+	Kill(t *Txn)
+}
+
+// Coherency is the callback surface the hosting system supplies to an
+// engine: committed page-version lookups and commit-time publication
+// against the coupling mode's shared metadata (GLT entries under close
+// coupling, GLA partitions under PCL). The calls are pure state —
+// the engine charges their access cost separately.
+type Coherency interface {
+	// Committed returns the committed sequence number of the page and
+	// the node buffering that version (-1: permanent storage).
+	Committed(page model.PageID) (seq uint64, owner int)
+	// Publish records a committed write: the new sequence number and
+	// the node now owning the current copy. Stale publishes (seq not
+	// above the recorded one) are ignored, keeping metadata monotonic.
+	Publish(page model.PageID, seq uint64, owner int)
+}
+
+// Reason classifies engine-initiated aborts; it is the trace argument
+// of the cc-abort instant.
+type Reason string
+
+const (
+	// ReasonValidation: backward validation found a page of the
+	// recorded set overwritten by a concurrent committer.
+	ReasonValidation Reason = "validation"
+	// ReasonLateWrite: an MV-TO write arrived after a younger reader
+	// observed the predecessor version (or a younger writer committed).
+	ReasonLateWrite Reason = "late-write"
+	// ReasonWW: a first-committer-wins re-check found a concurrent
+	// committed write on a page of the publish set.
+	ReasonWW Reason = "ww-conflict"
+)
+
+// Conflict is the abort error of the optimistic engines; the hosting
+// transaction manager rolls the attempt back and restarts it with
+// exponential backoff.
+type Conflict struct {
+	Reason Reason
+	Page   model.PageID
+}
+
+func (c *Conflict) Error() string {
+	return fmt.Sprintf("cc: %s conflict on page %v, restart", c.Reason, c.Page)
+}

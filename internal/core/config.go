@@ -11,6 +11,7 @@ import (
 	"io"
 	"time"
 
+	"gemsim/internal/cc"
 	"gemsim/internal/fault"
 	"gemsim/internal/model"
 	"gemsim/internal/node"
@@ -176,6 +177,12 @@ type Config struct {
 	Force bool
 	// Routing selects random or affinity-based transaction routing.
 	Routing Routing
+	// CC selects the concurrency-control engine: cc.KindDefault (the
+	// coupling mode's native two-phase locking protocol), cc.KindMVTO
+	// (multiversion timestamp ordering), cc.KindOCC (backward-validation
+	// optimistic), or cc.KindHAD (hot/cold hybrid: the workload's
+	// hot-spot pages through locking, the cold tail through OCC).
+	CC cc.Kind
 	// BufferPages is the database buffer size per node (200 or 1000).
 	BufferPages int
 	// MPL, when positive, overrides the multiprogramming level per
@@ -306,6 +313,14 @@ func (c *Config) validate() error {
 		return fmt.Errorf("core: ClosedLoop.TerminalsPerNode must be positive")
 	case c.GlobalLogMerge && !c.LogInGEM:
 		return fmt.Errorf("core: GlobalLogMerge requires LogInGEM")
+	case c.CC != cc.KindDefault && !cc.Valid(c.CC):
+		return fmt.Errorf("core: invalid CC engine %v", c.CC)
+	case c.CC != cc.KindDefault && c.Coupling == CouplingLockEngine:
+		return fmt.Errorf("core: the lock engine baseline is hard-wired to its native 2PL protocol (use GEM or PCL coupling with an alternative engine)")
+	case c.CC == cc.KindMVTO && c.Force:
+		return fmt.Errorf("core: MV-TO serves reads from its version store; FORCE update propagation does not apply (use NOFORCE)")
+	case c.CC != cc.KindDefault && c.CheckInvariants:
+		return fmt.Errorf("core: the coherency oracle assumes two-phase locking; optimistic engines legitimately observe versions it would reject")
 	}
 	if c.Attribution.Tolerance < 0 {
 		return fmt.Errorf("core: Attribution.Tolerance must be non-negative, got %v", c.Attribution.Tolerance)

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"gemsim/internal/cc"
 	"gemsim/internal/fault"
 	"gemsim/internal/model"
 	"gemsim/internal/node"
@@ -23,8 +24,11 @@ type ConfigFile struct {
 	Coupling           string  `json:"coupling"` // "gem", "pcl", "lockengine"
 	Force              bool    `json:"force,omitempty"`
 	Routing            string  `json:"routing"` // "random", "affinity"
-	BufferPages        int     `json:"bufferPages,omitempty"`
-	MPL                int     `json:"mpl,omitempty"`
+	// CC selects the concurrency-control engine: "2pl" (default),
+	// "mvto", "occ", "had".
+	CC          string `json:"cc,omitempty"`
+	BufferPages int    `json:"bufferPages,omitempty"`
+	MPL         int    `json:"mpl,omitempty"`
 
 	// TraceFile switches to trace-driven simulation.
 	TraceFile string `json:"traceFile,omitempty"`
@@ -216,6 +220,13 @@ func (f *ConfigFile) ToConfig() (Config, error) {
 		}
 		cfg.Routing = r
 	}
+	if f.CC != "" {
+		k, err := cc.Parse(strings.ToLower(f.CC))
+		if err != nil {
+			return Config{}, fmt.Errorf("core: %w", err)
+		}
+		cfg.CC = k
+	}
 	cfg.Force = f.Force
 	if f.BufferPages > 0 {
 		cfg.BufferPages = f.BufferPages
@@ -327,63 +338,63 @@ func (f *SkewFile) toSkew() (*workload.Skew, error) {
 }
 
 func (f *ControlFile) toControlConfig() (*node.ControlConfig, error) {
-	cc := node.DefaultControlConfig()
+	ctl := node.DefaultControlConfig()
 	if f.Admission != nil {
-		cc.Admission = *f.Admission
+		ctl.Admission = *f.Admission
 	}
 	if f.Reroute != nil {
-		cc.Reroute = *f.Reroute
+		ctl.Reroute = *f.Reroute
 	}
 	if f.Interval != "" {
 		d, err := parseOptDuration("control.interval", f.Interval)
 		if err != nil {
 			return nil, err
 		}
-		cc.Interval = d
+		ctl.Interval = d
 	}
 	if f.MinMPL > 0 {
-		cc.MinMPL = f.MinMPL
+		ctl.MinMPL = f.MinMPL
 	}
 	if f.HighConflict > 0 {
-		cc.HighConflict = f.HighConflict
+		ctl.HighConflict = f.HighConflict
 	}
 	if f.LowConflict > 0 {
-		cc.LowConflict = f.LowConflict
+		ctl.LowConflict = f.LowConflict
 	}
 	if f.Backoff > 0 {
-		cc.Backoff = f.Backoff
+		ctl.Backoff = f.Backoff
 	}
 	if f.ProbeStep > 0 {
-		cc.ProbeStep = f.ProbeStep
+		ctl.ProbeStep = f.ProbeStep
 	}
 	if f.Cooldown > 0 {
-		cc.Cooldown = f.Cooldown
+		ctl.Cooldown = f.Cooldown
 	}
 	if f.RTFactor > 0 {
-		cc.RTFactor = f.RTFactor
+		ctl.RTFactor = f.RTFactor
 	}
 	if f.RebalanceEvery > 0 {
-		cc.RebalanceEvery = f.RebalanceEvery
+		ctl.RebalanceEvery = f.RebalanceEvery
 	}
 	if f.Imbalance > 0 {
-		cc.Imbalance = f.Imbalance
+		ctl.Imbalance = f.Imbalance
 	}
 	if f.MaxMoves > 0 {
-		cc.MaxMoves = f.MaxMoves
+		ctl.MaxMoves = f.MaxMoves
 	}
 	if f.MigrateShare > 0 {
-		cc.MigrateShare = f.MigrateShare
+		ctl.MigrateShare = f.MigrateShare
 	}
 	if f.MigrateMinLocks > 0 {
-		cc.MigrateMinLocks = f.MigrateMinLocks
+		ctl.MigrateMinLocks = f.MigrateMinLocks
 	}
 	if f.HandoffEntriesPerMsg > 0 {
-		cc.HandoffEntriesPerMsg = f.HandoffEntriesPerMsg
+		ctl.HandoffEntriesPerMsg = f.HandoffEntriesPerMsg
 	}
-	if err := cc.Validate(); err != nil {
+	if err := ctl.Validate(); err != nil {
 		return nil, err
 	}
-	return cc, nil
+	return ctl, nil
 }
 
 func (f *FaultsFile) toFaultConfig() (*FaultConfig, error) {

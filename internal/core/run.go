@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"gemsim/internal/cc"
 	"gemsim/internal/fault"
 	"gemsim/internal/model"
 	"gemsim/internal/node"
@@ -145,6 +146,7 @@ func assemble(cfg *Config) (workload.Generator, routing.Router, routing.GLAMap, 
 	params.GlobalLogMerge = cfg.GlobalLogMerge
 	params.GEMMessaging = cfg.GEMMessaging
 	params.CheckInvariants = cfg.CheckInvariants
+	params.CC = cfg.CC
 	params.AttribOff = cfg.Attribution.Off
 	params.AttribTolerance = cfg.Attribution.Tolerance
 	if f := cfg.Faults; f != nil {
@@ -211,6 +213,9 @@ func assemble(cfg *Config) (workload.Generator, routing.Router, routing.GLAMap, 
 			return nil, nil, nil, params, err
 		}
 		gen = dc
+		// The hybrid engine classifies hot pages against the workload's
+		// (rotation-aware) hot-spot set.
+		params.HotPage = dc.HotPage
 		aff := routing.NewDebitCreditAffinity(cfg.Nodes, dcParams)
 		gla = aff
 		switch cfg.Routing {
@@ -277,8 +282,12 @@ func (r *Report) ThroughputPerNodeAt(utilization float64) float64 {
 // String renders a one-line summary of the report.
 func (r *Report) String() string {
 	m := &r.Metrics
-	return fmt.Sprintf("N=%d %s %s %s buf=%d: RT=%.1fms tput=%.1f/s cpu=%.0f%% inval/tx=%.2f msgs/tx=%.2f",
-		r.Config.Nodes, r.Config.Coupling, updateName(r.Config.Force), r.Config.Routing,
+	eng := ""
+	if r.Config.CC != cc.KindDefault {
+		eng = " cc=" + r.Config.CC.String()
+	}
+	return fmt.Sprintf("N=%d %s %s %s%s buf=%d: RT=%.1fms tput=%.1f/s cpu=%.0f%% inval/tx=%.2f msgs/tx=%.2f",
+		r.Config.Nodes, r.Config.Coupling, updateName(r.Config.Force), r.Config.Routing, eng,
 		r.Config.BufferPages,
 		float64(m.MeanResponseTime)/float64(time.Millisecond),
 		m.Throughput, m.MeanCPUUtilization*100, m.InvalidationsPerTxn, m.MessagesPerTxn)

@@ -93,9 +93,9 @@ func (c *gemCC) lock(t *txn, page model.PageID, mode model.LockMode) (ccOutcome,
 	t.locked[page] = &heldLock{mode: mode, kind: kindLocal}
 
 	meta := n.sys.gltMetaOf(page)
-	out := ccOutcome{seq: meta.seq, owner: -1, local: true}
+	out := ccOutcome{Seq: meta.seq, Owner: -1, Local: true}
 	if !n.sys.params.Force {
-		out.owner = meta.owner
+		out.Owner = meta.owner
 	}
 	return out, nil
 }

@@ -15,7 +15,7 @@ import (
 // (device access or a reply send).
 func inlineMessage(msg any) bool {
 	switch msg.(type) {
-	case lockGrantMsg, pageReplyMsg, wakeupMsg, rebuildReplyMsg, revokeRAMsg, invalidateAckMsg, glaHandoffAckMsg:
+	case lockGrantMsg, pageReplyMsg, wakeupMsg, rebuildReplyMsg, revokeRAMsg, invalidateAckMsg, glaHandoffAckMsg, ccOpAckMsg:
 		return true
 	}
 	return false
@@ -42,6 +42,22 @@ func (n *Node) handleMessage(p *sim.Proc, from int, msg any) {
 		m.Wait.proc.Unpark()
 	case lockReleaseMsg:
 		n.handleLockRelease(p, m)
+	case ccOpMsg:
+		n.handleCCOp(p, m)
+	case ccOpAckMsg:
+		if m.Wait.abandoned {
+			return
+		}
+		m.Wait.seq = m.Seq
+		m.Wait.ccWTS = m.WTS
+		m.Wait.ownerHasCopy = m.Owner
+		m.Wait.ccOK = m.OK
+		m.Wait.ccReason = m.Reason
+		m.Wait.ccPage = m.Page
+		m.Wait.woken = true
+		m.Wait.proc.Unpark()
+	case ccPublishMsg:
+		n.handleCCPublish(p, m)
 	case lockCancelMsg:
 		n.handleLockCancel(p, m)
 	case pageRequestMsg:

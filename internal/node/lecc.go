@@ -116,7 +116,7 @@ func (c *leCC) lock(t *txn, page model.PageID, mode model.LockMode) (ccOutcome, 
 	// the sequence number still travels for the coherency oracle (a
 	// cached copy that survived all broadcasts is current).
 	meta := n.sys.gltMetaOf(page)
-	return ccOutcome{seq: meta.seq, owner: -1, local: true}, nil
+	return ccOutcome{Seq: meta.seq, Owner: -1, Local: true}, nil
 }
 
 // releaseAll performs commit phase 2 at the lock engine. For update

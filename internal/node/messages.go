@@ -1,6 +1,7 @@
 package node
 
 import (
+	"gemsim/internal/cc"
 	"gemsim/internal/lock"
 	"gemsim/internal/model"
 	"gemsim/internal/sim"
@@ -135,6 +136,60 @@ type glaHandoffAckMsg struct {
 	Wait *remoteWait
 }
 
+// ccOp selects the optimistic-engine metadata operation performed at a
+// partition's serving node (PCL).
+type ccOp int
+
+const (
+	ccOpLookup       ccOp = iota + 1 // OCC access: committed-version lookup
+	ccOpVersionRead                  // MV-TO read: version-store read at TS
+	ccOpVersionWrite                 // MV-TO write admission check
+	ccOpValidate                     // batched end-of-transaction re-check
+)
+
+// ccOpPage is one page of an optimistic metadata operation, with the
+// version observation recorded at access time (validate batches only).
+type ccOpPage struct {
+	Page     model.PageID
+	Recorded uint64
+}
+
+// ccOpMsg asks a partition's serving node to perform an optimistic
+// metadata operation against its GLA-side state (PCL; the optimistic
+// engines' analogue of lockRequestMsg).
+type ccOpMsg struct {
+	Owner lock.Owner
+	Op    ccOp
+	GLA   int
+	TS    uint64
+	MVTO  bool // validate batches: re-check the version store, not raw seqs
+	Pages []ccOpPage
+	Wait  *remoteWait
+}
+
+// ccOpAckMsg is the serving node's reply to a ccOpMsg.
+type ccOpAckMsg struct {
+	Wait   *remoteWait
+	Seq    uint64
+	WTS    uint64
+	Owner  bool // serving node buffers the current version
+	OK     bool
+	Reason cc.Reason
+	Page   model.PageID // first failing page of a validate batch
+}
+
+// ccPublishMsg is the one-way commit publication of an optimistic
+// engine to a remote partition (PCL): new page versions installed at
+// the serving node, carried pages travelling with the message under
+// NOFORCE (the analogue of lockReleaseMsg propagation).
+type ccPublishMsg struct {
+	Owner lock.Owner
+	GLA   int
+	TS    uint64
+	MVTO  bool
+	Pages []releasedPage
+}
+
 // remoteWait is the continuation of a process waiting for a reply
 // message or a lock grant.
 type remoteWait struct {
@@ -149,6 +204,11 @@ type remoteWait struct {
 	grantRA      bool
 	found        bool
 	deadlock     bool
+	// optimistic-engine reply fields (ccOpAckMsg), set before Unpark.
+	ccWTS    uint64
+	ccOK     bool
+	ccReason cc.Reason
+	ccPage   model.PageID
 	// woken distinguishes a real reply from a timeout wake: every
 	// message-delivery path sets it before Unpark.
 	woken bool

@@ -7,6 +7,7 @@ import (
 
 	"gemsim/internal/attrib"
 	"gemsim/internal/buffer"
+	"gemsim/internal/cc"
 	"gemsim/internal/cpusrv"
 	"gemsim/internal/lock"
 	"gemsim/internal/model"
@@ -33,6 +34,7 @@ type Node struct {
 	mpl      *sim.Semaphore
 	logGroup *storage.Group
 	cc       ccProtocol
+	eng      cc.Engine
 	src      *rng.Source
 
 	// HISTORY insert state: every node appends to its own current
@@ -74,22 +76,26 @@ type Node struct {
 	remoteLocks   int64
 	lockWaits     int64
 	lockWaitTime  stats.Series
-	forceWrites   int64
-	logWrites     int64
-	storageReads  int64
-	storageWrites int64
+	// Engine accounting: every execution attempt is admitted once;
+	// aborted attempts restart, and the optimistic engines additionally
+	// classify their aborts and validations.
+	admitted          int64
+	restarts          int64
+	ccAborts          int64
+	ccValidations     int64
+	ccValidationFails int64
+	forceWrites       int64
+	logWrites         int64
+	storageReads      int64
+	storageWrites     int64
 }
 
-// ccOutcome is what a granted lock tells the buffer manager: the
+// ccOutcome is what a mediated access tells the buffer manager: the
 // committed global sequence number of the page, where the current
 // version can be obtained, and whether the grant already carried the
-// page.
-type ccOutcome struct {
-	seq     uint64
-	owner   int // node buffering the current version, -1 = permanent storage
-	carried bool
-	local   bool
-}
+// page. It is the exported cc.Outcome; the alias keeps the historical
+// name inside the transaction manager.
+type ccOutcome = cc.Outcome
 
 // ccProtocol is the concurrency/coherency control component interface
 // implemented by GEM locking and primary copy locking.
@@ -133,6 +139,11 @@ type txn struct {
 
 	locked   map[model.PageID]*heldLock
 	modified map[model.PageID]*modRecord
+
+	// cct is the concurrency-control engine's view of the transaction.
+	// The record is shared across restart attempts; Engine.Begin resets
+	// it for each one.
+	cct *cc.Txn
 
 	waiting  *remoteWait
 	deadlock bool
@@ -218,6 +229,14 @@ func newNode(s *System, id int) *Node {
 	case CouplingLockEngine:
 		n.cc = &leCC{n: n}
 	}
+	switch s.params.CC {
+	case cc.KindMVTO, cc.KindOCC:
+		n.eng = &optEngine{n: n, kind: s.params.CC, coh: metaCoherency{sys: s}}
+	case cc.KindHAD:
+		n.eng = &hadEngine{opt: optEngine{n: n, kind: cc.KindOCC, coh: metaCoherency{sys: s}}}
+	default:
+		n.eng = &legacyEngine{n: n}
+	}
 	return n
 }
 
@@ -262,6 +281,8 @@ func (n *Node) runTxn(p *sim.Proc, spec model.Txn, arrive sim.Time, ph *trace.Ph
 	ph.Add(trace.PhaseInput, sys.env.Now()-entered)
 	cp.Add(attrib.ResOther, sys.env.Now()-entered, 0)
 	timeouts := 0
+	conflicts := 0
+	cct := &cc.Txn{Node: n.id}
 	var t *txn
 	for {
 		if sys.faultsOn && sys.down[n.id] {
@@ -278,10 +299,14 @@ func (n *Node) runTxn(p *sim.Proc, spec model.Txn, arrive sim.Time, ph *trace.Ph
 			modified: make(map[model.PageID]*modRecord, 4),
 			phases:   ph,
 			cp:       cp,
+			cct:      cct,
 		}
 		t.owner = lock.Owner{Node: n.id, Tx: t.id}
+		cct.Host = t
 		p.SetTraceID(int64(t.id))
 		sys.active[t.owner] = t
+		n.admitted++
+		n.eng.Begin(cct)
 		err := n.attempt(t)
 		delete(sys.active, t.owner)
 		if err == nil {
@@ -290,19 +315,23 @@ func (n *Node) runTxn(p *sim.Proc, spec model.Txn, arrive sim.Time, ph *trace.Ph
 		if t.killed || err == errKilled {
 			// Crash kill: no local undo (the frames died with the
 			// buffer) and no lock release (recovery does that).
+			n.eng.Kill(cct)
 			p.SetTraceID(0)
 			n.mpl.Release()
 			return false
 		}
-		// Deadlock victim or lock-wait timeout: undo, back off,
-		// restart as a younger transaction.
+		// Deadlock victim, lock-wait timeout or optimistic conflict:
+		// undo, back off, restart as a younger transaction.
 		abortStart := sys.env.Now()
 		n.abortTxn(t)
+		n.restarts++
 		ph.Add(trace.PhaseCommit, sys.env.Now()-abortStart)
 		if tr := sys.tracer; tr.Enabled() {
 			reason := "deadlock"
 			if err == errTimeout {
 				reason = "timeout"
+			} else if cf, ok := err.(*cc.Conflict); ok {
+				reason = string(cf.Reason)
 			}
 			tr.Instant(n.track, int64(t.id), "txn", "abort", sys.env.Now(), reason)
 		}
@@ -317,6 +346,20 @@ func (n *Node) runTxn(p *sim.Proc, spec model.Txn, arrive sim.Time, ph *trace.Ph
 				delay = cap
 			}
 			timeouts++
+		} else if _, ok := err.(*cc.Conflict); ok {
+			// Optimistic conflict: the same back-off discipline, so
+			// repeated restarts on a hot page spread out instead of
+			// colliding again (bounded at six doublings).
+			n.ccAborts++
+			for i := 0; i < conflicts && (sys.params.RetryBackoffCap <= 0 || delay < sys.params.RetryBackoffCap); i++ {
+				delay *= 2
+			}
+			if cap := sys.params.RetryBackoffCap; cap > 0 && delay > cap {
+				delay = cap
+			}
+			if conflicts < 6 {
+				conflicts++
+			}
 		}
 		backoffStart := sys.env.Now()
 		p.Wait(time.Duration(n.src.Exp(delay.Seconds()) * float64(time.Second)))
@@ -374,27 +417,17 @@ func (n *Node) attempt(t *txn) error {
 		t.phases.Add(trace.PhaseCPU, n.sys.env.Now()-cpuStart)
 		t.cp.AddWindow(attrib.ResCPU, n.sys.env.Now()-cpuStart, n.cpu.ServiceTime(instr))
 
-		mode := model.LockRead
-		if ref.Write {
-			mode = model.LockWrite
-		}
-		out := ccOutcome{owner: -1}
+		out := ccOutcome{Owner: -1}
 		firstTouch := true
 		if file.Locking {
-			held := t.locked[ref.Page]
-			firstTouch = held == nil
-			if held == nil || (held.mode == model.LockRead && mode == model.LockWrite) {
-				var err error
-				out, err = n.cc.lock(t, ref.Page, mode)
-				if err != nil {
-					return err
-				}
+			var err error
+			if ref.Write {
+				out, firstTouch, err = n.eng.Write(t.cct, ref.Page)
 			} else {
-				// Lock already sufficient: the page cannot have been
-				// invalidated since it was locked.
-				if fr := n.pool.Peek(ref.Page); fr != nil {
-					out.seq = fr.SeqNo
-				}
+				out, firstTouch, err = n.eng.Read(t.cct, ref.Page)
+			}
+			if err != nil {
+				return err
 			}
 		}
 		preModified := t.modified[ref.Page] != nil
@@ -421,6 +454,11 @@ func (n *Node) attempt(t *txn) error {
 	t.cp.AddWindow(attrib.ResCPU, n.sys.env.Now()-cpuStart, n.cpu.ServiceTime(instr))
 	if t.killed {
 		return errKilled
+	}
+	// Optimistic engines validate before the commit log write: a failed
+	// attempt writes no log.
+	if err := n.eng.Validate(t.cct); err != nil {
+		return err
 	}
 	n.commit(t)
 	return nil
@@ -479,7 +517,7 @@ func (n *Node) commit(t *txn) {
 		}
 	}
 	relStart := n.sys.env.Now()
-	n.cc.releaseAll(t, true)
+	n.eng.Commit(t.cct)
 	t.phases.Add(trace.PhaseCommit, n.sys.env.Now()-relStart)
 	for _, mod := range t.modified {
 		mod.frame.Unfix()
@@ -490,7 +528,7 @@ func (n *Node) commit(t *txn) {
 // propagation, modified frames restored to their pre-images.
 func (n *Node) abortTxn(t *txn) {
 	n.aborts++
-	n.cc.releaseAll(t, false)
+	n.eng.Abort(t.cct)
 	for _, mod := range t.modified {
 		mod.frame.SeqNo = mod.preSeq
 		mod.frame.Dirty = mod.preDirty
@@ -504,7 +542,7 @@ func (n *Node) abortTxn(t *txn) {
 func (n *Node) getPage(t *txn, file *model.File, page model.PageID, write bool, out ccOutcome, firstTouch bool) *buffer.Frame {
 	for {
 		if fr := n.pool.Get(page); fr != nil {
-			if fr.SeqNo >= out.seq {
+			if fr.SeqNo >= out.Seq {
 				if firstTouch {
 					n.pool.Observe(file.ID, true)
 				}
@@ -514,11 +552,21 @@ func (n *Node) getPage(t *txn, file *model.File, page model.PageID, write bool, 
 			}
 			// Buffer invalidation: the cached copy is obsolete.
 			n.invalidations++
-			n.pool.Drop(page)
-			continue
+			if !fr.Fixed() {
+				n.pool.Drop(page)
+				continue
+			}
+			// A concurrent optimistic transaction still has the stale
+			// copy fixed (impossible under 2PL, where the committer's
+			// write lock excludes readers until release): fetch the
+			// current version and refresh the frame in place.
+			fr = n.fetchMiss(t, file, page, write, out)
+			fr.Fix()
+			n.sys.oracle.checkAccess(page, fr.SeqNo, file.Locking)
+			return fr
 		}
 		// A copy being written back is still available in memory.
-		if seq, ok := n.inflight[page]; ok && seq >= out.seq {
+		if seq, ok := n.inflight[page]; ok && seq >= out.Seq {
 			if firstTouch {
 				n.pool.Observe(file.ID, true)
 			}
@@ -548,23 +596,23 @@ func (n *Node) getPage(t *txn, file *model.File, page model.PageID, write bool, 
 // carried pages (PCL) are installed directly, otherwise the page comes
 // from the owning node (GEM locking, NOFORCE) or from storage.
 func (n *Node) fetchMiss(t *txn, file *model.File, page model.PageID, write bool, out ccOutcome) *buffer.Frame {
-	if file.AppendOnly && out.seq == 0 && n.sys.oracle.neverWritten(page) {
+	if file.AppendOnly && out.Seq == 0 && n.sys.oracle.neverWritten(page) {
 		// First insert into a fresh page: no I/O, allocate in place.
 		return n.install(page, 1, true)
 	}
 	n.pendingReads[page] = nil
-	seq := out.seq
-	got := out.carried
-	if !got && !n.sys.params.Force && out.owner >= 0 && out.owner != n.id {
+	seq := out.Seq
+	got := out.Carried
+	if !got && !n.sys.params.Force && out.Owner >= 0 && out.Owner != n.id {
 		reqStart := n.sys.env.Now()
-		if s, ok := n.requestPage(t, page, out.owner, write); ok {
+		if s, ok := n.requestPage(t, page, out.Owner, write); ok {
 			seq, got = s, true
 		}
 		t.phases.Add(trace.PhasePageXfer, n.sys.env.Now()-reqStart)
 	}
 	if !got {
 		ioStart := n.sys.env.Now()
-		n.readStorage(t.proc, t.cp, file, page, out.seq)
+		n.readStorage(t.proc, t.cp, file, page, out.Seq)
 		t.phases.Add(readPhase(file), n.sys.env.Now()-ioStart)
 	}
 	fr := n.install(page, seq, false)
@@ -867,6 +915,8 @@ func (n *Node) resetStats() {
 	n.localLocks, n.remoteLocks = 0, 0
 	n.lockWaits = 0
 	n.lockWaitTime.Reset()
+	n.admitted, n.restarts = 0, 0
+	n.ccAborts, n.ccValidations, n.ccValidationFails = 0, 0, 0
 	n.forceWrites, n.logWrites = 0, 0
 	n.storageReads, n.storageWrites = 0, 0
 }

@@ -11,6 +11,7 @@ package node
 import (
 	"time"
 
+	"gemsim/internal/cc"
 	"gemsim/internal/gem"
 	"gemsim/internal/model"
 	"gemsim/internal/netsim"
@@ -76,6 +77,15 @@ type Params struct {
 	Force bool
 	// Coupling selects GEM locking or primary copy locking.
 	Coupling Coupling
+	// CC selects the concurrency-control engine; the zero value keeps
+	// the coupling mode's native two-phase locking protocol, so default
+	// runs are unchanged.
+	CC cc.Kind
+	// HotPage classifies a page as part of the workload's current hot
+	// set at simulated time at (the HAD engine's hot/cold routing).
+	// Wired from the workload's skew model; nil means no hot set and
+	// HAD degenerates to OCC.
+	HotPage func(page model.PageID, at time.Duration) bool
 
 	// Tracer, when non-nil, receives event spans from every simulated
 	// component (transactions, CPUs, GEM, disks, network, recovery). A
@@ -259,6 +269,12 @@ func (p *Params) Validate() error {
 		return errParam("the lock engine architecture [Yu87] uses FORCE update propagation")
 	case p.Coupling == CouplingLockEngine && p.LockEngine.ServiceTime <= 0:
 		return errParam("LockEngine.ServiceTime must be positive")
+	case p.CC != cc.KindDefault && p.Coupling == CouplingLockEngine:
+		return errParam("the lock engine baseline is hard-wired to its native 2PL protocol (use GEM or PCL coupling with an alternative engine)")
+	case p.CC == cc.KindMVTO && p.Force:
+		return errParam("MV-TO serves reads from its version store; FORCE update propagation does not apply (use NOFORCE)")
+	case p.CC != cc.KindDefault && p.CheckInvariants:
+		return errParam("the coherency oracle assumes two-phase locking; optimistic engines legitimately observe versions it would reject")
 	case p.BOTInstr < 0 || p.RefInstr < 0 || p.EOTInstr < 0:
 		return errParam("instruction demands must be non-negative")
 	case p.DefaultDisksPerFile <= 0:

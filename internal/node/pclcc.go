@@ -98,7 +98,7 @@ func (c *pclCC) lockLocal(t *txn, page model.PageID, mode model.LockMode, gla in
 	}
 	t.locked[page] = &heldLock{mode: mode, kind: kindLocal}
 	meta := sys.pclMetaOf(gla, page)
-	return ccOutcome{seq: meta.seq, owner: -1, local: true}, nil
+	return ccOutcome{Seq: meta.seq, Owner: -1, Local: true}, nil
 }
 
 // lockShadowRA handles a locally processed read lock under a read
@@ -136,14 +136,14 @@ func (c *pclCC) lockShadowRA(t *txn, page model.PageID, gla int, copySeq uint64)
 		// the GLA node, which owns the current version under NOFORCE.
 		meta := sys.pclMetaOf(gla, page)
 		t.locked[page] = &heldLock{mode: model.LockRead, kind: kindShadowRA}
-		out := ccOutcome{seq: meta.seq, owner: -1, local: true}
+		out := ccOutcome{Seq: meta.seq, Owner: -1, Local: true}
 		if !sys.params.Force {
-			out.owner = sys.glaHomeOf(gla)
+			out.Owner = sys.glaHomeOf(gla)
 		}
 		return out, nil
 	}
 	t.locked[page] = &heldLock{mode: model.LockRead, kind: kindShadowRA}
-	return ccOutcome{seq: copySeq, owner: -1, local: true}, nil
+	return ccOutcome{Seq: copySeq, Owner: -1, Local: true}, nil
 }
 
 // lockRemote sends the request to the partition's serving node (its
@@ -214,12 +214,12 @@ func (c *pclCC) lockRemote(t *txn, page model.PageID, mode model.LockMode, gla, 
 		n.raHeld[page] = true
 	}
 	t.locked[page] = &heldLock{mode: mode, kind: kindRemote}
-	out := ccOutcome{seq: wait.seq, owner: -1, carried: wait.carried, local: false}
+	out := ccOutcome{Seq: wait.seq, Owner: -1, Carried: wait.carried, Local: false}
 	if wait.ownerHasCopy && !sys.params.Force {
 		// Should the local copy disappear before the access (it can be
 		// replaced while the grant is in flight), fetch from the serving
 		// node, which buffers the current version.
-		out.owner = home
+		out.Owner = home
 	}
 	return out, nil
 }

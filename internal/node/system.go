@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"gemsim/internal/attrib"
+	"gemsim/internal/cc"
 	"gemsim/internal/gem"
 	"gemsim/internal/lock"
 	"gemsim/internal/model"
@@ -46,6 +47,10 @@ type System struct {
 	// pclMeta holds, per GLA node, the committed sequence numbers of
 	// its partition.
 	pclMeta []map[model.PageID]*pageMeta
+	// ccVersions is the multiversion page store (CC == KindMVTO only):
+	// bounded per-page version histories and read timestamps backing
+	// timestamp-ordered reads and first-committer-wins writes.
+	ccVersions *cc.VersionStore
 	// ra tracks read authorizations per page (PCL read optimization).
 	ra map[model.PageID]map[int]bool
 	// writeBuffer holds pages written to the GEM write buffer whose
@@ -190,6 +195,9 @@ func NewSystem(env *sim.Env, params Params, gen workload.Generator, router routi
 		rtBatches:   stats.NewBatchMeans(100),
 	}
 	s.oracle = newOracle(params.CheckInvariants)
+	if params.CC == cc.KindMVTO {
+		s.ccVersions = cc.NewVersionStore(8)
+	}
 
 	// Storage allocation: one disk group per disk-backed file; GEM
 	// resident files are registered with the GEM device.
@@ -719,6 +727,19 @@ type Metrics struct {
 	Deadlocks  int64
 	Throughput float64 // committed transactions per second
 
+	// Concurrency-control engine accounting. Admitted counts every
+	// execution attempt (first runs and restarts alike), so with faults
+	// off Admitted = Commits + Aborts + still-active transactions and
+	// Restarts = Aborts. CCAborts is the subset of aborts raised by the
+	// engine itself (validation failures, late writes, write-write
+	// conflicts); it stays zero under the native 2PL protocols.
+	CCEngine          string
+	Admitted          int64
+	Restarts          int64
+	CCAborts          int64
+	CCValidations     int64
+	CCValidationFails int64
+
 	MeanResponseTime time.Duration
 	// ResponseTimeHW95 is the 95% batch-means confidence half-width
 	// around MeanResponseTime (batches of 100 transactions).
@@ -877,6 +898,11 @@ func (s *System) Snapshot() Metrics {
 		m.LocalLockShare += float64(n.localLocks)
 		m.LockRequests += n.localLocks + n.remoteLocks
 		m.LockWaits += n.lockWaits
+		m.Admitted += n.admitted
+		m.Restarts += n.restarts
+		m.CCAborts += n.ccAborts
+		m.CCValidations += n.ccValidations
+		m.CCValidationFails += n.ccValidationFails
 		m.StorageReads += n.storageReads
 		m.StorageWrites += n.storageWrites
 		m.ForceWrites += n.forceWrites
@@ -892,6 +918,7 @@ func (s *System) Snapshot() Metrics {
 		n.respHistInto(hist)
 	}
 	m.Deadlocks = s.detector.Cycles()
+	m.CCEngine = s.params.CC.String()
 	if elapsed > 0 {
 		m.Throughput = float64(m.Commits) / elapsed
 	}

@@ -25,6 +25,9 @@ var metricFuncs = map[string]func(*core.Report) float64{
 	"commits":     func(r *core.Report) float64 { return float64(r.Metrics.Commits) },
 	"aborts":      func(r *core.Report) float64 { return float64(r.Metrics.Aborts) },
 	"deadlocks":   func(r *core.Report) float64 { return float64(r.Metrics.Deadlocks) },
+	"admitted":    func(r *core.Report) float64 { return float64(r.Metrics.Admitted) },
+	"restarts":    func(r *core.Report) float64 { return float64(r.Metrics.Restarts) },
+	"cc_aborts":   func(r *core.Report) float64 { return float64(r.Metrics.CCAborts) },
 	"bn_dom":      func(r *core.Report) float64 { return bnDominantIdx(r) },
 	"bn_share":    func(r *core.Report) float64 { return r.Metrics.DominantShare },
 	"bn_cpu":      bnShare(attrib.ResCPU),
@@ -33,6 +36,7 @@ var metricFuncs = map[string]func(*core.Report) float64{
 	"bn_buffer":   bnShare(attrib.ResBuf),
 	"bn_disk":     bnShare(attrib.ResDisk),
 	"bn_net":      bnShare(attrib.ResNet),
+	"bn_cc":       bnShare(attrib.ResCC),
 	"bn_other":    bnShare(attrib.ResOther),
 }
 
@@ -51,6 +55,9 @@ var metricLabels = map[string]string{
 	"commits":     "committed transactions",
 	"aborts":      "aborted transactions",
 	"deadlocks":   "deadlocks",
+	"admitted":    "admitted execution attempts",
+	"restarts":    "transaction restarts",
+	"cc_aborts":   "engine-initiated aborts",
 	"bn_dom":      "dominant bottleneck (attrib.Res index)",
 	"bn_share":    "dominant bottleneck RT share",
 	"bn_cpu":      "RT share attributed to CPU",
@@ -59,6 +66,7 @@ var metricLabels = map[string]string{
 	"bn_buffer":   "RT share attributed to buffer waits",
 	"bn_disk":     "RT share attributed to disk",
 	"bn_net":      "RT share attributed to network",
+	"bn_cc":       "RT share attributed to CC validation",
 	"bn_other":    "unattributed RT share",
 }
 

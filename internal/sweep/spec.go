@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"gemsim/internal/cc"
 	"gemsim/internal/core"
 	"gemsim/internal/recovery"
 	"gemsim/internal/report"
@@ -57,7 +58,8 @@ type Spec struct {
 }
 
 // Axis is one swept dimension: a configuration field and its values.
-// Supported fields: nodes, rate, coupling, force, routing, bufferPages,
+// Supported fields: nodes, rate, coupling, cc (concurrency-control
+// engine: "2pl", "mvto", "occ", "had"), force, routing, bufferPages,
 // mpl, logInGEM, gemMessaging, skew (branch Zipf theta, 0 = uniform),
 // drift (bool: canonical mid-run hot-spot rotation), control (bool:
 // adaptive load controller on/off), and "medium.<FILE>" (storage medium
@@ -436,6 +438,16 @@ func applyAxis(cf *core.ConfigFile, field string, raw json.RawMessage) (string, 
 		}
 		cf.Faults = &ff
 		return strings.ToLower(field) + "=" + v, nil
+	case "cc", "engine":
+		v, err := decodeString(field, raw)
+		if err != nil {
+			return "", err
+		}
+		if _, err := cc.Parse(strings.ToLower(v)); err != nil {
+			return "", fmt.Errorf("sweep: axis %q: %w", field, err)
+		}
+		cf.CC = v
+		return "cc=" + strings.ToLower(v), nil
 	case "control", "adaptive":
 		v, err := decodeBool(field, raw)
 		if err != nil {
@@ -452,7 +464,7 @@ func applyAxis(cf *core.ConfigFile, field string, raw json.RawMessage) (string, 
 		cf.Control = nil
 		return "static", nil
 	default:
-		return "", fmt.Errorf("sweep: unknown axis field %q (want nodes, rate, coupling, force, routing, bufferPages, mpl, logInGEM, gemMessaging, skew, drift, control, reopen, recoveryWorkers, mtbf, mttr or medium.<FILE>)", field)
+		return "", fmt.Errorf("sweep: unknown axis field %q (want nodes, rate, coupling, cc, force, routing, bufferPages, mpl, logInGEM, gemMessaging, skew, drift, control, reopen, recoveryWorkers, mtbf, mttr or medium.<FILE>)", field)
 	}
 }
 

@@ -158,6 +158,36 @@ func (g *DebitCredit) TellerPage(branch, teller int) model.PageID {
 	return model.PageID{File: FileTeller, Page: int32(idx / 10)}
 }
 
+// HotPage reports whether a page belongs to the workload's hot set at
+// simulated time at: the branch, teller and account pages of the
+// hot-spot branches (rotation-aware under drift). Without an explicit
+// hot-spot set (HotFraction/HotProb) every page is cold — a pure-Zipf
+// reference string has no crisp hot/cold boundary to classify against.
+// The hybrid concurrency-control engine uses this to route hot pages
+// through locking and the cold tail through optimistic validation.
+func (g *DebitCredit) HotPage(page model.PageID, at time.Duration) bool {
+	if g.skew == nil || g.skew.hotN == 0 {
+		return false
+	}
+	var branch int
+	switch page.File {
+	case FileBranchTeller, FileBranch:
+		branch = int(page.Page)
+	case FileTeller:
+		branch = int(page.Page) * 10 / g.params.TellersPerBranch
+	case FileAccount:
+		branch = int(page.Page) * g.params.AccountBlocking / g.params.AccountsPerBranch
+	default:
+		return false
+	}
+	if branch >= g.params.Branches {
+		return false
+	}
+	rot := g.skew.rotation(at)
+	rank := (branch - rot + g.params.Branches) % g.params.Branches
+	return rank < g.skew.hotN
+}
+
 // Next generates one debit-credit transaction. The reference order is
 // fixed (ACCOUNT, HISTORY, TELLER, BRANCH) so that no deadlocks can
 // occur and locks on the small hot records are held shortest.
