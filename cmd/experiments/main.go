@@ -161,6 +161,8 @@ func run(args []string) error {
 			"concurrency-control engines: 2PL vs MV-TO vs OCC vs HAD across contention levels (12 configs; throughput, restarts, validation work)")
 		fmt.Printf("%-20s %s\n", "",
 			"(the engine is also a sweep axis: \"cc\" with values 2pl, mvto, occ, had)")
+		fmt.Printf("%-20s %s\n", "hyperscale",
+			"kernel scaling: pooled closed-loop terminals, hundreds of nodes at constant load (2 series x 3 node counts; throughput; not part of -all)")
 		return nil
 	}
 
@@ -184,6 +186,13 @@ func run(args []string) error {
 		return runAvailabilityPreset(*seed, *quick, *verbose, *csvOut, *mdOut, sink)
 	case *fig == "engines":
 		return runEnginesPreset(*seed, *quick, *verbose, *csvOut, *mdOut, sink)
+	case *fig == "hyperscale":
+		// The hyperscale preset goes through the regular sweep engine
+		// (worker pool, stores, byte-identical tables for any -jobs),
+		// but is not part of -all: its full-size runs are deliberately
+		// enormous. -quick shrinks the complex instead of only the
+		// windows, so the node axis comes from the preset itself.
+		selected = append(selected, core.HyperscaleExperiment(*quick))
 	case *fig != "":
 		for i := range exps {
 			if exps[i].ID == *fig {

@@ -55,6 +55,7 @@ func run(args []string) error {
 		adaptive = fs.Bool("adaptive", false, "enable the closed-loop load controller (feedback admission and re-routing)")
 		term     = fs.Int("terminals", 0, "closed-loop mode: terminals per node (0 = open model)")
 		think    = fs.Duration("think", time.Second, "closed-loop mean think time")
+		pooled   = fs.Bool("pooled-terminals", false, "hyperscale closed-loop source: idle terminals are calendar events, not goroutines (needs -terminals)")
 		mtbf     = fs.Duration("mtbf", 0, "mean time between node crashes (stochastic fault injection; set with -mttr)")
 		mttr     = fs.Duration("mttr", 0, "mean time to repair a crashed node (set with -mtbf)")
 		reopenP  = fs.String("reopen", "", "post-crash reopen policy: offline (REDO completes first) or incremental (admit during replay)")
@@ -175,7 +176,9 @@ func run(args []string) error {
 	cfg.GlobalLogMerge = *logMerge
 	cfg.GEMMessaging = *gemMsg
 	if *term > 0 {
-		cfg.ClosedLoop = &core.ClosedLoopConfig{TerminalsPerNode: *term, ThinkTime: *think}
+		cfg.ClosedLoop = &core.ClosedLoopConfig{TerminalsPerNode: *term, ThinkTime: *think, Pooled: *pooled}
+	} else if *pooled {
+		return fmt.Errorf("-pooled-terminals needs -terminals (the open model has no terminal population)")
 	}
 	if *skewT > 0 || *acctSkew > 0 {
 		dc := workload.DefaultDebitCreditParams(cfg.ArrivalRatePerNode * float64(*nodes))
@@ -317,6 +320,8 @@ func printDetails(rep *core.Report) {
 		m.InvalidationsPerTxn, m.PageRequestsPerTxn, m.MeanPageReqDelay)
 	fmt.Printf("storage                 reads %d  writes %d  force writes %d  log writes %d\n",
 		m.StorageReads, m.StorageWrites, m.ForceWrites, m.LogWrites)
+	fmt.Printf("kernel                  %d events dispatched (%.0f events/sec wall clock)\n",
+		rep.KernelEvents, rep.KernelEventsPerSec)
 	if m.TxnsKilled > 0 || m.TxnsRetried > 0 || m.LockTimeouts > 0 ||
 		m.MessagesDropped > 0 || len(m.Failovers) > 0 {
 		fmt.Printf("faults                  killed %d  retried %d  lock timeouts %d  messages dropped %d\n",

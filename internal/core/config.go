@@ -81,6 +81,13 @@ type ClosedLoopConfig struct {
 	// ThinkTime is the mean think time between a response and the
 	// next request.
 	ThinkTime time.Duration
+	// Pooled selects the hyperscale terminal source: idle terminals are
+	// calendar events instead of goroutines, so terminal populations in
+	// the millions cost one pending event each. Pooled runs are
+	// deterministic but draw random numbers differently from the
+	// per-terminal source, so results are not byte-comparable with
+	// Pooled off.
+	Pooled bool
 }
 
 // FaultConfig enables fault injection: node crashes with in-simulation

@@ -51,6 +51,7 @@ type ConfigFile struct {
 
 	ClosedLoopTerminals int    `json:"closedLoopTerminals,omitempty"`
 	ClosedLoopThinkTime string `json:"closedLoopThinkTime,omitempty"`
+	ClosedLoopPooled    bool   `json:"closedLoopPooled,omitempty"`
 
 	Warmup  string `json:"warmup,omitempty"`
 	Measure string `json:"measure,omitempty"`
@@ -259,7 +260,11 @@ func (f *ConfigFile) ToConfig() (Config, error) {
 				return Config{}, fmt.Errorf("core: closedLoopThinkTime: %w", err)
 			}
 		}
-		cfg.ClosedLoop = &ClosedLoopConfig{TerminalsPerNode: f.ClosedLoopTerminals, ThinkTime: think}
+		cfg.ClosedLoop = &ClosedLoopConfig{
+			TerminalsPerNode: f.ClosedLoopTerminals,
+			ThinkTime:        think,
+			Pooled:           f.ClosedLoopPooled,
+		}
 	}
 	if f.Warmup != "" {
 		d, err := time.ParseDuration(f.Warmup)

@@ -21,6 +21,16 @@ type Report struct {
 	Config Config
 	// Metrics are the measurements collected after warm-up.
 	Metrics node.Metrics
+	// KernelEvents counts the calendar events the kernel dispatched
+	// over the measured interval. It lives outside Metrics because it
+	// reflects harness activity too (e.g. the tracing sampler adds
+	// events), so it may differ between runs whose measurements are
+	// identical.
+	KernelEvents int64
+	// KernelEventsPerSec is KernelEvents over the measured interval's
+	// wall-clock time — the kernel's simulation speed. Wall-clock
+	// derived, so never deterministic and never part of result tables.
+	KernelEventsPerSec float64
 }
 
 // Run executes one configuration and returns its report. The run is
@@ -82,8 +92,12 @@ func Run(cfg Config) (*Report, error) {
 			return nil, err
 		}
 	}
-	if cfg.ClosedLoop != nil {
-		sys.StartClosed(cfg.ClosedLoop.TerminalsPerNode, cfg.ClosedLoop.ThinkTime)
+	if cl := cfg.ClosedLoop; cl != nil {
+		if cl.Pooled {
+			sys.StartClosedPooled(cl.TerminalsPerNode, cl.ThinkTime)
+		} else {
+			sys.StartClosed(cl.TerminalsPerNode, cl.ThinkTime)
+		}
 	} else {
 		sys.Start(cfg.ArrivalRatePerNode)
 	}
@@ -101,20 +115,28 @@ func Run(cfg Config) (*Report, error) {
 		return nil, err
 	}
 	sys.ResetStats()
+	evBase := env.Dispatched()
+	wallStart := time.Now()
 	if err := env.Run(cfg.Warmup + cfg.Measure); err != nil {
 		return nil, err
 	}
+	wall := time.Since(wallStart)
 	if err := stalledCheck(env, &cfg); err != nil {
 		return nil, err
 	}
 	metrics := sys.Snapshot()
+	rep := &Report{Config: cfg, Metrics: metrics}
+	rep.KernelEvents = env.Dispatched() - evBase
+	if wall > 0 {
+		rep.KernelEventsPerSec = float64(rep.KernelEvents) / wall.Seconds()
+	}
 	if err := tracer.Close(); err != nil {
 		return nil, fmt.Errorf("core: event trace: %w", err)
 	}
 	if err := tsw.Close(); err != nil {
 		return nil, fmt.Errorf("core: time series: %w", err)
 	}
-	return &Report{Config: cfg, Metrics: metrics}, nil
+	return rep, nil
 }
 
 // stalledCheck turns a silently wedged simulation into a diagnosable

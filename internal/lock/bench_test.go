@@ -31,6 +31,40 @@ func BenchmarkReleaseAll(b *testing.B) {
 	}
 }
 
+// TestUncontendedCycleAllocFree asserts the allocation-free contract
+// of the hot lock path: once the record pools are warm, an uncontended
+// request/release cycle — and a full commit-time ReleaseAll over a
+// multi-page lock set — performs zero heap allocations.
+func TestUncontendedCycleAllocFree(t *testing.T) {
+	tb := NewTable("alloc")
+	o := Owner{Node: 0, Tx: 1}
+	p := model.PageID{File: 1, Page: 42}
+	tb.Request(p, o, model.LockWrite, nil)
+	tb.Release(p, o)
+	if n := testing.AllocsPerRun(200, func() {
+		tb.Request(p, o, model.LockWrite, nil)
+		tb.Release(p, o)
+	}); n != 0 {
+		t.Fatalf("request/release cycle allocates %.1f/op, want 0", n)
+	}
+
+	warm := func(tx TxID) {
+		ow := Owner{Node: 0, Tx: tx}
+		for k := int32(0); k < 8; k++ {
+			tb.Request(model.PageID{File: 1, Page: k}, ow, model.LockRead, nil)
+		}
+		tb.ReleaseAll(ow)
+	}
+	warm(2)
+	tx := TxID(3)
+	if n := testing.AllocsPerRun(200, func() {
+		warm(tx)
+		tx++
+	}); n != 0 {
+		t.Fatalf("ReleaseAll cycle allocates %.1f/op, want 0", n)
+	}
+}
+
 // BenchmarkDeadlockDetection measures a waits-for search over a chain
 // of blocked transactions.
 func BenchmarkDeadlockDetection(b *testing.B) {

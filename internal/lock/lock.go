@@ -42,6 +42,7 @@ type Request struct {
 
 	granted bool
 	upgrade bool // waiting R->W conversion of an already granted R lock
+	queued  bool // request spent time in an entry queue; never pooled
 }
 
 // Granted reports whether the request has been granted.
@@ -53,11 +54,28 @@ type entry struct {
 	queue   []*Request
 }
 
+// lockShards is the number of hash buckets the page->entry index is
+// split into. Sharding keeps each map small under hyperscale page
+// populations — cheaper growth, better locality — and gives the GLT
+// independent buckets instead of one global map. All accesses are
+// keyed (never iterated), so the split cannot affect determinism.
+const lockShards = 64
+
+// shardOf hashes a page id to its shard.
+func shardOf(p model.PageID) int {
+	return int((uint32(p.File)*0x9e3779b1 ^ uint32(p.Page)*0x85ebca77) & (lockShards - 1))
+}
+
 // Table is a strict-2PL page lock table with FIFO queueing and lock
-// upgrades.
+// upgrades. Entry and request records are pooled: a request that never
+// waited is returned to the pool when its lock is released, so the
+// uncontended request/release cycle allocates nothing in steady state.
+// Requests that entered a queue are deliberately never pooled — their
+// pointers escape into wake lists and protocol continuations that can
+// outlive the release (timeouts, crash aborts).
 type Table struct {
-	name    string
-	entries map[model.PageID]*entry
+	name   string
+	shards [lockShards]map[model.PageID]*entry
 	// held tracks every granted request per owner for ReleaseAll.
 	held map[Owner][]*Request
 	// waiting maps each owner to its single outstanding waiting
@@ -65,18 +83,75 @@ type Table struct {
 	// time).
 	waiting map[Owner]*Request
 
+	freeEntries []*entry
+	freeReqs    []*Request
+	freeHeld    [][]*Request
+
 	requests  int64
 	conflicts int64
 }
 
 // NewTable creates an empty lock table.
 func NewTable(name string) *Table {
-	return &Table{
+	t := &Table{
 		name:    name,
-		entries: make(map[model.PageID]*entry),
 		held:    make(map[Owner][]*Request),
 		waiting: make(map[Owner]*Request),
 	}
+	for i := range t.shards {
+		t.shards[i] = make(map[model.PageID]*entry)
+	}
+	return t
+}
+
+// entryOf returns the entry for page, or nil.
+func (t *Table) entryOf(page model.PageID) *entry {
+	return t.shards[shardOf(page)][page]
+}
+
+// newRequest takes a request record from the pool.
+func (t *Table) newRequest(page model.PageID, o Owner, m model.LockMode, data any) *Request {
+	if n := len(t.freeReqs); n > 0 {
+		r := t.freeReqs[n-1]
+		t.freeReqs[n-1] = nil
+		t.freeReqs = t.freeReqs[:n-1]
+		*r = Request{Owner: o, Page: page, Mode: m, Data: data}
+		return r
+	}
+	return &Request{Owner: o, Page: page, Mode: m, Data: data}
+}
+
+// recycleRequest returns a released request record to the pool —
+// only ever called for records that never entered a queue.
+func (t *Table) recycleRequest(r *Request) {
+	if r.queued {
+		return
+	}
+	r.Data = nil
+	t.freeReqs = append(t.freeReqs, r)
+}
+
+// newHeld takes a held-slice backing array from the pool.
+func (t *Table) newHeld() []*Request {
+	if n := len(t.freeHeld); n > 0 {
+		hs := t.freeHeld[n-1]
+		t.freeHeld[n-1] = nil
+		t.freeHeld = t.freeHeld[:n-1]
+		return hs
+	}
+	return nil
+}
+
+// recycleHeld returns a held-slice backing array to the pool.
+func (t *Table) recycleHeld(hs []*Request) {
+	if cap(hs) == 0 {
+		return
+	}
+	hs = hs[:cap(hs)]
+	for i := range hs {
+		hs[i] = nil
+	}
+	t.freeHeld = append(t.freeHeld, hs[:0])
 }
 
 // Name returns the table name.
@@ -123,10 +198,17 @@ func (e *entry) compatibleWithGranted(o Owner, m model.LockMode) bool {
 // priority otherwise.
 func (t *Table) Request(page model.PageID, o Owner, m model.LockMode, data any) (*Request, bool) {
 	t.requests++
-	e := t.entries[page]
+	shard := t.shards[shardOf(page)]
+	e := shard[page]
 	if e == nil {
-		e = &entry{}
-		t.entries[page] = e
+		if n := len(t.freeEntries); n > 0 {
+			e = t.freeEntries[n-1]
+			t.freeEntries[n-1] = nil
+			t.freeEntries = t.freeEntries[:n-1]
+		} else {
+			e = &entry{}
+		}
+		shard[page] = e
 	}
 	if own := e.holds(o); own != nil {
 		if own.Mode == model.LockWrite || m == model.LockRead {
@@ -138,25 +220,41 @@ func (t *Table) Request(page model.PageID, o Owner, m model.LockMode, data any) 
 			return own, true
 		}
 		t.conflicts++
-		up := &Request{Owner: o, Page: page, Mode: model.LockWrite, Data: data, upgrade: true}
+		up := t.newRequest(page, o, model.LockWrite, data)
+		up.upgrade = true
+		up.queued = true
 		// Upgrades go to the queue head: they precede new requests to
 		// bound starvation (two simultaneous upgraders deadlock and
 		// are resolved by the detector).
-		e.queue = append([]*Request{up}, e.queue...)
+		e.queue = append(e.queue, nil)
+		copy(e.queue[1:], e.queue)
+		e.queue[0] = up
 		t.waiting[o] = up
 		return up, false
 	}
 	if len(e.queue) == 0 && e.compatibleWithGranted(o, m) {
-		r := &Request{Owner: o, Page: page, Mode: m, Data: data, granted: true}
+		r := t.newRequest(page, o, m, data)
+		r.granted = true
 		e.granted = append(e.granted, r)
-		t.held[o] = append(t.held[o], r)
+		t.addHeld(o, r)
 		return r, true
 	}
 	t.conflicts++
-	r := &Request{Owner: o, Page: page, Mode: m, Data: data}
+	r := t.newRequest(page, o, m, data)
+	r.queued = true
 	e.queue = append(e.queue, r)
 	t.waiting[o] = r
 	return r, false
+}
+
+// addHeld records a granted request in the per-owner index, reusing a
+// pooled backing array for first-time owners.
+func (t *Table) addHeld(o Owner, r *Request) {
+	hs, ok := t.held[o]
+	if !ok {
+		hs = t.newHeld()
+	}
+	t.held[o] = append(hs, r)
 }
 
 // promote grants queued requests that have become compatible, in FIFO
@@ -182,7 +280,7 @@ func (t *Table) promote(page model.PageID, e *entry) []*Request {
 		}
 		head.granted = true
 		e.granted = append(e.granted, head)
-		t.held[head.Owner] = append(t.held[head.Owner], head)
+		t.addHeld(head.Owner, head)
 		e.queue = e.queue[1:]
 		delete(t.waiting, head.Owner)
 		grantedNow = append(grantedNow, head)
@@ -191,7 +289,10 @@ func (t *Table) promote(page model.PageID, e *entry) []*Request {
 		}
 	}
 	if len(e.queue) == 0 && len(e.granted) == 0 {
-		delete(t.entries, page)
+		delete(t.shards[shardOf(page)], page)
+		e.granted = e.granted[:0]
+		e.queue = e.queue[:0]
+		t.freeEntries = append(t.freeEntries, e)
 	}
 	return grantedNow
 }
@@ -199,7 +300,7 @@ func (t *Table) promote(page model.PageID, e *entry) []*Request {
 // Release drops o's lock on page and returns the requests that became
 // granted as a result.
 func (t *Table) Release(page model.PageID, o Owner) []*Request {
-	e := t.entries[page]
+	e := t.entryOf(page)
 	if e == nil {
 		return nil
 	}
@@ -207,6 +308,7 @@ func (t *Table) Release(page model.PageID, o Owner) []*Request {
 		if r.Owner == o {
 			e.granted = append(e.granted[:i], e.granted[i+1:]...)
 			t.removeHeld(o, r)
+			t.recycleRequest(r)
 			break
 		}
 	}
@@ -222,7 +324,7 @@ func (t *Table) ReleaseAll(o Owner) []*Request {
 	delete(t.held, o)
 	var grantedNow []*Request
 	for _, r := range reqs {
-		e := t.entries[r.Page]
+		e := t.entryOf(r.Page)
 		if e == nil {
 			continue
 		}
@@ -233,7 +335,9 @@ func (t *Table) ReleaseAll(o Owner) []*Request {
 			}
 		}
 		grantedNow = append(grantedNow, t.promote(r.Page, e)...)
+		t.recycleRequest(r)
 	}
+	t.recycleHeld(reqs)
 	return grantedNow
 }
 
@@ -246,7 +350,7 @@ func (t *Table) CancelWaiting(o Owner) []*Request {
 		return nil
 	}
 	delete(t.waiting, o)
-	e := t.entries[w.Page]
+	e := t.entryOf(w.Page)
 	if e == nil {
 		return nil
 	}
@@ -270,6 +374,7 @@ func (t *Table) removeHeld(o Owner, r *Request) {
 	}
 	if len(hs) == 0 {
 		delete(t.held, o)
+		t.recycleHeld(hs)
 	} else {
 		t.held[o] = hs
 	}
@@ -285,7 +390,7 @@ func (t *Table) Held(o Owner) []*Request {
 
 // HoldsLock reports whether o holds a lock on page in at least mode m.
 func (t *Table) HoldsLock(page model.PageID, o Owner, m model.LockMode) bool {
-	e := t.entries[page]
+	e := t.entryOf(page)
 	if e == nil {
 		return false
 	}
@@ -341,7 +446,7 @@ func sortOwners(os []Owner) {
 // blockers returns the owners a waiting request waits for: all
 // incompatible granted holders plus incompatible requests queued ahead.
 func (t *Table) blockers(w *Request) []Owner {
-	e := t.entries[w.Page]
+	e := t.entryOf(w.Page)
 	if e == nil {
 		return nil
 	}

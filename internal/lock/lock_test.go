@@ -9,6 +9,17 @@ import (
 
 func pg(n int32) model.PageID { return model.PageID{File: 1, Page: n} }
 
+// allEntries flattens the sharded page index for invariant checks.
+func (t *Table) allEntries() []*entry {
+	var out []*entry
+	for _, shard := range t.shards {
+		for _, e := range shard {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
 func owner(node int, tx int64) Owner { return Owner{Node: node, Tx: TxID(tx)} }
 
 func TestGrantCompatibleReaders(t *testing.T) {
@@ -160,8 +171,8 @@ func TestEntryCleanupOnRelease(t *testing.T) {
 	tb := NewTable("t")
 	tb.Request(pg(1), owner(0, 1), model.LockWrite, nil)
 	tb.Release(pg(1), owner(0, 1))
-	if len(tb.entries) != 0 {
-		t.Fatalf("entries not cleaned up: %d", len(tb.entries))
+	if n := len(tb.allEntries()); n != 0 {
+		t.Fatalf("entries not cleaned up: %d", n)
 	}
 }
 
@@ -190,7 +201,7 @@ func TestTableInvariantsProperty(t *testing.T) {
 				tb.Request(p, ow, mode, nil)
 			}
 			// Invariant: granted holders pairwise compatible.
-			for _, e := range tb.entries {
+			for _, e := range tb.allEntries() {
 				for i, a := range e.granted {
 					for _, b := range e.granted[i+1:] {
 						if a.Owner == b.Owner {

@@ -372,7 +372,7 @@ func (c *controller) startMigration(g, from, to int) {
 	src := s.nodes[from]
 	s.env.Spawn("gla-migrate", func(p *sim.Proc) {
 		start := s.env.Now()
-		entries := len(s.pclMeta[g])
+		entries := s.pclMeta[g].Len()
 		if entries < 1 {
 			entries = 1
 		}

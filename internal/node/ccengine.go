@@ -62,14 +62,14 @@ func (m metaCoherency) meta(page model.PageID) *pageMeta {
 
 func (m metaCoherency) Committed(page model.PageID) (uint64, int) {
 	pm := m.meta(page)
-	return pm.seq, pm.owner
+	return pm.Seq, pm.Owner
 }
 
 func (m metaCoherency) Publish(page model.PageID, seq uint64, owner int) {
 	pm := m.meta(page)
-	if seq > pm.seq {
-		pm.seq = seq
-		pm.owner = owner
+	if seq > pm.Seq {
+		pm.Seq = seq
+		pm.Owner = owner
 	}
 }
 
@@ -631,23 +631,23 @@ func (n *Node) handleCCOp(p *sim.Proc, m ccOpMsg) {
 	case ccOpLookup:
 		page := m.Pages[0].Page
 		meta := sys.pclMetaOf(m.GLA, page)
-		ack.Seq = meta.seq
-		if !sys.params.Force && n.hasCurrent(page, meta.seq) {
+		ack.Seq = meta.Seq
+		if !sys.params.Force && n.hasCurrent(page, meta.Seq) {
 			ack.Owner = true
 		}
 	case ccOpVersionRead:
 		page := m.Pages[0].Page
 		meta := sys.pclMetaOf(m.GLA, page)
-		v, _ := sys.ccVersions.Read(page, m.TS, meta.seq)
+		v, _ := sys.ccVersions.Read(page, m.TS, meta.Seq)
 		ack.Seq, ack.WTS = v.Seq, v.WTS
-		if !sys.params.Force && v.Seq == meta.seq && n.hasCurrent(page, meta.seq) {
+		if !sys.params.Force && v.Seq == meta.Seq && n.hasCurrent(page, meta.Seq) {
 			ack.Owner = true
 		}
 	case ccOpVersionWrite:
 		page := m.Pages[0].Page
 		meta := sys.pclMetaOf(m.GLA, page)
-		wts, ok, reason := sys.ccVersions.WriteObserve(page, m.TS, meta.seq)
-		ack.Seq, ack.WTS, ack.OK, ack.Reason = meta.seq, wts, ok, reason
+		wts, ok, reason := sys.ccVersions.WriteObserve(page, m.TS, meta.Seq)
+		ack.Seq, ack.WTS, ack.OK, ack.Reason = meta.Seq, wts, ok, reason
 		if !ok {
 			ack.Page = page
 		}
@@ -655,11 +655,11 @@ func (n *Node) handleCCOp(p *sim.Proc, m ccOpMsg) {
 		for _, op := range m.Pages {
 			meta := sys.pclMetaOf(m.GLA, op.Page)
 			if m.MVTO {
-				if ok, reason := sys.ccVersions.Recheck(op.Page, m.TS, op.Recorded, meta.seq); !ok {
+				if ok, reason := sys.ccVersions.Recheck(op.Page, m.TS, op.Recorded, meta.Seq); !ok {
 					ack.OK, ack.Reason, ack.Page = false, reason, op.Page
 					break
 				}
-			} else if meta.seq != op.Recorded {
+			} else if meta.Seq != op.Recorded {
 				ack.OK, ack.Page = false, op.Page
 				break
 			}
@@ -676,10 +676,10 @@ func (n *Node) handleCCPublish(p *sim.Proc, m ccPublishMsg) {
 	for _, rp := range m.Pages {
 		meta := sys.pclMetaOf(m.GLA, rp.Page)
 		if m.MVTO {
-			sys.ccVersions.Commit(rp.Page, m.TS, rp.NewSeq, meta.seq)
+			sys.ccVersions.Commit(rp.Page, m.TS, rp.NewSeq, meta.Seq)
 		}
-		if rp.NewSeq > meta.seq {
-			meta.seq = rp.NewSeq
+		if rp.NewSeq > meta.Seq {
+			meta.Seq = rp.NewSeq
 			sys.oracle.commit(rp.Page, rp.NewSeq)
 		}
 		if rp.Carried {

@@ -7,6 +7,7 @@ import (
 
 	"gemsim/internal/attrib"
 	"gemsim/internal/buffer"
+	"gemsim/internal/gem"
 	"gemsim/internal/lock"
 	"gemsim/internal/model"
 	"gemsim/internal/netsim"
@@ -402,7 +403,7 @@ func (s *System) runRecovery(p *sim.Proc, crashed int, crashAt sim.Time, losers 
 		}
 		fs.LocksRecovered = int64(entries)
 		for _, pg := range owned {
-			redo = append(redo, redoPage{page: pg, tbl: 0, seq: s.gltMetaOf(pg).seq})
+			redo = append(redo, redoPage{page: pg, tbl: 0, seq: s.gltMetaOf(pg).Seq})
 		}
 		for _, d := range dirty {
 			if !s.db.File(d.page.File).Locking {
@@ -553,16 +554,16 @@ func (s *System) redoOnePage(p *sim.Proc, coordID int, coord *Node, crashed int,
 	if r.tbl >= 0 {
 		if params.Coupling == CouplingPCL {
 			meta := s.pclMetaOf(r.tbl, r.page)
-			if r.seq > meta.seq {
-				meta.seq = r.seq
+			if r.seq > meta.Seq {
+				meta.Seq = r.seq
 			}
-			if meta.owner == crashed {
-				meta.owner = -1
+			if meta.Owner == crashed {
+				meta.Owner = -1
 			}
 		} else {
 			meta := s.gltMetaOf(r.page)
-			if meta.owner == crashed {
-				meta.owner = -1
+			if meta.Owner == crashed {
+				meta.Owner = -1
 			}
 			coord.gemEntryOp(p, 0, 1)
 		}
@@ -784,11 +785,11 @@ func (s *System) readCrashedLog(p *sim.Proc, coord *Node, crashed int, logPage m
 // the given node according to the GLT, in deterministic order.
 func (s *System) gemOwnedPages(node int) []model.PageID {
 	var pages []model.PageID
-	for pg, meta := range s.gltMeta {
-		if meta.owner == node {
+	s.gltMeta.Range(func(pg model.PageID, meta *pageMeta) {
+		if meta.Owner == node {
 			pages = append(pages, pg)
 		}
-	}
+	})
 	sort.Slice(pages, func(i, j int) bool { return pageLess(pages[i], pages[j]) })
 	return pages
 }
@@ -814,7 +815,7 @@ func (s *System) recoverPCLLocks(p *sim.Proc, coord *Node, crashed int) int64 {
 		tbl := lock.NewTable(fmt.Sprintf("GLA%d@%d", g, coord.id))
 		s.tables[g] = tbl
 		s.detector.SetTable(g, tbl)
-		s.pclMeta[g] = make(map[model.PageID]*pageMeta)
+		s.pclMeta[g] = gem.NewMetaTable()
 		partSet[g] = true
 	}
 	s.dropPartitionRAs(partSet)
@@ -887,8 +888,8 @@ func (s *System) rebuildFromNode(n *Node, parts map[int]bool) int64 {
 				}
 				if copySeq > 0 {
 					meta := s.pclMetaOf(g, page)
-					if copySeq > meta.seq {
-						meta.seq = copySeq
+					if copySeq > meta.Seq {
+						meta.Seq = copySeq
 					}
 				}
 			}

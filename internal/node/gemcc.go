@@ -93,9 +93,9 @@ func (c *gemCC) lock(t *txn, page model.PageID, mode model.LockMode) (ccOutcome,
 	t.locked[page] = &heldLock{mode: mode, kind: kindLocal}
 
 	meta := n.sys.gltMetaOf(page)
-	out := ccOutcome{Seq: meta.seq, Owner: -1, Local: true}
+	out := ccOutcome{Seq: meta.Seq, Owner: -1, Local: true}
 	if !n.sys.params.Force {
-		out.Owner = meta.owner
+		out.Owner = meta.Owner
 	}
 	return out, nil
 }
@@ -119,11 +119,11 @@ func (c *gemCC) releaseAll(t *txn, commit bool) {
 				continue
 			}
 			meta := n.sys.gltMetaOf(page)
-			meta.seq = mod.frame.SeqNo
+			meta.Seq = mod.frame.SeqNo
 			if n.sys.params.Force {
-				meta.owner = -1
+				meta.Owner = -1
 			} else {
-				meta.owner = n.id
+				meta.Owner = n.id
 			}
 			n.sys.oracle.commit(page, mod.frame.SeqNo)
 		}

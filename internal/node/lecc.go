@@ -116,7 +116,7 @@ func (c *leCC) lock(t *txn, page model.PageID, mode model.LockMode) (ccOutcome, 
 	// the sequence number still travels for the coherency oracle (a
 	// cached copy that survived all broadcasts is current).
 	meta := n.sys.gltMetaOf(page)
-	return ccOutcome{Seq: meta.seq, Owner: -1, Local: true}, nil
+	return ccOutcome{Seq: meta.Seq, Owner: -1, Local: true}, nil
 }
 
 // releaseAll performs commit phase 2 at the lock engine. For update
@@ -136,8 +136,8 @@ func (c *leCC) releaseAll(t *txn, commit bool) {
 			}
 			mod := t.modified[page]
 			meta := sys.gltMetaOf(page)
-			meta.seq = mod.frame.SeqNo
-			meta.owner = -1
+			meta.Seq = mod.frame.SeqNo
+			meta.Owner = -1
 			sys.oracle.commit(page, mod.frame.SeqNo)
 			pages = append(pages, page)
 		}

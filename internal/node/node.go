@@ -648,7 +648,7 @@ func (n *Node) writeBack(v buffer.Victim) {
 			// reach the disk.
 			n.gemEntryOp(p, 0, 1)
 			meta := n.sys.gltMetaOf(v.Page)
-			if meta.owner != n.id || meta.seq != v.SeqNo {
+			if meta.Owner != n.id || meta.Seq != v.SeqNo {
 				if cur, ok := n.inflight[v.Page]; ok && cur == v.SeqNo {
 					delete(n.inflight, v.Page)
 				}
@@ -658,8 +658,8 @@ func (n *Node) writeBack(v buffer.Victim) {
 			// Adapt the entry with one Compare&Swap write so future
 			// misses read from the permanent database.
 			n.gemEntryOp(p, 0, 1)
-			if meta.owner == n.id && meta.seq == v.SeqNo {
-				meta.owner = -1
+			if meta.Owner == n.id && meta.Seq == v.SeqNo {
+				meta.Owner = -1
 			}
 		} else {
 			n.writeStorage(p, nil, file, v.Page, v.SeqNo)

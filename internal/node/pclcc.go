@@ -98,7 +98,7 @@ func (c *pclCC) lockLocal(t *txn, page model.PageID, mode model.LockMode, gla in
 	}
 	t.locked[page] = &heldLock{mode: mode, kind: kindLocal}
 	meta := sys.pclMetaOf(gla, page)
-	return ccOutcome{Seq: meta.seq, Owner: -1, Local: true}, nil
+	return ccOutcome{Seq: meta.Seq, Owner: -1, Local: true}, nil
 }
 
 // lockShadowRA handles a locally processed read lock under a read
@@ -136,7 +136,7 @@ func (c *pclCC) lockShadowRA(t *txn, page model.PageID, gla int, copySeq uint64)
 		// the GLA node, which owns the current version under NOFORCE.
 		meta := sys.pclMetaOf(gla, page)
 		t.locked[page] = &heldLock{mode: model.LockRead, kind: kindShadowRA}
-		out := ccOutcome{Seq: meta.seq, Owner: -1, Local: true}
+		out := ccOutcome{Seq: meta.Seq, Owner: -1, Local: true}
 		if !sys.params.Force {
 			out.Owner = sys.glaHomeOf(gla)
 		}
@@ -255,13 +255,13 @@ func (n *Node) handleLockRequest(p *sim.Proc, m lockRequestMsg) {
 func (n *Node) pclReply(p *sim.Proc, m lockRequestMsg) {
 	sys := n.sys
 	meta := sys.pclMetaOf(m.GLA, m.Page)
-	grant := lockGrantMsg{Wait: m.Wait, Seq: meta.seq}
+	grant := lockGrantMsg{Wait: m.Wait, Seq: meta.Seq}
 	class := netsim.Short
 	if !sys.params.Force {
 		// The GLA holds the current version of its partition's
 		// modified pages; ship it with the grant when useful.
-		stale := !m.HasCopy || m.CachedSeq < meta.seq
-		if n.hasCurrent(m.Page, meta.seq) {
+		stale := !m.HasCopy || m.CachedSeq < meta.Seq
+		if n.hasCurrent(m.Page, meta.Seq) {
 			grant.OwnerHasCopy = true
 			if stale {
 				n.pool.Get(m.Page) // LRU touch for the supplied page
@@ -269,7 +269,7 @@ func (n *Node) pclReply(p *sim.Proc, m lockRequestMsg) {
 				class = netsim.Long
 			}
 		}
-		tracePage(m.Page, "pclReply to n%d seq=%d carried=%v hasCopy=%v cached=%d", m.Owner.Node, meta.seq, grant.Carried, m.HasCopy, m.CachedSeq)
+		tracePage(m.Page, "pclReply to n%d seq=%d carried=%v hasCopy=%v cached=%d", m.Owner.Node, meta.Seq, grant.Carried, m.HasCopy, m.CachedSeq)
 	}
 	switch m.Mode {
 	case model.LockRead:
@@ -375,7 +375,7 @@ func (c *pclCC) releaseAll(t *txn, commit bool) {
 		case kindLocal:
 			if mod != nil {
 				meta := sys.pclMetaOf(gla, page)
-				meta.seq = mod.frame.SeqNo
+				meta.Seq = mod.frame.SeqNo
 				sys.oracle.commit(page, mod.frame.SeqNo)
 			}
 			granted := sys.tables[gla].Release(page, t.owner)
@@ -427,8 +427,8 @@ func (n *Node) handleLockRelease(p *sim.Proc, m lockReleaseMsg) {
 		tracePage(rp.Page, "release from %v newSeq=%d carried=%v", m.Owner, rp.NewSeq, rp.Carried)
 		if rp.NewSeq > 0 {
 			meta := sys.pclMetaOf(m.GLA, rp.Page)
-			if rp.NewSeq > meta.seq {
-				meta.seq = rp.NewSeq
+			if rp.NewSeq > meta.Seq {
+				meta.Seq = rp.NewSeq
 				sys.oracle.commit(rp.Page, rp.NewSeq)
 			}
 		}

@@ -43,10 +43,10 @@ type System struct {
 	detector *lock.Detector
 	// gltMeta holds the coherency information of the global lock
 	// table: committed page sequence number and current page owner.
-	gltMeta map[model.PageID]*pageMeta
+	gltMeta *gem.MetaTable
 	// pclMeta holds, per GLA node, the committed sequence numbers of
 	// its partition.
-	pclMeta []map[model.PageID]*pageMeta
+	pclMeta []*gem.MetaTable
 	// ccVersions is the multiversion page store (CC == KindMVTO only):
 	// bounded per-page version histories and read timestamps backing
 	// timestamp-ordered reads and first-committer-wins writes.
@@ -145,11 +145,9 @@ type System struct {
 	ctl *controller
 }
 
-// pageMeta is the per-page coherency control information.
-type pageMeta struct {
-	seq   uint64
-	owner int // node holding the current version (NOFORCE), -1 if on permanent storage
-}
+// pageMeta is the per-page coherency control information, stored
+// densely in gem.MetaTable chunks instead of one heap object per page.
+type pageMeta = gem.PageMeta
 
 // errDeadlock aborts a transaction chosen as deadlock victim.
 var errDeadlock = fmt.Errorf("node: transaction aborted as deadlock victim")
@@ -186,7 +184,7 @@ func NewSystem(env *sim.Env, params Params, gen workload.Generator, router routi
 		gemDev:      gem.New(env, params.GEM),
 		net:         netsim.New(env, params.Net, params.Nodes),
 		groups:      make(map[model.FileID]*storage.Group, len(db.Files)),
-		gltMeta:     make(map[model.PageID]*pageMeta),
+		gltMeta:     gem.NewMetaTable(),
 		ra:          make(map[model.PageID]map[int]bool),
 		writeBuffer: make(map[model.PageID]uint64),
 		gemCaches:   make(map[model.FileID]*storage.Cache),
@@ -247,10 +245,10 @@ func NewSystem(env *sim.Env, params Params, gen workload.Generator, router routi
 		}
 	} else {
 		s.tables = make([]*lock.Table, params.Nodes)
-		s.pclMeta = make([]map[model.PageID]*pageMeta, params.Nodes)
+		s.pclMeta = make([]*gem.MetaTable, params.Nodes)
 		for i := range s.tables {
 			s.tables[i] = lock.NewTable(fmt.Sprintf("GLA%d", i))
-			s.pclMeta[i] = make(map[model.PageID]*pageMeta)
+			s.pclMeta[i] = gem.NewMetaTable()
 		}
 	}
 	s.detector = lock.NewDetector(s.tables...)
@@ -445,22 +443,12 @@ func (s *System) nextTxID() lock.TxID {
 
 // meta returns (creating on demand) the GLT coherency entry of a page.
 func (s *System) gltMetaOf(page model.PageID) *pageMeta {
-	m := s.gltMeta[page]
-	if m == nil {
-		m = &pageMeta{owner: -1}
-		s.gltMeta[page] = m
-	}
-	return m
+	return s.gltMeta.Of(page)
 }
 
 // pclMetaOf returns (creating on demand) the GLA-side coherency entry.
 func (s *System) pclMetaOf(gla int, page model.PageID) *pageMeta {
-	m := s.pclMeta[gla][page]
-	if m == nil {
-		m = &pageMeta{owner: -1}
-		s.pclMeta[gla][page] = m
-	}
-	return m
+	return s.pclMeta[gla].Of(page)
 }
 
 // glaHomeOf returns the node currently serving GLA partition g: its

@@ -125,6 +125,44 @@ func BenchmarkServiceCompletion(b *testing.B) {
 	}
 }
 
+// BenchmarkCalendarHyperscale measures the calendar queue at a
+// hyperscale pending-event population: 64k self-rescheduling entities
+// with pseudo-randomly spread delays keep 64k events live at all
+// times, exercising bucket resizing and window rotation continuously.
+// The binary heap paid O(log n) per operation at this depth; the
+// calendar stays O(1). Reports events/sec for BENCH_kernel.json.
+func BenchmarkCalendarHyperscale(b *testing.B) {
+	env := NewEnv()
+	defer env.Stop()
+	const entities = 65536
+	fired := 0
+	h := uint32(2463534242)
+	next := func() Time {
+		h ^= h << 13
+		h ^= h >> 17
+		h ^= h << 5
+		return Time(h % 1000000) // 0-1ms spread
+	}
+	var tick func()
+	tick = func() {
+		fired++
+		if fired+entities <= b.N {
+			env.After(next(), tick)
+		}
+	}
+	for i := 0; i < entities; i++ {
+		env.After(next(), tick)
+	}
+	b.ResetTimer()
+	if err := env.RunUntilIdle(); err != nil {
+		b.Fatal(err)
+	}
+	if fired < b.N && fired != entities {
+		b.Fatalf("fired %d of %d", fired, b.N)
+	}
+	b.ReportMetric(float64(fired)/b.Elapsed().Seconds(), "events/sec")
+}
+
 // BenchmarkEventScheduling measures raw calendar insert/dispatch.
 func BenchmarkEventScheduling(b *testing.B) {
 	env := NewEnv()

@@ -1,12 +1,21 @@
 package sim
 
 // rwaiter is one queued request for a server: a parked process
-// (process tier) or a grant continuation (callback tier). Both kinds
-// share one FCFS queue in arrival order.
+// (process tier), a grant continuation (callback tier, AcquireFn), or
+// a full service cycle (Request / RequestResume / Use) described by
+// plain fields so granting it allocates no closure. All kinds share
+// one FCFS queue in arrival order.
 type rwaiter struct {
 	proc  *Proc
 	grant func()
 	at    Time // enqueue time, for waiting-time accounting
+
+	// Service-cycle waiter: at hand-off, schedule the pooled
+	// completion event at now+d (release + fn + resume of c, if any).
+	svc bool
+	d   Time
+	fn  func()
+	c   Continuation
 }
 
 // Resource is a k-server FCFS queueing station with utilization and
@@ -19,12 +28,12 @@ type rwaiter struct {
 // identical hand-off timing, so mixing tiers does not change the
 // served order or the statistics.
 type Resource struct {
-	env       *Env
-	name      string
-	servers   int
-	busy      int
-	queue     []rwaiter
-	releaseFn func() // cached, to avoid a closure per service cycle
+	env     *Env
+	name    string
+	servers int
+	busy    int
+	queue   []rwaiter
+	handq   []rwaiter // waiters popped at release, served by evHandoff events
 
 	// Statistics, resettable at the end of a warm-up phase.
 	statStart Time
@@ -52,9 +61,7 @@ func NewResource(env *Env, name string, servers int) *Resource {
 	if servers <= 0 {
 		panic("sim: resource " + name + " needs at least one server")
 	}
-	r := &Resource{env: env, name: name, servers: servers}
-	r.releaseFn = r.Release
-	return r
+	return &Resource{env: env, name: name, servers: servers}
 }
 
 // Name returns the resource name.
@@ -139,14 +146,47 @@ func (r *Resource) Release() {
 		// Callback-tier waiter: the hand-off happens one calendar slot
 		// later, exactly where an unparked process would have resumed,
 		// so both waiter kinds leave the queue with identical timing.
-		r.env.schedule(r.env.now, nil, func() {
-			r.waitSum += r.env.Now() - w.at
-			w.grant()
-		})
+		// The waiter parks on handq and a pooled evHandoff event
+		// serves it, so the hop allocates nothing.
+		r.handq = append(r.handq, w)
+		ev := r.env.schedule(r.env.now, nil, nil)
+		ev.kind = evHandoff
+		ev.res = r
 		return
 	}
 	r.accumulate()
 	r.busy--
+}
+
+// handoff serves the oldest waiter parked on handq: account its wait,
+// then either start its service cycle (pooled completion event) or run
+// its grant continuation. Called by evHandoff dispatch; handq is FIFO
+// and events dispatch in seq order, so waiters are served in the order
+// their releases happened.
+func (r *Resource) handoff() {
+	w := r.handq[0]
+	copy(r.handq, r.handq[1:])
+	r.handq[len(r.handq)-1] = rwaiter{}
+	r.handq = r.handq[:len(r.handq)-1]
+	r.waitSum += r.env.now - w.at
+	if w.svc {
+		r.scheduleComplete(r.env.now+w.d, w.c, w.fn)
+		return
+	}
+	w.grant()
+}
+
+// scheduleComplete schedules the pooled service-completion event:
+// release the server, run fn (if any), resume the continuation's
+// process (if any, and still at its pinned generation) — all in one
+// calendar slot.
+func (r *Resource) scheduleComplete(at Time, c Continuation, fn func()) {
+	ev := r.env.schedule(at, c.p, fn)
+	if c.p != nil {
+		ev.gen = c.gen
+	}
+	ev.kind = evComplete
+	ev.res = r
 }
 
 // Use acquires a server, holds it for service time d, and releases it.
@@ -154,33 +194,28 @@ func (r *Resource) Release() {
 // the completion event, in the same calendar slot the process resumes
 // in.
 func (r *Resource) Use(p *Proc, d Time) {
-	r.serveResume(p.Continuation(), d, r.releaseFn)
+	r.serveResume(p.Continuation(), d, nil)
 	p.park()
 }
 
 // Request runs one full service cycle on the callback tier: acquire a
 // server (queueing FCFS), hold it for service time d, release it, then
 // run done in kernel context — release and done share the completion
-// event's calendar slot.
+// event's calendar slot. The whole cycle uses pooled events and the
+// plain-field waiter record, so steady state allocates nothing.
 func (r *Resource) Request(d Time, done func()) {
-	fn := r.releaseFn
-	if done != nil {
-		fn = func() { r.Release(); done() }
-	}
 	r.requests++
 	r.svcSum += d
 	r.svcN++
 	if r.busy < r.servers {
 		r.accumulate()
 		r.busy++
-		r.env.schedule(r.env.now+d, nil, fn)
+		r.scheduleComplete(r.env.now+d, Continuation{}, done)
 		return
 	}
 	r.queued++
 	r.qAccumulate()
-	r.queue = append(r.queue, rwaiter{at: r.env.Now(), grant: func() {
-		r.env.schedule(r.env.now+d, nil, fn)
-	}})
+	r.queue = append(r.queue, rwaiter{at: r.env.Now(), svc: true, d: d, fn: done})
 }
 
 // RequestResume runs one service cycle for a parked process: when the
@@ -191,31 +226,25 @@ func (r *Resource) Request(d Time, done func()) {
 // request was queued, the cycle still completes and releases the
 // server, but the final resume is dropped as stale.
 func (r *Resource) RequestResume(c Continuation, d Time, fin func()) {
-	fn := r.releaseFn
-	if fin != nil {
-		fn = func() { r.Release(); fin() }
-	}
-	r.serveResume(c, d, fn)
+	r.serveResume(c, d, fin)
 }
 
 // serveResume claims a server (or queues for one) and schedules the
-// combined completion event: completeFn runs in kernel context, then
+// combined completion event: release, then fn in kernel context, then
 // the continuation's process resumes, in the same slot.
-func (r *Resource) serveResume(c Continuation, d Time, completeFn func()) {
+func (r *Resource) serveResume(c Continuation, d Time, fn func()) {
 	r.requests++
 	r.svcSum += d
 	r.svcN++
 	if r.busy < r.servers {
 		r.accumulate()
 		r.busy++
-		c.ResumeAfter(d, completeFn)
+		r.scheduleComplete(r.env.now+d, c, fn)
 		return
 	}
 	r.queued++
 	r.qAccumulate()
-	r.queue = append(r.queue, rwaiter{at: r.env.Now(), grant: func() {
-		c.ResumeAfter(d, completeFn)
-	}})
+	r.queue = append(r.queue, rwaiter{at: r.env.Now(), svc: true, d: d, fn: fn, c: c})
 }
 
 // ResetStats discards accumulated statistics (typically at the end of a

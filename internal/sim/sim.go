@@ -32,7 +32,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"time"
@@ -41,53 +40,44 @@ import (
 // Time is a point in simulated time, measured from the start of the run.
 type Time = time.Duration
 
+// event kinds. Hot Tier-1 paths (service completions, queue hand-offs,
+// timer fires) are encoded as kinds on the pooled event record instead
+// of per-call closures, so a steady-state service cycle allocates
+// nothing: the record carries the target Resource or Timer directly
+// and dispatch switches on the kind.
+const (
+	evFn       uint8 = iota // run fn, then resume proc (the general event)
+	evComplete              // service completion: res.Release(), then fn, then proc
+	evHandoff               // server hand-off: serve the head of res.handq
+	evTimer                 // timer fire: run timer.fn if still armed at gen
+)
+
 // event is a scheduled occurrence: run a kernel-context callback (which
 // must not block), resume a parked process, or both — the callback
 // first, then the resume, within one calendar slot.
 type event struct {
-	at   Time
-	seq  int64
-	proc *Proc
-	gen  int64
-	fn   func()
-}
-
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	at    Time
+	seq   int64
+	proc  *Proc
+	gen   int64 // proc generation (or timer generation for evTimer)
+	fn    func()
+	res   *Resource // evComplete / evHandoff target
+	timer *Timer    // evTimer target
+	kind  uint8
 }
 
 // Env is a simulation environment: an event calendar, a clock and the
 // set of live processes. An Env must be used from a single goroutine
 // (the one calling Run); model code runs inside processes spawned on it.
 type Env struct {
-	now      Time
-	seq      int64
-	events   eventHeap
-	free     []*event // recycled event records
-	live     map[*Proc]struct{}
-	stopping bool
-	panicked any
+	now        Time
+	seq        int64
+	events     calendar
+	free       []*event // recycled event records
+	dispatched int64
+	live       map[*Proc]struct{}
+	stopping   bool
+	panicked   any
 }
 
 // NewEnv returns an empty simulation environment at time zero.
@@ -101,7 +91,12 @@ func NewEnv() *Env {
 func (e *Env) Now() Time { return e.now }
 
 // Pending reports the number of scheduled events.
-func (e *Env) Pending() int { return len(e.events) }
+func (e *Env) Pending() int { return e.events.total() }
+
+// Dispatched reports the total number of events dispatched since the
+// environment was created. It is a deterministic kernel-work measure:
+// identical runs dispatch identical event counts.
+func (e *Env) Dispatched() int64 { return e.dispatched }
 
 // LiveCount reports the number of live (spawned, not yet finished)
 // processes.
@@ -112,7 +107,7 @@ func (e *Env) LiveCount() int { return len(e.live) }
 // processes remain, all of them parked with nothing scheduled to wake
 // them (e.g. waiters on a lock that is never released).
 func (e *Env) Stalled() bool {
-	return len(e.events) == 0 && len(e.live) > 0
+	return e.events.total() == 0 && len(e.live) > 0
 }
 
 // LiveNames returns the names of live processes, deduplicated with
@@ -157,22 +152,26 @@ func (e *Env) schedule(at Time, p *Proc, fn func()) *event {
 	if p != nil {
 		ev.gen = p.gen
 	}
-	heap.Push(&e.events, ev)
+	e.events.insert(ev)
 	return ev
 }
 
-// maxFreeEvents caps the event record pool: a burst that schedules far
-// more events than the steady-state live set should not pin all of
-// them in memory forever.
-const maxFreeEvents = 4096
+// freeEventSlack bounds the event pool above the pending-event count:
+// the pool may hold one spare record per pending event plus this much
+// slack, so steady state never allocates while a one-off burst does
+// not pin its peak in memory forever.
+const freeEventSlack = 4096
 
 // recycle returns a dispatched event record to the free list.
 func (e *Env) recycle(ev *event) {
-	if len(e.free) >= maxFreeEvents {
+	if len(e.free) >= e.events.total()+freeEventSlack {
 		return
 	}
 	ev.proc = nil
 	ev.fn = nil
+	ev.res = nil
+	ev.timer = nil
+	ev.kind = evFn
 	e.free = append(e.free, ev)
 }
 
@@ -364,18 +363,8 @@ func (p *Proc) Fork(name string, fns ...func(p *Proc)) {
 // clock would pass until. Events scheduled exactly at until still run.
 // It returns an error if any process panicked.
 func (e *Env) Run(until Time) error {
-	for len(e.events) > 0 {
-		next := e.events[0]
-		if next.at > until {
-			break
-		}
-		ev := heap.Pop(&e.events).(*event)
-		e.now = ev.at
-		e.dispatch(ev)
-		e.recycle(ev)
-		if e.panicked != nil {
-			return fmt.Errorf("sim: %v", e.panicked)
-		}
+	if err := e.drain(until, true); err != nil {
+		return err
 	}
 	if e.now < until {
 		e.now = until
@@ -385,16 +374,26 @@ func (e *Env) Run(until Time) error {
 
 // RunUntilIdle advances the simulation until no events remain.
 func (e *Env) RunUntilIdle() error {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*event)
+	return e.drain(0, false)
+}
+
+// drain is the single event-extraction site shared by Run and
+// RunUntilIdle: pop the minimum (at, seq) event, advance the clock,
+// dispatch, recycle. When bounded, events past until stay queued.
+func (e *Env) drain(until Time, bounded bool) error {
+	for {
+		ev := e.events.pop(until, bounded)
+		if ev == nil {
+			return nil
+		}
 		e.now = ev.at
+		e.dispatched++
 		e.dispatch(ev)
 		e.recycle(ev)
 		if e.panicked != nil {
 			return fmt.Errorf("sim: %v", e.panicked)
 		}
 	}
-	return nil
 }
 
 // dispatch fires one event: the kernel callback runs first (if any),
@@ -403,6 +402,22 @@ func (e *Env) RunUntilIdle() error {
 // slot lets a service chain's final completion release its station and
 // resume the waiting process without an extra calendar hop.
 func (e *Env) dispatch(ev *event) {
+	switch ev.kind {
+	case evComplete:
+		// Service completion: release before the user callback, the
+		// order the old completion closures used.
+		ev.res.Release()
+	case evHandoff:
+		ev.res.handoff()
+		return
+	case evTimer:
+		t := ev.timer
+		if t.armed && t.gen == ev.gen {
+			t.armed = false
+			t.fn()
+		}
+		return
+	}
 	if ev.fn != nil {
 		ev.fn()
 	}
@@ -429,5 +444,5 @@ func (e *Env) Stop() {
 		p.resume <- true
 		<-p.yielded
 	}
-	e.events = nil
+	e.events = calendar{}
 }

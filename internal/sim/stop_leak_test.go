@@ -57,3 +57,51 @@ func TestStopLeaksNoGoroutines(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 }
+
+// TestStopLeaksAtHyperscale re-checks the Stop contract at hyperscale
+// entity counts: tens of thousands of live processes and pending
+// calendar entries spread across buckets and the overflow tier. Stop
+// must unwind every process and drop every queued event regardless of
+// where the calendar's cursor, window, or overflow tier stand.
+func TestStopLeaksAtHyperscale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hyperscale leak check is slow")
+	}
+	before := runtime.NumGoroutine()
+
+	env := NewEnv()
+	r := NewResource(env, "r", 2)
+	const entities = 20000
+	for i := 0; i < entities; i++ {
+		d := Time(i%997) * time.Millisecond // spans many calendar windows
+		switch i % 4 {
+		case 0:
+			env.Spawn("sleeper", func(p *Proc) { p.Wait(d + time.Hour) })
+		case 1:
+			env.Spawn("rwait", func(p *Proc) { r.Use(p, time.Second) })
+		case 2:
+			env.Spawn("parked", func(p *Proc) { p.Park() })
+		case 3:
+			env.After(d+time.Hour, func() {}) // far-future Tier-1 events
+		}
+	}
+	if err := env.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if env.LiveCount() == 0 {
+		t.Fatal("expected live processes at the horizon")
+	}
+	env.Stop()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after Stop", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -19,17 +19,17 @@ func (e *Env) NewTimer(fn func()) *Timer {
 }
 
 // Reset (re-)arms the timer to fire after delay d, superseding any
-// earlier arming.
+// earlier arming. The calendar entry is a pooled evTimer event
+// stamped with the arming generation, so re-arming allocates nothing
+// and stale entries — including ones whose bucket has long since
+// rotated — fire into the generation check and are dropped.
 func (t *Timer) Reset(d Time) {
 	t.gen++
 	t.armed = true
-	gen := t.gen
-	t.env.After(d, func() {
-		if t.armed && t.gen == gen {
-			t.armed = false
-			t.fn()
-		}
-	})
+	ev := t.env.schedule(t.env.now+d, nil, nil)
+	ev.kind = evTimer
+	ev.timer = t
+	ev.gen = t.gen
 }
 
 // Stop disarms the timer, dropping a pending fire. It reports whether

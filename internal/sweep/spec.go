@@ -60,10 +60,12 @@ type Spec struct {
 // Axis is one swept dimension: a configuration field and its values.
 // Supported fields: nodes, rate, coupling, cc (concurrency-control
 // engine: "2pl", "mvto", "occ", "had"), force, routing, bufferPages,
-// mpl, logInGEM, gemMessaging, skew (branch Zipf theta, 0 = uniform),
-// drift (bool: canonical mid-run hot-spot rotation), control (bool:
-// adaptive load controller on/off), and "medium.<FILE>" (storage medium
-// of the named file, e.g. "medium.BRANCH/TELLER").
+// mpl, terminals (closed-loop terminals per node), think (mean think
+// time, a duration string), pooled (bool: hyperscale pooled terminal
+// source), logInGEM, gemMessaging, skew (branch Zipf theta, 0 =
+// uniform), drift (bool: canonical mid-run hot-spot rotation), control
+// (bool: adaptive load controller on/off), and "medium.<FILE>"
+// (storage medium of the named file, e.g. "medium.BRANCH/TELLER").
 type Axis struct {
 	Field  string            `json:"field"`
 	Values []json.RawMessage `json:"values"`
@@ -438,6 +440,37 @@ func applyAxis(cf *core.ConfigFile, field string, raw json.RawMessage) (string, 
 		}
 		cf.Faults = &ff
 		return strings.ToLower(field) + "=" + v, nil
+	case "terminals", "closedloopterminals":
+		n, err := decodeInt(field, raw)
+		if err != nil {
+			return "", err
+		}
+		if n <= 0 {
+			return "", fmt.Errorf("sweep: axis %q: terminal count must be positive, got %d", field, n)
+		}
+		cf.ClosedLoopTerminals = n
+		return fmt.Sprintf("terms=%d", n), nil
+	case "think", "thinktime", "closedloopthinktime":
+		v, err := decodeString(field, raw)
+		if err != nil {
+			return "", err
+		}
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			return "", fmt.Errorf("sweep: axis %q: want a non-negative duration, got %q", field, v)
+		}
+		cf.ClosedLoopThinkTime = v
+		return "think=" + v, nil
+	case "pooled", "closedlooppooled":
+		v, err := decodeBool(field, raw)
+		if err != nil {
+			return "", err
+		}
+		cf.ClosedLoopPooled = v
+		if v {
+			return "pooled", nil
+		}
+		return "perterm", nil
 	case "cc", "engine":
 		v, err := decodeString(field, raw)
 		if err != nil {
@@ -464,7 +497,7 @@ func applyAxis(cf *core.ConfigFile, field string, raw json.RawMessage) (string, 
 		cf.Control = nil
 		return "static", nil
 	default:
-		return "", fmt.Errorf("sweep: unknown axis field %q (want nodes, rate, coupling, cc, force, routing, bufferPages, mpl, logInGEM, gemMessaging, skew, drift, control, reopen, recoveryWorkers, mtbf, mttr or medium.<FILE>)", field)
+		return "", fmt.Errorf("sweep: unknown axis field %q (want nodes, rate, coupling, cc, force, routing, bufferPages, mpl, terminals, think, pooled, logInGEM, gemMessaging, skew, drift, control, reopen, recoveryWorkers, mtbf, mttr or medium.<FILE>)", field)
 	}
 }
 
